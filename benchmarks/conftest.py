@@ -1,0 +1,26 @@
+"""Shared configuration for the figure-regeneration benchmark harness.
+
+Each ``test_bench_*`` module regenerates one of the paper's tables or
+figures (see DESIGN.md's per-experiment index), asserts the paper's
+qualitative *shape*, prints the regenerated rows, and times a
+representative unit of work under pytest-benchmark.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import sys
+from pathlib import Path
+
+# allow `from benchmarks...` style helpers and keep tests/ helpers importable
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+#: reduced buffer-size sweep to keep the harness wall-clock reasonable;
+#: examples/reproduce_paper.py runs the full Figure 7 sweep.
+QUICK_SIZES = (16, 64, 256, 1024)
+
+#: benchmark subset used where full-suite sweeps would be slow; chosen to
+#: cover the paper's extremes (adpcm ~99%, mpeg2_enc worst, g724_dec the
+#: Figure 5/6 case study).
+QUICK_NAMES = ["adpcm_enc", "g724_dec", "mpeg2_enc", "pgp_enc"]

@@ -1,0 +1,127 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+1. peeling on/off, 2. collapsing on/off, 3. buffer-assignment
+overhead-aware tie-break, 4. predicate promotion's effect on the
+sensitive-op fraction, 5. predicate-unit count.
+"""
+
+from repro.bench import benchmark
+from repro.pipeline import compile_aggressive, run_compiled
+
+
+def _run(name: str, **kw):
+    bench = benchmark(name)
+    compiled = compile_aggressive(bench.build(), buffer_capacity=256, **kw)
+    outcome = run_compiled(compiled)
+    assert outcome.result.value == bench.expected()
+    return compiled, outcome
+
+
+def test_bench_ablation_collapse(benchmark):
+    def work():
+        _, with_collapse = _run("mpeg2_dec", collapse=True)
+        _, without = _run("mpeg2_dec", collapse=False)
+        return with_collapse, without
+
+    with_collapse, without = benchmark.pedantic(work, rounds=1, iterations=1)
+    print(f"\ncollapse ablation (mpeg2_dec): buffer issue "
+          f"{without.buffer_issue_fraction:.1%} -> "
+          f"{with_collapse.buffer_issue_fraction:.1%}")
+    # collapsing pulls outer-loop code into the buffer: issue must not drop
+    assert (with_collapse.buffer_issue_fraction
+            >= without.buffer_issue_fraction - 0.02)
+
+
+def test_bench_ablation_peel(benchmark):
+    def work():
+        _, with_peel = _run("jpeg_dec", peel=True)
+        _, without = _run("jpeg_dec", peel=False)
+        return with_peel, without
+
+    with_peel, without = benchmark.pedantic(work, rounds=1, iterations=1)
+    print(f"\npeel ablation (jpeg_dec): buffer issue "
+          f"{without.buffer_issue_fraction:.1%} -> "
+          f"{with_peel.buffer_issue_fraction:.1%}")
+    assert with_peel.buffer_issue_fraction > 0.5
+    assert without.buffer_issue_fraction > 0.5
+
+
+def test_bench_ablation_promotion(benchmark):
+    from repro.predication.promotion import sensitivity_stats
+
+    def work():
+        with_promo, _ = _run("adpcm_enc", promote=True)
+        without, _ = _run("adpcm_enc", promote=False)
+        return with_promo, without
+
+    with_promo, without = benchmark.pedantic(work, rounds=1, iterations=1)
+
+    def fraction(compiled):
+        guarded = total = 0
+        for func in compiled.module.functions.values():
+            g, t = sensitivity_stats(func)
+            guarded += g
+            total += t
+        return guarded / total if total else 0.0
+
+    promoted, unpromoted = fraction(with_promo), fraction(without)
+    print(f"\npromotion ablation (adpcm_enc): sensitive-op fraction "
+          f"{unpromoted:.1%} -> {promoted:.1%} (paper: promotion reduces "
+          f"sensitivity to 21.5% dynamic)")
+    assert promoted <= unpromoted
+
+
+def test_bench_ablation_buffer_overhead_tiebreak(benchmark):
+    """Figure 5(d)'s residency choice: overhead-aware vs pure-benefit."""
+    from repro.pipeline import compile_aggressive, run_compiled, with_buffer
+
+    def work():
+        bench = __import__("repro.bench", fromlist=["benchmark"]).benchmark("g724_dec")
+        base = compile_aggressive(bench.build(), buffer_capacity=None)
+        results = {}
+        for aware in (True, False):
+            compiled = with_buffer(base, 64, overhead_aware=aware)
+            outcome = run_compiled(compiled)
+            assert outcome.result.value == bench.expected()
+            results[aware] = outcome.buffer_issue_fraction
+        return results
+
+    results = benchmark.pedantic(work, rounds=1, iterations=1)
+    print(f"\nbuffer tie-break ablation (g724_dec @64): "
+          f"overhead-aware {results[True]:.1%}, greedy {results[False]:.1%}")
+    assert results[True] >= results[False] - 0.05
+
+
+def test_bench_ablation_predicate_units(benchmark):
+    """Halving the predicate-generating units lengthens schedules of
+    predicated kernels (Section 7.3's clustering concern)."""
+    from repro.ir import Unit
+    from repro.sched.machine import MachineDescription
+    from repro.sched.list_sched import schedule_block
+    from repro.predication.hyperblock import form_loop_hyperblocks
+    from tests.predication.test_ifconvert import build_loop_with_diamond
+
+    narrow = MachineDescription(slot_units=(
+        frozenset({Unit.IALU, Unit.PRED}),
+        frozenset({Unit.IALU}),
+        frozenset({Unit.IALU, Unit.IMUL, Unit.FPU}),
+        frozenset({Unit.IALU, Unit.IMUL, Unit.FPU}),
+        frozenset({Unit.IALU, Unit.MEM}),
+        frozenset({Unit.IALU, Unit.MEM}),
+        frozenset({Unit.IALU, Unit.MEM}),
+        frozenset({Unit.IALU, Unit.BRANCH}),
+    ))
+
+    def work():
+        module = build_loop_with_diamond(100)
+        func = module.function("main")
+        form_loop_hyperblocks(func)
+        hyper = next(blk for blk in func.blocks if blk.hyperblock)
+        wide = schedule_block(hyper).length
+        tight = schedule_block(hyper, machine=narrow).length
+        return wide, tight
+
+    wide, tight = benchmark.pedantic(work, rounds=1, iterations=1)
+    print(f"\npredicate-unit ablation: schedule length {wide} (4 pred units)"
+          f" vs {tight} (1 pred unit)")
+    assert tight >= wide

@@ -1,0 +1,23 @@
+"""Figure 5 — g724_dec Post_Filter() loop buffer traces at 16/32/64 ops."""
+
+from repro.experiments import fig5
+
+
+def test_bench_fig5(benchmark):
+    rows = benchmark.pedantic(
+        fig5.run, args=((16, 32, 64, 256),), rounds=1, iterations=1
+    )
+    print("\n" + fig5.report(rows))
+    by_size = {row.capacity: row for row in rows}
+
+    # the paper's shape: a 16-op buffer captures almost nothing of the
+    # post filter (1.23%), 32 barely helps (6.32%), 64 captures ~all
+    # (98.22%); we assert the ordering and the 64-op jump
+    assert by_size[16].postfilter_fraction < by_size[64].postfilter_fraction
+    assert by_size[32].postfilter_fraction < by_size[64].postfilter_fraction
+    assert by_size[64].postfilter_fraction > 0.5
+    assert by_size[16].postfilter_fraction < 0.5
+
+    # monotone non-decreasing whole-benchmark issue with buffer size
+    fracs = [by_size[s].whole_fraction for s in (16, 32, 64, 256)]
+    assert all(b >= a - 1e-9 for a, b in zip(fracs, fracs[1:]))

@@ -1,0 +1,35 @@
+"""Figure 7 — % instruction issue from the loop buffer vs buffer size."""
+
+from repro.bench import benchmark_names
+from repro.experiments import fig7
+
+from benchmarks.conftest import QUICK_SIZES
+
+
+def test_bench_fig7(benchmark):
+    result = benchmark.pedantic(
+        fig7.run, args=(benchmark_names(), QUICK_SIZES), rounds=1, iterations=1
+    )
+    print("\n" + fig7.report(result))
+
+    # headline shape at 256 ops: transformation raises average buffer
+    # issue substantially (paper: 38.7% -> 89.0% excl. mpeg2enc/jpegenc)
+    exclude = ("mpeg2_enc", "jpeg_enc")
+    trad = result.average_at("traditional", 256, exclude)
+    aggr = result.average_at("aggressive", 256, exclude)
+    assert aggr > trad
+    assert aggr > 0.7
+
+    # adpcm resolves to a single predicated loop: >99% from the buffer
+    assert result.fraction_at("aggressive", "adpcm_enc", 256) > 0.99
+    assert result.fraction_at("aggressive", "adpcm_dec", 256) > 0.99
+
+    # monotone in buffer size for every series
+    for pipeline in ("traditional", "aggressive"):
+        for name, series in result.series[pipeline].items():
+            assert all(b >= a - 1e-9 for a, b in zip(series, series[1:])), name
+
+    # transformation never hurts bufferability at the headline size
+    for name in benchmark_names():
+        assert (result.fraction_at("aggressive", name, 256)
+                >= result.fraction_at("traditional", name, 256) - 0.02), name

@@ -1,0 +1,35 @@
+"""Buffer-size sweep for one benchmark (a single Figure 7 row), with an
+ASCII plot of buffer-issue fraction vs buffer size.
+
+Run: ``python examples/buffer_sweep.py [benchmark-name]``
+"""
+
+import sys
+
+from repro.bench import benchmark_names
+from repro.experiments.common import FIG7_SIZES, run_at_capacity
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "g724_dec"
+    if name not in benchmark_names():
+        raise SystemExit(f"unknown benchmark {name!r}; "
+                         f"choose from {benchmark_names()}")
+    print(f"benchmark: {name}\n")
+    print(f"{'size':>6s}  {'traditional':>12s}  {'aggressive':>11s}")
+    series = {}
+    for capacity in FIG7_SIZES:
+        trad = run_at_capacity(name, "traditional", capacity)
+        aggr = run_at_capacity(name, "aggressive", capacity)
+        series[capacity] = (trad.buffer_fraction, aggr.buffer_fraction)
+        print(f"{capacity:6d}  {trad.buffer_fraction:12.1%}  "
+              f"{aggr.buffer_fraction:11.1%}")
+
+    print("\naggressive pipeline, buffer issue vs size:")
+    for capacity in FIG7_SIZES:
+        bar = "#" * int(series[capacity][1] * 50)
+        print(f"{capacity:6d} |{bar:<50s}| {series[capacity][1]:.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Quickstart: compile an MKC program both ways and compare buffering.
+
+Run: ``python examples/quickstart.py``
+"""
+
+from repro.frontend import compile_source
+from repro.pipeline import compile_aggressive, compile_traditional, run_compiled
+
+# A media-style kernel: a loop whose body contains control flow.  Without
+# if-conversion the loop cannot enter the loop buffer; with it, nearly all
+# fetch comes from the buffer.
+SOURCE = """
+int samples[256];
+
+int main() {
+    int energy = 0;
+    for (int i = 0; i < 256; i++)
+        samples[i] = ((i * 37) % 128) - 64;
+    for (int i = 0; i < 256; i++) {
+        int v = samples[i];
+        if (v < 0) v = -v;               // abs via control flow
+        if (v > 48) energy += v * 2;     // loud samples count double
+        else energy += v;
+    }
+    return energy;
+}
+"""
+
+
+def main() -> None:
+    module = compile_source(SOURCE, name="quickstart")
+
+    for label, compile_fn in (("traditional", compile_traditional),
+                              ("aggressive", compile_aggressive)):
+        compiled = compile_fn(module, buffer_capacity=256)
+        outcome = run_compiled(compiled)
+        counters = outcome.counters
+        print(f"{label:12s}  result={outcome.result.value}  "
+              f"cycles={counters.cycles:6d}  "
+              f"buffer issue={counters.buffer_issue_fraction:6.1%}  "
+              f"fetch energy={outcome.energy.total:10.0f}")
+
+    print("\nThe aggressive pipeline if-converts the loop body (abs and the "
+          "threshold test become predicated ops), making the loop a simple "
+          "loop the 256-op buffer can hold.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""Regenerate every table and figure of the paper's evaluation.
+
+Run: ``python examples/reproduce_paper.py [--quick]``
+
+``--quick`` restricts Figure 7 to four buffer sizes and Figure 3 to four
+benchmarks; the full run sweeps 16..2048 over the whole Table 1 suite and
+takes several minutes of pure-Python simulation.
+"""
+
+import sys
+
+from repro.bench import benchmark_names
+from repro.experiments import fig3, fig5, fig7, fig8
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    names = benchmark_names()
+    sizes = (16, 64, 256, 1024) if quick else (16, 32, 64, 128, 256, 512,
+                                               1024, 2048)
+    fig3_names = names[:4] if quick else names
+
+    print("=" * 72)
+    print("Table 2 / Table 3: verified exhaustively by the unit-test suite")
+    print("  (tests/ir/test_preddef.py, tests/loopbuffer/test_model.py)")
+
+    print("\n" + "=" * 72)
+    print(fig3.report(fig3.run(fig3_names)))
+
+    print("\n" + "=" * 72)
+    print(fig5.report(fig5.run((16, 32, 64, 256))))
+
+    print("\n" + "=" * 72)
+    print(fig7.report(fig7.run(names, sizes)))
+
+    print("\n" + "=" * 72)
+    print(fig8.report(fig8.run(names)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,1 @@
+"""Program analyses: dominators, loops, liveness, dependences, profiles."""

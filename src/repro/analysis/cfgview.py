@@ -1,0 +1,66 @@
+"""An immutable adjacency snapshot of a function's CFG.
+
+Transformations restructure block layouts aggressively, so analyses never
+cache across passes; they take a fresh :class:`CFGView` built from the
+function's current layout.
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import Function
+
+
+class CFGView:
+    """Successor/predecessor adjacency over block labels."""
+
+    def __init__(self, func: Function) -> None:
+        self.func = func
+        self.nodes: list[str] = [block.label for block in func.blocks]
+        self.succs: dict[str, list[str]] = {}
+        self.preds: dict[str, list[str]] = {label: [] for label in self.nodes}
+        for block in func.blocks:
+            succs = func.successors(block)
+            self.succs[block.label] = succs
+            for succ in succs:
+                self.preds[succ].append(block.label)
+
+    @property
+    def entry(self) -> str:
+        return self.nodes[0]
+
+    def reachable(self) -> set[str]:
+        """Labels reachable from the entry."""
+        seen: set[str] = set()
+        stack = [self.entry]
+        while stack:
+            label = stack.pop()
+            if label in seen:
+                continue
+            seen.add(label)
+            stack.extend(self.succs[label])
+        return seen
+
+    def reverse_postorder(self) -> list[str]:
+        """Reverse postorder over reachable nodes (good dataflow order)."""
+        seen: set[str] = set()
+        order: list[str] = []
+
+        def visit(label: str) -> None:
+            stack = [(label, iter(self.succs[label]))]
+            seen.add(label)
+            while stack:
+                node, it = stack[-1]
+                advanced = False
+                for succ in it:
+                    if succ not in seen:
+                        seen.add(succ)
+                        stack.append((succ, iter(self.succs[succ])))
+                        advanced = True
+                        break
+                if not advanced:
+                    order.append(node)
+                    stack.pop()
+
+        visit(self.entry)
+        order.reverse()
+        return order

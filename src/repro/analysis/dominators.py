@@ -1,0 +1,132 @@
+"""Dominator and postdominator computation (Cooper-Harvey-Kennedy).
+
+If-conversion needs both: a hyperblock region is selected among blocks
+dominated by the region entry, and predicate assignment uses control
+dependences derived from postdominance.
+"""
+
+from __future__ import annotations
+
+from .cfgview import CFGView
+
+
+class DominatorTree:
+    """Immediate-dominator tree over a :class:`CFGView`."""
+
+    def __init__(self, idom: dict[str, str | None], order: list[str]) -> None:
+        self.idom = idom
+        self._order_index = {label: i for i, label in enumerate(order)}
+
+    def dominates(self, a: str, b: str) -> bool:
+        """True when ``a`` dominates ``b`` (reflexive)."""
+        node: str | None = b
+        while node is not None:
+            if node == a:
+                return True
+            node = self.idom.get(node)
+            if node == b:  # self-loop guard for the root
+                return False
+        return False
+
+    def strictly_dominates(self, a: str, b: str) -> bool:
+        return a != b and self.dominates(a, b)
+
+    def children(self, label: str) -> list[str]:
+        return sorted(
+            (node for node, parent in self.idom.items() if parent == label),
+            key=lambda node: self._order_index.get(node, 0),
+        )
+
+
+def _compute_idoms(
+    nodes: list[str],
+    preds: dict[str, list[str]],
+    entry: str,
+) -> dict[str, str | None]:
+    """Cooper-Harvey-Kennedy iterative dominator algorithm."""
+    order = nodes  # reverse postorder, entry first
+    index = {label: i for i, label in enumerate(order)}
+    idom: dict[str, str | None] = {entry: entry}
+
+    def intersect(a: str, b: str) -> str:
+        while a != b:
+            while index[a] > index[b]:
+                a = idom[a]  # type: ignore[assignment]
+            while index[b] > index[a]:
+                b = idom[b]  # type: ignore[assignment]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for node in order:
+            if node == entry:
+                continue
+            candidates = [p for p in preds.get(node, []) if p in idom]
+            if not candidates:
+                continue
+            new_idom = candidates[0]
+            for other in candidates[1:]:
+                new_idom = intersect(new_idom, other)
+            if idom.get(node) != new_idom:
+                idom[node] = new_idom
+                changed = True
+    result: dict[str, str | None] = dict(idom)
+    result[entry] = None
+    return result
+
+
+def dominator_tree(cfg: CFGView) -> DominatorTree:
+    """Dominator tree of the reachable portion of ``cfg``."""
+    order = cfg.reverse_postorder()
+    reachable = set(order)
+    preds = {
+        node: [p for p in cfg.preds[node] if p in reachable] for node in order
+    }
+    idom = _compute_idoms(order, preds, cfg.entry)
+    return DominatorTree(idom, order)
+
+
+def postdominator_tree(cfg: CFGView) -> DominatorTree:
+    """Postdominator tree; exit-less cycles hang off a virtual exit.
+
+    All nodes with no successors are treated as predecessors of a single
+    virtual exit node ``<exit>``; nodes that cannot reach any exit (infinite
+    loops) are attached conservatively.
+    """
+    exits = [node for node in cfg.nodes if not cfg.succs[node]]
+    virtual = "<exit>"
+    # reverse the graph
+    rsuccs: dict[str, list[str]] = {node: list(cfg.preds[node]) for node in cfg.nodes}
+    rsuccs[virtual] = list(exits)
+    rpreds: dict[str, list[str]] = {node: [] for node in cfg.nodes}
+    rpreds[virtual] = []
+    for node, succs in rsuccs.items():
+        for succ in succs:
+            rpreds[succ].append(node)
+
+    # reverse postorder on the reversed graph from the virtual exit
+    seen: set[str] = set()
+    order: list[str] = []
+
+    def visit(start: str) -> None:
+        stack = [(start, iter(rsuccs[start]))]
+        seen.add(start)
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for succ in it:
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append((succ, iter(rsuccs[succ])))
+                    advanced = True
+                    break
+            if not advanced:
+                order.append(node)
+                stack.pop()
+
+    visit(virtual)
+    order.reverse()
+    preds_in_order = {node: [p for p in rpreds[node] if p in seen] for node in order}
+    idom = _compute_idoms(order, preds_in_order, virtual)
+    return DominatorTree(idom, order)

@@ -1,0 +1,299 @@
+"""Natural-loop detection, nesting, and counted-loop (trip count) analysis.
+
+Everything in the paper revolves around loop structure:
+
+* the buffer accommodates only *simple* loops (one straight-line body block
+  plus a loop-back branch),
+* peeling wants inner loops with *small constant* trip counts,
+* collapsing wants a doubly-nested loop whose outer body is small and whose
+  inner trip count is computable at entry,
+* ``br_cloop`` conversion needs the trip count as a preheader expression.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.function import Function
+from repro.ir.opcodes import Opcode
+from repro.ir.operation import Operation
+from repro.ir.registers import Imm, Operand, VReg
+
+from .cfgview import CFGView
+from .dominators import dominator_tree
+
+
+@dataclass
+class Loop:
+    """A natural loop: header plus the blocks of its body."""
+
+    header: str
+    body: set[str]
+    latches: list[str] = field(default_factory=list)
+    parent: "Loop | None" = None
+    children: list["Loop"] = field(default_factory=list)
+
+    @property
+    def depth(self) -> int:
+        depth = 1
+        node = self.parent
+        while node is not None:
+            depth += 1
+            node = node.parent
+        return depth
+
+    def contains(self, label: str) -> bool:
+        return label in self.body
+
+    def contains_loop(self, other: "Loop") -> bool:
+        return other is not self and other.header in self.body
+
+    def exit_edges(self, cfg: CFGView) -> list[tuple[str, str]]:
+        """CFG edges leaving the loop body."""
+        edges = []
+        for label in sorted(self.body):
+            for succ in cfg.succs[label]:
+                if succ not in self.body:
+                    edges.append((label, succ))
+        return edges
+
+    def preheader(self, cfg: CFGView) -> str | None:
+        """The unique out-of-loop predecessor of the header, if any."""
+        outside = [p for p in cfg.preds[self.header] if p not in self.body]
+        if len(outside) == 1:
+            return outside[0]
+        return None
+
+    def is_innermost(self) -> bool:
+        return not self.children
+
+    def __repr__(self) -> str:
+        return f"<Loop header={self.header} blocks={len(self.body)} depth={self.depth}>"
+
+
+def find_loops(func: Function, cfg: CFGView | None = None) -> list[Loop]:
+    """All natural loops of ``func``, nested loops linked parent/child.
+
+    Loops sharing a header are merged (as IMPACT does) into one loop with
+    multiple latches.  The returned list is sorted outermost-first.
+    """
+    if cfg is None:
+        cfg = CFGView(func)
+    dom = dominator_tree(cfg)
+    reachable = cfg.reachable()
+
+    # find back edges and collect bodies per header
+    bodies: dict[str, set[str]] = {}
+    latches: dict[str, list[str]] = {}
+    for src in cfg.nodes:
+        if src not in reachable:
+            continue
+        for dst in cfg.succs[src]:
+            if dst in reachable and dom.dominates(dst, src):
+                body = bodies.setdefault(dst, {dst})
+                latches.setdefault(dst, []).append(src)
+                # walk predecessors back from the latch
+                stack = [src]
+                while stack:
+                    node = stack.pop()
+                    if node in body:
+                        continue
+                    body.add(node)
+                    stack.extend(
+                        p for p in cfg.preds[node] if p in reachable
+                    )
+
+    loops = [
+        Loop(header, body, latches[header]) for header, body in bodies.items()
+    ]
+
+    # nesting: the parent of L is the smallest loop strictly containing it
+    for loop in loops:
+        candidates = [
+            other
+            for other in loops
+            if other is not loop and other.contains_loop(loop)
+        ]
+        if candidates:
+            loop.parent = min(candidates, key=lambda c: len(c.body))
+            loop.parent.children.append(loop)
+
+    loops.sort(key=lambda lp: (lp.depth, lp.header))
+    return loops
+
+
+def innermost_loops(loops: list[Loop]) -> list[Loop]:
+    return [loop for loop in loops if loop.is_innermost()]
+
+
+def is_simple_loop(func: Function, loop: Loop) -> bool:
+    """True for a loop the buffer can hold: a single body block whose only
+    backward transfer is the final loop-back branch (side-exit branches in
+    the middle are allowed; they leave the loop)."""
+    if len(loop.body) != 1:
+        return False
+    block = func.block(loop.header)
+    term = block.terminator
+    if term is None or term.target != loop.header:
+        return False
+    for op in block.ops[:-1]:
+        if op.is_branch:
+            if op.opcode == Opcode.CALL:
+                return False
+            target = op.target
+            if target is not None and target in loop.body:
+                return False
+            if op.opcode in (Opcode.RET, Opcode.JUMP):
+                return False
+            if target is None:
+                return False
+    return True
+
+
+# -- counted-loop analysis --------------------------------------------------------
+
+
+@dataclass
+class TripInfo:
+    """Counted-loop description.
+
+    ``count`` is the constant trip count when fully constant; otherwise
+    ``None`` with ``bound`` possibly a loop-invariant register (the count is
+    then ``bound`` when ``init == 0 and step == 1 and cmp == 'lt'``).
+    """
+
+    induction: VReg
+    init: Operand | None
+    step: int
+    bound: Operand
+    cmp: str
+    count: int | None
+    increment_op: Operation
+    branch_op: Operation
+
+    @property
+    def runtime_countable(self) -> bool:
+        """The trip count is available (or computable) at loop entry."""
+        return self.count is not None or (
+            isinstance(self.init, Imm)
+            and self.init.value == 0
+            and self.step == 1
+            and self.cmp == "lt"
+        )
+
+
+def _defs_in_blocks(func: Function, labels: set[str]) -> dict[VReg, int]:
+    counts: dict[VReg, int] = {}
+    for label in labels:
+        for op in func.block(label).ops:
+            for dst in op.writes():
+                counts[dst] = counts.get(dst, 0) + 1
+    return counts
+
+
+def analyze_trip_count(
+    func: Function, loop: Loop, cfg: CFGView | None = None
+) -> TripInfo | None:
+    """Recognize ``for (i = init; i cmp bound; i += step)`` single-block loops.
+
+    Requirements: one body block, a final conditional branch on the
+    induction register against a loop-invariant bound, exactly one
+    definition of the induction register in the body (``add i = i, #step``),
+    and the increment preceding the branch.
+    """
+    if len(loop.body) != 1:
+        return None
+    if cfg is None:
+        cfg = CFGView(func)
+    block = func.block(loop.header)
+    term = block.terminator
+    if term is None or term.opcode not in (Opcode.BR, Opcode.BR_WLOOP):
+        return None
+    if term.target != loop.header or term.guard is not None:
+        return None
+
+    src0, src1 = term.srcs
+    defs = _defs_in_blocks(func, loop.body)
+
+    def invariant(operand: Operand) -> bool:
+        if isinstance(operand, Imm):
+            return True
+        return isinstance(operand, VReg) and operand not in defs
+
+    if isinstance(src0, VReg) and src0 in defs and invariant(src1):
+        induction, bound, cmp = src0, src1, term.attrs["cmp"]
+    elif isinstance(src1, VReg) and src1 in defs and invariant(src0):
+        flipped = {"lt": "gt", "le": "ge", "gt": "lt", "ge": "le",
+                   "eq": "eq", "ne": "ne", "ltu": "geu", "geu": "ltu"}
+        induction, bound, cmp = src1, src0, flipped[term.attrs["cmp"]]
+    else:
+        return None
+
+    if defs.get(induction, 0) != 1:
+        return None
+
+    increment = None
+    for op in block.ops:
+        if induction in op.dests:
+            increment = op
+            break
+    if increment is None or increment.guard is not None:
+        return None
+    step = _constant_step(increment, induction)
+    if step is None or step == 0:
+        return None
+
+    init = _find_init(func, loop, cfg, induction)
+    count = _constant_count(init, step, bound, cmp)
+    if count is not None and count <= 0:
+        return None  # not actually a counted loop we can reason about
+    return TripInfo(induction, init, step, bound, cmp, count, increment, term)
+
+
+def _constant_step(op: Operation, induction: VReg) -> int | None:
+    if op.opcode == Opcode.ADD:
+        a, b = op.srcs
+        if a == induction and isinstance(b, Imm):
+            return b.value
+        if b == induction and isinstance(a, Imm):
+            return a.value
+    if op.opcode == Opcode.SUB:
+        a, b = op.srcs
+        if a == induction and isinstance(b, Imm):
+            return -b.value
+    return None
+
+
+def _find_init(
+    func: Function, loop: Loop, cfg: CFGView, induction: VReg
+) -> Operand | None:
+    """The value of the induction register at loop entry, if syntactically
+    evident: the last write in the preheader (``mov i = X``)."""
+    pre = loop.preheader(cfg)
+    if pre is None:
+        return None
+    for op in reversed(func.block(pre).ops):
+        if induction in op.dests:
+            if op.opcode == Opcode.MOV and op.guard is None:
+                return op.srcs[0]
+            return None
+    return None
+
+
+def _constant_count(
+    init: Operand | None, step: int, bound: Operand, cmp: str
+) -> int | None:
+    if not isinstance(init, Imm) or not isinstance(bound, Imm):
+        return None
+    i, n = init.value, bound.value
+    # loop body runs, then i += step, then "br cmp i, n" loops back
+    iterations = 0
+    value = i
+    while iterations < 1_000_000:
+        iterations += 1
+        value += step
+        from repro.sim.values import compare
+
+        if not compare(cmp, value, n):
+            return iterations
+    return None

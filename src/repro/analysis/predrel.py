@@ -1,0 +1,122 @@
+"""Predicate relation analysis.
+
+Section 3 of the paper: "it is necessary for the compiler to be able to
+understand the relations among predicates to perform effective optimization
+on and around predication."  The classic example (Figure 2(d)) is that
+``(p1) mov r2 = 0`` and ``(p2) add r2 = r2, 1`` may execute in the same
+cycle because ``p1`` and ``p2`` come from the complementary destinations of
+one define and are therefore *disjoint*.
+
+We track, per straight-line region, which predicate pairs are disjoint
+(never simultaneously true) and which are subsets (p true implies q true),
+derived syntactically from define patterns:
+
+* ``pred_def cmp p<ut>, q<uf> = a, b`` under guard ``g`` makes p,q disjoint;
+  both are subsets of ``g``.
+* a ``ut``-type define under guard ``g`` makes its dest a subset of ``g``.
+* ``ot`` accumulations make the accumulated dest a *superset* of each
+  or-term's condition-under-guard; disjointness is not inferred for them.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.ir.block import BasicBlock
+from repro.ir.opcodes import Opcode
+from repro.ir.registers import VReg
+
+
+class PredicateRelations:
+    """Disjointness / subset facts for the predicates of one block.
+
+    The analysis is flow-insensitive within the block but invalidates a
+    predicate's facts when it is redefined, which is sound for the
+    single-assignment-ish predicate webs produced by if-conversion.
+    """
+
+    def __init__(self, block: BasicBlock) -> None:
+        self._disjoint: set[frozenset[VReg]] = set()
+        self._subset: set[tuple[VReg, VReg]] = set()  # (sub, super)
+        self._scan(block)
+
+    def _invalidate(self, reg: VReg) -> None:
+        self._disjoint = {
+            pair for pair in self._disjoint if reg not in pair
+        }
+        self._subset = {
+            pair for pair in self._subset if reg not in pair
+        }
+
+    def _scan(self, block: BasicBlock) -> None:
+        for op in block.ops:
+            if op.opcode == Opcode.PRED_SET:
+                self._invalidate(op.dests[0])
+                continue
+            if op.opcode != Opcode.PRED_DEF:
+                continue
+            for dst in op.dests:
+                self._invalidate(dst)
+            ptypes = op.attrs["ptypes"]
+            guard = op.guard
+            # complementary unconditional pair -> disjoint
+            if len(op.dests) == 2:
+                t0, t1 = ptypes
+                d0, d1 = op.dests
+                complementary = {("ut", "uf"), ("uf", "ut"), ("ct", "cf"), ("cf", "ct")}
+                if (t0, t1) in complementary and d0 != d1:
+                    self._disjoint.add(frozenset((d0, d1)))
+            for dst, ptype in zip(op.dests, op.attrs["ptypes"]):
+                if guard is not None and ptype in ("ut", "uf"):
+                    self._subset.add((dst, guard))
+
+        # transitive closure of subsets (small sets; a simple pass suffices)
+        changed = True
+        while changed:
+            changed = False
+            for (a, b) in list(self._subset):
+                for (c, d) in list(self._subset):
+                    if b == c and (a, d) not in self._subset and a != d:
+                        self._subset.add((a, d))
+                        changed = True
+            # subset inherits disjointness: a ⊆ b and b ∦ c  =>  a ∦ c
+            for pair in list(self._disjoint):
+                b, c = tuple(pair)
+                for (a, bb) in list(self._subset):
+                    if bb == b and a != c:
+                        if frozenset((a, c)) not in self._disjoint:
+                            self._disjoint.add(frozenset((a, c)))
+                            changed = True
+                    if bb == c and a != b:
+                        if frozenset((a, b)) not in self._disjoint:
+                            self._disjoint.add(frozenset((a, b)))
+                            changed = True
+
+    # -- queries -----------------------------------------------------------------
+
+    def disjoint(self, a: VReg | None, b: VReg | None) -> bool:
+        """True when operations guarded by ``a`` and ``b`` can never both
+        execute.  ``None`` (always-true guard) is disjoint with nothing."""
+        if a is None or b is None or a == b:
+            return False
+        return frozenset((a, b)) in self._disjoint
+
+    def subset(self, a: VReg, b: VReg) -> bool:
+        """True when ``a`` true implies ``b`` true."""
+        return a == b or (a, b) in self._subset
+
+    def implies_execution(self, a: VReg | None, b: VReg | None) -> bool:
+        """True when op guarded by ``a`` executing implies op guarded by
+        ``b`` executes (used to prove a conditional write is a kill)."""
+        if b is None:
+            return True
+        if a is None:
+            return False
+        return self.subset(a, b)
+
+    def disjoint_pairs(self) -> list[tuple[VReg, VReg]]:
+        return sorted(
+            (tuple(sorted(pair, key=lambda r: (r.kind, r.index)))  # type: ignore[misc]
+             for pair in self._disjoint),
+            key=lambda pair: (pair[0].index, pair[1].index),
+        )

@@ -1,0 +1,17 @@
+"""The Table 1 benchmark suite: MKC media/telecom programs with
+pure-Python reference implementations as correctness oracles."""
+
+from .inputs import checksum, image_blocks, lcg_stream, message_words, speech_samples
+from .suite import Benchmark, all_benchmarks, benchmark, benchmark_names
+
+__all__ = [
+    "Benchmark",
+    "all_benchmarks",
+    "benchmark",
+    "benchmark_names",
+    "checksum",
+    "image_blocks",
+    "lcg_stream",
+    "message_words",
+    "speech_samples",
+]

@@ -1,0 +1,72 @@
+"""Deterministic synthetic input generation for the benchmarks.
+
+All inputs derive from a fixed-seed linear congruential generator and a
+few simple waveform shapes, so every run of every benchmark is exactly
+reproducible (the role clinton.pcm / testimg.jpg / mei16v2.m2v play for
+the paper).
+"""
+
+from __future__ import annotations
+
+from repro.sim.values import saturate, wrap32
+
+LCG_MULTIPLIER = 1103515245
+LCG_INCREMENT = 12345
+LCG_MASK = (1 << 31) - 1
+
+
+def lcg_stream(seed: int, count: int, lo: int, hi: int) -> list[int]:
+    """``count`` pseudorandom ints uniform-ish in [lo, hi]."""
+    span = hi - lo + 1
+    state = seed & LCG_MASK
+    out = []
+    for _ in range(count):
+        state = (state * LCG_MULTIPLIER + LCG_INCREMENT) & LCG_MASK
+        out.append(lo + (state >> 16) % span)
+    return out
+
+
+def speech_samples(count: int, seed: int = 7) -> list[int]:
+    """Speech-like 16-bit samples: a slow 'pitch' wave plus noise bursts."""
+    noise = lcg_stream(seed, count, -400, 400)
+    samples = []
+    phase = 0
+    for i, n in enumerate(noise):
+        phase = (phase + 3 + (i % 40 == 0)) % 200
+        tri = phase - 100 if phase < 150 else 3 * (200 - phase)
+        envelope = 40 + 30 * ((i // 160) % 3)
+        samples.append(saturate(tri * envelope + n, 16))
+    return samples
+
+
+def image_block(index: int, seed: int = 11) -> list[int]:
+    """One 8x8 block of 8-bit pixels with gradient + texture."""
+    noise = lcg_stream(seed + index, 64, -12, 12)
+    pix = []
+    for y in range(8):
+        for x in range(8):
+            base = 128 + 10 * (x - 4) + 6 * (y - 4) + ((index * 13) % 40) - 20
+            value = base + noise[y * 8 + x]
+            pix.append(max(0, min(255, value)))
+    return pix
+
+
+def image_blocks(count: int, seed: int = 11) -> list[int]:
+    out: list[int] = []
+    for b in range(count):
+        out.extend(image_block(b, seed))
+    return out
+
+
+def message_words(count: int, seed: int = 23) -> list[int]:
+    """Plaintext words for the cipher benchmarks (16-bit values)."""
+    return lcg_stream(seed, count, 0, 0xFFFF)
+
+
+def checksum(chk: int, value: int) -> int:
+    """The rolling checksum every benchmark uses: chk*31 + value, wrapped.
+
+    Matches MKC's native 32-bit wraparound so the Python references and
+    the simulated programs agree bit for bit.
+    """
+    return wrap32(wrap32(chk * 31) + wrap32(value))

@@ -1,0 +1,3 @@
+"""Benchmark programs (importing this package registers all of them)."""
+
+from . import adpcm, g724, jpeg, mpeg2, mpg123, pgp  # noqa: F401

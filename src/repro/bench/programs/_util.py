@@ -1,0 +1,9 @@
+"""Shared helpers for authoring benchmark programs."""
+
+from __future__ import annotations
+
+
+def mkc_array(name: str, values: list[int]) -> str:
+    """Render ``int name[N] = {...};`` MKC source for an initialized global."""
+    body = ", ".join(str(v) for v in values)
+    return f"int {name}[{len(values)}] = {{{body}}};"

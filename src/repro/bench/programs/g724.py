@@ -1,0 +1,411 @@
+"""g724_enc / g724_dec — GSM-EFR-style speech transcoder (Table 1, [10]).
+
+The paper replaced MediaBench's g721 with "a more up-to-date and more
+complex codec" (ETSI GSM 06.60 enhanced full-rate).  We implement the same
+computational skeleton in fixed point:
+
+* **encoder**: per-subframe LPC analysis (autocorrelation + Levinson-
+  Durbin with data-dependent guards), open-loop pitch search (argmax loop
+  with internal control flow), algebraic-codebook pulse search;
+* **decoder**: excitation reconstruction (adaptive + fixed codebook),
+  10-tap synthesis filter, and a ``Post_Filter()`` shaped like the
+  paper's Figure 5: four outer iterations (subframes) over ~a dozen inner
+  loops of widely varying trip counts, two of which contain internal
+  control flow — the function the paper's Section 6 case study builds on.
+"""
+
+from __future__ import annotations
+
+from repro.sim.values import cdiv, saturate, wrap32
+
+from ..inputs import checksum, lcg_stream, speech_samples
+from ..suite import Benchmark, register
+from ._util import mkc_array
+
+SUBFRAMES = 4
+SUBLEN = 40
+ORDER = 10
+FRAME = SUBFRAMES * SUBLEN
+
+
+# ==== encoder reference ====================================================
+
+
+def _autocorr_py(samples: list[int], order: int) -> list[int]:
+    out = []
+    for lag in range(order + 1):
+        acc = 0
+        for i in range(lag, len(samples)):
+            acc += (samples[i] >> 3) * (samples[i - lag] >> 3)
+        out.append(acc)
+    return out
+
+
+def _levinson_py(r: list[int], order: int) -> list[int]:
+    """Fixed-point Levinson-Durbin, mirroring MKC's 32-bit wraparound
+    exactly (the MKC program computes with machine ints, so the oracle
+    must too)."""
+    a = [0] * (order + 1)
+    a[0] = 4096
+    err = r[0] if r[0] > 0 else 1
+    for m in range(1, order + 1):
+        acc = 0
+        for i in range(1, m):
+            acc = wrap32(acc + wrap32(a[i] * r[m - i]))
+        k = 0
+        if err != 0:
+            k = wrap32(cdiv(wrap32(wrap32(r[m] << 12) - acc), err))
+        k = max(-3900, min(3900, k))
+        new_a = list(a)
+        new_a[m] = k
+        for i in range(1, m):
+            new_a[i] = wrap32(a[i] - (wrap32(k * a[m - i]) >> 12))
+        a = new_a
+        err = wrap32(err - (wrap32(wrap32(k * k) * (err >> 12)) >> 12))
+        if err <= 0:
+            err = 1
+    return a
+
+
+def _pitch_py(samples: list[int], lo: int = 20, hi: int = 120) -> tuple[int, int]:
+    best_lag, best_corr = lo, -(1 << 60)
+    for lag in range(lo, hi + 1):
+        corr = 0
+        for i in range(lag, FRAME):
+            corr += (samples[i] >> 4) * (samples[i - lag] >> 4)
+        if corr > best_corr:
+            best_corr, best_lag = corr, lag
+    return best_lag, saturate(best_corr >> 8, 31)
+
+
+def _pulse_search_py(target: list[int]) -> tuple[list[int], int]:
+    positions = []
+    chk = 0
+    work = list(target)
+    for _pulse in range(10):
+        best_i, best_v = 0, -1
+        for i, v in enumerate(work):
+            mag = v if v >= 0 else -v
+            if mag > best_v:
+                best_v, best_i = mag, i
+        positions.append(best_i)
+        chk = checksum(chk, best_i)
+        work[best_i] = 0
+    return positions, chk
+
+
+def _enc_reference(samples: list[int]) -> int:
+    chk = 0
+    for sf in range(SUBFRAMES):
+        sub = samples[sf * SUBLEN:(sf + 1) * SUBLEN]
+        r = _autocorr_py(sub, ORDER)
+        a = _levinson_py(r, ORDER)
+        for coef in a[1:]:
+            chk = checksum(chk, coef)
+        _, pos_chk = _pulse_search_py(sub)
+        chk = checksum(chk, pos_chk)
+    lag, corr = _pitch_py(samples)
+    chk = checksum(chk, lag)
+    chk = checksum(chk, corr)
+    return chk
+
+
+_ENC_SOURCE = """
+int acc_r[%(orderp1)d];
+int lpc_a[%(orderp1)d];
+int lpc_tmp[%(orderp1)d];
+int work[%(sublen)d];
+
+int main() {
+    int chk = 0;
+    for (int sf = 0; sf < %(subframes)d; sf++) {
+        int base = sf * %(sublen)d;
+        /* autocorrelation */
+        for (int lag = 0; lag <= %(order)d; lag++) {
+            int acc = 0;
+            for (int i = lag; i < %(sublen)d; i++)
+                acc += (pcm[base + i] >> 3) * (pcm[base + i - lag] >> 3);
+            acc_r[lag] = acc;
+        }
+        /* Levinson-Durbin */
+        lpc_a[0] = 4096;
+        for (int i = 1; i <= %(order)d; i++) lpc_a[i] = 0;
+        int err = acc_r[0] > 0 ? acc_r[0] : 1;
+        for (int m = 1; m <= %(order)d; m++) {
+            int acc = 0;
+            for (int i = 1; i < m; i++)
+                acc += lpc_a[i] * acc_r[m - i];
+            int k = 0;
+            if (err != 0) k = ((acc_r[m] << 12) - acc) / err;
+            k = __clip(k, -3900, 3900);
+            for (int i = 0; i <= %(order)d; i++) lpc_tmp[i] = lpc_a[i];
+            lpc_tmp[m] = k;
+            for (int i = 1; i < m; i++)
+                lpc_tmp[i] = lpc_a[i] - ((k * lpc_a[m - i]) >> 12);
+            for (int i = 0; i <= %(order)d; i++) lpc_a[i] = lpc_tmp[i];
+            err = err - ((k * k * (err >> 12)) >> 12);
+            if (err <= 0) err = 1;
+        }
+        for (int i = 1; i <= %(order)d; i++)
+            chk = chk * 31 + lpc_a[i];
+        /* algebraic codebook: ten strongest pulses */
+        int pchk = 0;
+        for (int i = 0; i < %(sublen)d; i++) work[i] = pcm[base + i];
+        for (int pulse = 0; pulse < 10; pulse++) {
+            int besti = 0;
+            int bestv = -1;
+            for (int i = 0; i < %(sublen)d; i++) {
+                int mag = __abs(work[i]);
+                if (mag > bestv) { bestv = mag; besti = i; }
+            }
+            pchk = pchk * 31 + besti;
+            work[besti] = 0;
+        }
+        chk = chk * 31 + pchk;
+    }
+    /* open-loop pitch over the whole frame */
+    int bestlag = 20;
+    int bestcorr = 0 - (1 << 30);
+    for (int lag = 20; lag <= 120; lag++) {
+        int corr = 0;
+        for (int i = lag; i < %(frame)d; i++)
+            corr += (pcm[i] >> 4) * (pcm[i - lag] >> 4);
+        if (corr > bestcorr) { bestcorr = corr; bestlag = lag; }
+    }
+    chk = chk * 31 + bestlag;
+    chk = chk * 31 + __sat(bestcorr >> 8, 31);
+    return chk;
+}
+""" % {"subframes": SUBFRAMES, "sublen": SUBLEN, "order": ORDER,
+       "orderp1": ORDER + 1, "frame": FRAME}
+
+
+@register("g724_enc")
+def g724_enc() -> Benchmark:
+    samples = speech_samples(FRAME, seed=13)
+    source = "\n".join([
+        mkc_array("pcm", samples),
+        _ENC_SOURCE,
+    ])
+
+    def reference() -> int:
+        return _enc_reference(samples)
+
+    return Benchmark("g724_enc", "GSM-EFR-style speech encoder",
+                     source, reference)
+
+
+# ==== decoder reference ====================================================
+
+LPC_Q12 = [4096, -3276, 1892, -804, 512, -310, 180, -96, 48, -20, 8]
+GAMMA_N = [3276, 2621, 2097, 1677, 1342, 1073, 858, 687, 549, 439]   # 0.8^i
+GAMMA_D = [2457, 1474, 884, 530, 318, 191, 114, 68, 41, 24]          # 0.6^i
+
+
+def _synth_py(exc: list[int]) -> list[int]:
+    out = [0] * len(exc)
+    for i in range(len(exc)):
+        acc = exc[i] << 12
+        for j in range(1, ORDER + 1):
+            if i - j >= 0:
+                acc -= LPC_Q12[j] * out[i - j]
+        out[i] = saturate(acc >> 12, 16)
+    return out
+
+
+def _post_filter_py(syn: list[int]) -> int:
+    """Thirteen-loop Post_Filter over four subframes (the Figure 5 shape)."""
+    chk = 0
+    prev = [0] * SUBLEN
+    for _sf in range(SUBFRAMES):
+        sub = syn[_sf * SUBLEN:(_sf + 1) * SUBLEN]
+        # A: residual through the weighted numerator (40 x 10)
+        res = [0] * SUBLEN
+        for i in range(SUBLEN):
+            acc = sub[i] << 12
+            for j in range(1, ORDER + 1):
+                src = sub[i - j] if i - j >= 0 else prev[SUBLEN + i - j]
+                acc += ((LPC_Q12[j] * GAMMA_N[j - 1]) >> 12) * src
+            res[i] = saturate(acc >> 12, 16)
+        # B: long-term lag search with internal control flow (loop "C")
+        best_lag, best_corr = 20, 0
+        for lag in range(20, 40):
+            corr = 0
+            energy = 1
+            for i in range(lag, SUBLEN):
+                corr += res[i] * res[i - lag]
+                energy += res[i - lag] * res[i - lag]
+            if corr > 0 and corr * 4 > energy:
+                if corr > best_corr:
+                    best_corr, best_lag = corr, lag
+        chk = checksum(chk, best_lag)
+        # C: harmonic emphasis
+        emph = [0] * SUBLEN
+        for i in range(SUBLEN):
+            tap = res[i - best_lag] if i - best_lag >= 0 else 0
+            emph[i] = saturate(res[i] + (tap >> 2), 16)
+        # D: gain numerator/denominator (two 40-loops)
+        num, den = 1, 1
+        for i in range(SUBLEN):
+            num += abs(sub[i])
+        for i in range(SUBLEN):
+            den += abs(emph[i])
+        gain = (num << 10) // den
+        chk = checksum(chk, gain)
+        # E: tilt compensation with a clip hammock (loop "J")
+        tilt = [0] * SUBLEN
+        for i in range(SUBLEN):
+            v = (emph[i] * gain) >> 10
+            if v > 32000:
+                v = 32000
+            elif v < -32000:
+                v = -32000
+            tilt[i] = v - ((tilt[i - 1] if i > 0 else 0) >> 3)
+        # F: denominator smoothing (40 x 10)
+        smooth = [0] * SUBLEN
+        for i in range(SUBLEN):
+            acc = tilt[i] << 12
+            for j in range(1, ORDER + 1):
+                src = smooth[i - j] if i - j >= 0 else 0
+                acc -= ((LPC_Q12[j] * GAMMA_D[j - 1]) >> 12) * src
+            smooth[i] = saturate(acc >> 12, 16)
+        # G: energy + checksum loops
+        for i in range(SUBLEN):
+            chk = checksum(chk, smooth[i])
+        prev = sub
+    return chk
+
+
+def _dec_reference(codes: list[int], pitch: int) -> int:
+    exc = [0] * FRAME
+    for sf in range(SUBFRAMES):
+        base = sf * SUBLEN
+        for i in range(SUBLEN):
+            adaptive = exc[base + i - pitch] >> 1 if base + i - pitch >= 0 else 0
+            fixed = codes[base + i]
+            exc[base + i] = saturate(adaptive + fixed, 16)
+    syn = _synth_py(exc)
+    chk = _post_filter_py(syn)
+    for i in range(0, FRAME, 7):
+        chk = checksum(chk, syn[i])
+    return chk
+
+
+_DEC_SOURCE = """
+int exc[%(frame)d];
+int syn[%(frame)d];
+int res[%(sublen)d];
+int emph[%(sublen)d];
+int tilt[%(sublen)d];
+int smooth[%(sublen)d];
+int prev[%(sublen)d];
+
+int post_filter() {
+    int chk = 0;
+    for (int sf = 0; sf < %(subframes)d; sf++) {
+        int base = sf * %(sublen)d;
+        for (int i = 0; i < %(sublen)d; i++) {
+            int acc = syn[base + i] << 12;
+            for (int j = 1; j <= %(order)d; j++) {
+                int src;
+                if (i - j >= 0) src = syn[base + i - j];
+                else src = prev[%(sublen)d + i - j];
+                acc += ((lpc[j] * gamma_n[j - 1]) >> 12) * src;
+            }
+            res[i] = __sat(acc >> 12, 16);
+        }
+        int bestlag = 20;
+        int bestcorr = 0;
+        for (int lag = 20; lag < 40; lag++) {
+            int corr = 0;
+            int energy = 1;
+            for (int i = lag; i < %(sublen)d; i++) {
+                corr += res[i] * res[i - lag];
+                energy += res[i - lag] * res[i - lag];
+            }
+            if (corr > 0 && corr * 4 > energy) {
+                if (corr > bestcorr) { bestcorr = corr; bestlag = lag; }
+            }
+        }
+        chk = chk * 31 + bestlag;
+        for (int i = 0; i < %(sublen)d; i++) {
+            int tap = 0;
+            if (i - bestlag >= 0) tap = res[i - bestlag];
+            emph[i] = __sat(res[i] + (tap >> 2), 16);
+        }
+        int num = 1;
+        int den = 1;
+        for (int i = 0; i < %(sublen)d; i++)
+            num += __abs(syn[base + i]);
+        for (int i = 0; i < %(sublen)d; i++)
+            den += __abs(emph[i]);
+        int gain = (num << 10) / den;
+        chk = chk * 31 + gain;
+        for (int i = 0; i < %(sublen)d; i++) {
+            int v = (emph[i] * gain) >> 10;
+            if (v > 32000) v = 32000;
+            else if (v < -32000) v = -32000;
+            int carry = 0;
+            if (i > 0) carry = tilt[i - 1] >> 3;
+            tilt[i] = v - carry;
+        }
+        for (int i = 0; i < %(sublen)d; i++) {
+            int acc = tilt[i] << 12;
+            for (int j = 1; j <= %(order)d; j++) {
+                int src = 0;
+                if (i - j >= 0) src = smooth[i - j];
+                acc -= ((lpc[j] * gamma_d[j - 1]) >> 12) * src;
+            }
+            smooth[i] = __sat(acc >> 12, 16);
+        }
+        for (int i = 0; i < %(sublen)d; i++)
+            chk = chk * 31 + smooth[i];
+        for (int i = 0; i < %(sublen)d; i++)
+            prev[i] = syn[base + i];
+    }
+    return chk;
+}
+
+int main() {
+    for (int sf = 0; sf < %(subframes)d; sf++) {
+        int base = sf * %(sublen)d;
+        for (int i = 0; i < %(sublen)d; i++) {
+            int adaptive = 0;
+            if (base + i - %(pitch)d >= 0)
+                adaptive = exc[base + i - %(pitch)d] >> 1;
+            exc[base + i] = __sat(adaptive + codes[base + i], 16);
+        }
+    }
+    for (int i = 0; i < %(frame)d; i++) {
+        int acc = exc[i] << 12;
+        for (int j = 1; j <= %(order)d; j++) {
+            if (i - j >= 0) acc -= lpc[j] * syn[i - j];
+        }
+        syn[i] = __sat(acc >> 12, 16);
+    }
+    int chk = post_filter();
+    for (int i = 0; i < %(frame)d; i += 7)
+        chk = chk * 31 + syn[i];
+    return chk;
+}
+"""
+
+
+@register("g724_dec")
+def g724_dec() -> Benchmark:
+    codes = [v >> 6 for v in speech_samples(FRAME, seed=29)]
+    pitch = 47
+    source = "\n".join([
+        mkc_array("lpc", LPC_Q12),
+        mkc_array("gamma_n", GAMMA_N),
+        mkc_array("gamma_d", GAMMA_D),
+        mkc_array("codes", codes),
+        _DEC_SOURCE % {"frame": FRAME, "sublen": SUBLEN, "order": ORDER,
+                       "subframes": SUBFRAMES, "pitch": pitch},
+    ])
+
+    def reference() -> int:
+        return _dec_reference(codes, pitch)
+
+    return Benchmark("g724_dec", "GSM-EFR-style speech decoder with Post_Filter",
+                     source, reference)

@@ -1,0 +1,272 @@
+"""jpeg_enc / jpeg_dec — JPEG-style photo codec (Table 1).
+
+Integer 8x8 separable DCT (fixed-point cosine table), quantization with
+rounding, zigzag scan and zero-run-length coding on the encode side;
+dezigzag, dequantization, inverse DCT and [0,255] clipping on decode.
+
+The structure mirrors what the paper reports for the IJG codec: "inner-
+nest loops for which the iteration counts were generally small, but varied
+across different loop invocations" (the RLE zero-run scan), which caps its
+loop-buffer issue rate well below the other benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..inputs import checksum, image_blocks
+from ..suite import Benchmark, register
+from ._util import mkc_array
+
+N_BLOCKS = 10
+SCALE_BITS = 10
+
+#: fixed-point DCT basis: round(cos((2x+1)u*pi/16) * c(u) * 1024 / 2)
+COS_TABLE = [
+    round(math.cos((2 * x + 1) * u * math.pi / 16)
+          * (math.sqrt(0.125) if u == 0 else 0.5)
+          * (1 << SCALE_BITS))
+    for u in range(8) for x in range(8)
+]
+
+QUANT_TABLE = [
+    16, 11, 10, 16, 24, 40, 51, 61,
+    12, 12, 14, 19, 26, 58, 60, 55,
+    14, 13, 16, 24, 40, 57, 69, 56,
+    14, 17, 22, 29, 51, 87, 80, 62,
+    18, 22, 37, 56, 68, 109, 103, 77,
+    24, 35, 55, 64, 81, 104, 113, 92,
+    49, 64, 78, 87, 103, 121, 120, 101,
+    72, 92, 95, 98, 112, 100, 103, 99,
+]
+
+ZIGZAG = [
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5,
+    12, 19, 26, 33, 40, 48, 41, 34, 27, 20, 13, 6, 7, 14, 21, 28,
+    35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,
+    58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+]
+
+
+def _fdct_block_py(pixels: list[int]) -> list[int]:
+    tmp = [0] * 64
+    for y in range(8):
+        for u in range(8):
+            acc = 0
+            for x in range(8):
+                acc += COS_TABLE[u * 8 + x] * (pixels[y * 8 + x] - 128)
+            tmp[y * 8 + u] = acc >> SCALE_BITS
+    out = [0] * 64
+    for u in range(8):
+        for v in range(8):
+            acc = 0
+            for y in range(8):
+                acc += COS_TABLE[v * 8 + y] * tmp[y * 8 + u]
+            out[v * 8 + u] = acc >> SCALE_BITS
+    return out
+
+
+def _quantize_py(coeffs: list[int]) -> list[int]:
+    out = []
+    for i, c in enumerate(coeffs):
+        q = QUANT_TABLE[i]
+        if c >= 0:
+            out.append((c + (q >> 1)) // q)
+        else:
+            out.append(-(((-c) + (q >> 1)) // q))
+    return out
+
+
+def _idct_block_py(coeffs: list[int]) -> list[int]:
+    tmp = [0] * 64
+    for u in range(8):
+        for y in range(8):
+            acc = 0
+            for v in range(8):
+                acc += COS_TABLE[v * 8 + y] * coeffs[v * 8 + u]
+            tmp[y * 8 + u] = acc >> SCALE_BITS
+    out = [0] * 64
+    for y in range(8):
+        for x in range(8):
+            acc = 0
+            for u in range(8):
+                acc += COS_TABLE[u * 8 + x] * tmp[y * 8 + u]
+            out[y * 8 + x] = max(0, min(255, (acc >> SCALE_BITS) + 128))
+    return out
+
+
+def _encode_py(pixels: list[int]) -> tuple[list[int], int]:
+    """Returns (quantized zigzag coefficients of all blocks, checksum)."""
+    chk = 0
+    coded: list[int] = []
+    for b in range(N_BLOCKS):
+        block = pixels[b * 64:(b + 1) * 64]
+        quant = _quantize_py(_fdct_block_py(block))
+        zz = [quant[ZIGZAG[i]] for i in range(64)]
+        coded.extend(zz)
+        # zero-run-length code: (run, level) pairs
+        i = 1
+        while i < 64:
+            run = 0
+            while i < 64 and zz[i] == 0:
+                run += 1
+                i += 1
+            if i < 64:
+                chk = checksum(chk, run)
+                chk = checksum(chk, zz[i])
+                i += 1
+        chk = checksum(chk, zz[0])
+    return coded, chk
+
+
+def _decode_py(coded: list[int]) -> int:
+    chk = 0
+    for b in range(N_BLOCKS):
+        zz = coded[b * 64:(b + 1) * 64]
+        coeffs = [0] * 64
+        for i in range(64):
+            coeffs[ZIGZAG[i]] = zz[i] * QUANT_TABLE[ZIGZAG[i]]
+        pixels = _idct_block_py(coeffs)
+        for p in pixels:
+            chk = checksum(chk, p)
+    return chk
+
+
+_COMMON = """
+void fdct(int *pix, int *out) {
+    int tmp[64];
+    for (int y = 0; y < 8; y++) {
+        for (int u = 0; u < 8; u++) {
+            int acc = 0;
+            for (int x = 0; x < 8; x++)
+                acc += costab[u * 8 + x] * (pix[y * 8 + x] - 128);
+            tmp[y * 8 + u] = acc >> %(scale)d;
+        }
+    }
+    for (int u = 0; u < 8; u++) {
+        for (int v = 0; v < 8; v++) {
+            int acc = 0;
+            for (int y = 0; y < 8; y++)
+                acc += costab[v * 8 + y] * tmp[y * 8 + u];
+            out[v * 8 + u] = acc >> %(scale)d;
+        }
+    }
+}
+
+void idct(int *coef, int *out) {
+    int tmp[64];
+    for (int u = 0; u < 8; u++) {
+        for (int y = 0; y < 8; y++) {
+            int acc = 0;
+            for (int v = 0; v < 8; v++)
+                acc += costab[v * 8 + y] * coef[v * 8 + u];
+            tmp[y * 8 + u] = acc >> %(scale)d;
+        }
+    }
+    for (int y = 0; y < 8; y++) {
+        for (int x = 0; x < 8; x++) {
+            int acc = 0;
+            for (int u = 0; u < 8; u++)
+                acc += costab[u * 8 + x] * tmp[y * 8 + u];
+            out[y * 8 + x] = __clip((acc >> %(scale)d) + 128, 0, 255);
+        }
+    }
+}
+""" % {"scale": SCALE_BITS}
+
+_ENC_MAIN = """
+int chkbox[1];
+
+void rle_block(int *zz) {
+    int chk = chkbox[0];
+    int i = 1;
+    while (i < 64) {
+        int run = 0;
+        while (i < 64 && zz[i] == 0) { run++; i++; }
+        if (i < 64) {
+            chk = chk * 31 + run;
+            chk = chk * 31 + zz[i];
+            i++;
+        }
+    }
+    chk = chk * 31 + zz[0];
+    chkbox[0] = chk;
+}
+
+int main() {
+    int freq[64];
+    int zz[64];
+    chkbox[0] = 0;
+    for (int b = 0; b < %(blocks)d; b++) {
+        fdct(pixels + b * 64, freq);
+        for (int i = 0; i < 64; i++) {
+            int c = freq[i];
+            int q = qtab[i];
+            int mag = __abs(c) + (q >> 1);
+            int scaled = mag / q;
+            freq[i] = c >= 0 ? scaled : -scaled;
+        }
+        for (int i = 0; i < 64; i++)
+            zz[i] = freq[zigzag[i]];
+        rle_block(zz);
+    }
+    return chkbox[0];
+}
+""" % {"blocks": N_BLOCKS}
+
+_DEC_MAIN = """
+int main() {
+    int coef[64];
+    int pix[64];
+    int chk = 0;
+    for (int b = 0; b < %(blocks)d; b++) {
+        for (int i = 0; i < 64; i++)
+            coef[i] = 0;
+        for (int i = 0; i < 64; i++)
+            coef[zigzag[i]] = coded[b * 64 + i] * qtab[zigzag[i]];
+        idct(coef, pix);
+        for (int i = 0; i < 64; i++)
+            chk = chk * 31 + pix[i];
+    }
+    return chk;
+}
+""" % {"blocks": N_BLOCKS}
+
+
+@register("jpeg_enc")
+def jpeg_enc() -> Benchmark:
+    pixels = image_blocks(N_BLOCKS)
+    source = "\n".join([
+        mkc_array("costab", COS_TABLE),
+        mkc_array("qtab", QUANT_TABLE),
+        mkc_array("zigzag", ZIGZAG),
+        mkc_array("pixels", pixels),
+        _COMMON,
+        _ENC_MAIN,
+    ])
+
+    def reference() -> int:
+        return _encode_py(pixels)[1]
+
+    return Benchmark("jpeg_enc", "JPEG-style image encoder (DCT/quant/RLE)",
+                     source, reference)
+
+
+@register("jpeg_dec")
+def jpeg_dec() -> Benchmark:
+    pixels = image_blocks(N_BLOCKS)
+    coded, _ = _encode_py(pixels)
+    source = "\n".join([
+        mkc_array("costab", COS_TABLE),
+        mkc_array("qtab", QUANT_TABLE),
+        mkc_array("zigzag", ZIGZAG),
+        mkc_array("coded", coded),
+        _COMMON,
+        _DEC_MAIN,
+    ])
+
+    def reference() -> int:
+        return _decode_py(coded)
+
+    return Benchmark("jpeg_dec", "JPEG-style image decoder (dequant/IDCT)",
+                     source, reference)

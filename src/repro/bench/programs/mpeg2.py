@@ -1,0 +1,302 @@
+"""mpeg2_enc / mpeg2_dec — MPEG-2-style video codec kernels (Table 1).
+
+``mpeg2_dec`` contains the exact ``Add_Block`` doubly-nested loop of the
+paper's Figure 2 (clip(*bp++ + pred) into a strided frame pointer), fed by
+dequantization + integer IDCT and half-pel motion compensation.
+
+``mpeg2_enc`` is dominated by full-search motion estimation — "many
+large, highly nested loop structures which only iterate several times" —
+the benchmark the paper singles out as resisting loop buffering, plus the
+DCT/quantization of the residual.
+"""
+
+from __future__ import annotations
+
+from ..inputs import checksum, image_block, lcg_stream
+from ..suite import Benchmark, register
+from ._util import mkc_array
+from .jpeg import COS_TABLE, SCALE_BITS, _fdct_block_py, _idct_block_py
+
+N_DEC_BLOCKS = 6
+STRIDE = 16            # decoded frame is 16 pixels wide: 2x3 blocks
+SEARCH = 3             # +/- pixels of motion search
+MB = 16                # macroblock size
+REF_W = MB + 2 * SEARCH + 1
+#: the decoder's reference window covers its 16x24 frame plus motion range
+DREF_W = STRIDE + SEARCH + 1
+DREF_H = 24 + SEARCH + 1
+
+
+def _ref_frame_py(width: int = REF_W, height: int = REF_W,
+                  seed: int = 31) -> list[int]:
+    noise = lcg_stream(seed, width * height, 0, 255)
+    return [
+        max(0, min(255, (x * 9 + y * 5 + noise[y * width + x] // 4) % 256))
+        for y in range(height) for x in range(width)
+    ]
+
+
+def _quant_py(coeffs: list[int], q: int = 16) -> list[int]:
+    out = []
+    for c in coeffs:
+        mag = (abs(c) + (q >> 1)) // q
+        out.append(mag if c >= 0 else -mag)
+    return out
+
+
+# -- decoder reference ------------------------------------------------------------
+
+
+def _decode_py(coded: list[int], ref: list[int], mvs: list[int]) -> int:
+    frame = [0] * (STRIDE * 24)
+    for b in range(N_DEC_BLOCKS):
+        coeffs = [c * 16 for c in coded[b * 64:(b + 1) * 64]]
+        diff = _idct_signed_py(coeffs)
+        mx, my = mvs[b * 2], mvs[b * 2 + 1]
+        bx, by = (b % 2) * 8, (b // 2) * 8
+        for i in range(8):
+            for j in range(8):
+                rx, ry = bx + j + mx, by + i + my
+                pred = (ref[ry * DREF_W + rx] + ref[ry * DREF_W + rx + 1] + 1) >> 1
+                value = max(0, min(255, diff[i * 8 + j] + pred))
+                frame[(by + i) * STRIDE + bx + j] = value
+    chk = 0
+    for v in frame:
+        chk = checksum(chk, v)
+    return chk
+
+
+def _idct_signed_py(coeffs: list[int]) -> list[int]:
+    """IDCT without the +128/clip (residual decoding)."""
+    tmp = [0] * 64
+    for u in range(8):
+        for y in range(8):
+            acc = 0
+            for v in range(8):
+                acc += COS_TABLE[v * 8 + y] * coeffs[v * 8 + u]
+            tmp[y * 8 + u] = acc >> SCALE_BITS
+    out = [0] * 64
+    for y in range(8):
+        for x in range(8):
+            acc = 0
+            for u in range(8):
+                acc += COS_TABLE[u * 8 + x] * tmp[y * 8 + u]
+            out[y * 8 + x] = acc >> SCALE_BITS
+    return out
+
+
+_DEC_SOURCE_MAIN = """
+void idct_res(int *coef, int *out) {
+    int tmp[64];
+    for (int u = 0; u < 8; u++) {
+        for (int y = 0; y < 8; y++) {
+            int acc = 0;
+            for (int v = 0; v < 8; v++)
+                acc += costab[v * 8 + y] * coef[v * 8 + u];
+            tmp[y * 8 + u] = acc >> %(scale)d;
+        }
+    }
+    for (int y = 0; y < 8; y++) {
+        for (int x = 0; x < 8; x++) {
+            int acc = 0;
+            for (int u = 0; u < 8; u++)
+                acc += costab[u * 8 + x] * tmp[y * 8 + u];
+            out[y * 8 + x] = acc >> %(scale)d;
+        }
+    }
+}
+
+void mocomp(int *pred, int mx, int my, int bx, int by) {
+    for (int i = 0; i < 8; i++) {
+        for (int j = 0; j < 8; j++) {
+            int r = (by + i + my) * %(drefw)d + bx + j + mx;
+            pred[i * 8 + j] = (refframe[r] + refframe[r + 1] + 1) >> 1;
+        }
+    }
+}
+
+/* The Figure 2 Add_Block loop: *rfp++ = Clip[*bp++ + pred]; rfp += incr */
+void add_block(int *bp, int *pred, int rfp) {
+    int incr = %(stride)d - 8;
+    int pp = 0;
+    for (int i = 0; i < 8; i++) {
+        for (int j = 0; j < 8; j++) {
+            frame[rfp] = __clip(bp[pp] + pred[pp], 0, 255);
+            rfp++;
+            pp++;
+        }
+        rfp += incr;
+    }
+}
+
+int main() {
+    int coef[64];
+    int diff[64];
+    int pred[64];
+    for (int b = 0; b < %(blocks)d; b++) {
+        for (int i = 0; i < 64; i++)
+            coef[i] = coded[b * 64 + i] * 16;
+        idct_res(coef, diff);
+        int bx = (b %% 2) * 8;
+        int by = (b / 2) * 8;
+        mocomp(pred, mvs[b * 2], mvs[b * 2 + 1], bx, by);
+        add_block(diff, pred, by * %(stride)d + bx);
+    }
+    int chk = 0;
+    for (int i = 0; i < %(framesize)d; i++)
+        chk = chk * 31 + frame[i];
+    return chk;
+}
+""" % {"scale": SCALE_BITS, "drefw": DREF_W, "stride": STRIDE,
+       "blocks": N_DEC_BLOCKS, "framesize": STRIDE * 24}
+
+
+@register("mpeg2_dec")
+def mpeg2_dec() -> Benchmark:
+    ref = _ref_frame_py(DREF_W, DREF_H)
+    # non-negative motion vectors keep every reference access inside the
+    # (REF_W x REF_W) window for both the MKC program and the reference
+    mvs: list[int] = []
+    for b in range(N_DEC_BLOCKS):
+        mvs.extend([(b * 3) % (SEARCH + 1), (b * 5) % (SEARCH + 1)])
+    coded: list[int] = []
+    for b in range(N_DEC_BLOCKS):
+        residual = [((v - 128) * 3) // 4 for v in image_block(b, seed=17)]
+        coded.extend(_quant_py(_fdct_block_py([r + 128 for r in residual])))
+    source = "\n".join([
+        mkc_array("costab", COS_TABLE),
+        mkc_array("coded", coded),
+        mkc_array("refframe", ref),
+        mkc_array("mvs", mvs),
+        f"int frame[{STRIDE * 24}];",
+        _DEC_SOURCE_MAIN,
+    ])
+
+    def reference() -> int:
+        return _decode_py(coded, ref, mvs)
+
+    return Benchmark("mpeg2_dec", "MPEG-2-style decoder (IDCT + Add_Block + MC)",
+                     source, reference)
+
+
+# -- encoder ----------------------------------------------------------------------------
+
+
+def _encode_py(cur: list[int], ref: list[int]) -> int:
+    best_sad, best_mx, best_my = 1 << 30, 0, 0
+    for my in range(-SEARCH, SEARCH + 1):
+        for mx in range(-SEARCH, SEARCH + 1):
+            sad = 0
+            for y in range(MB):
+                if sad >= best_sad:
+                    break
+                for x in range(MB):
+                    r = (y + my + SEARCH) * REF_W + x + mx + SEARCH
+                    sad += abs(cur[y * MB + x] - ref[r])
+            if sad < best_sad:
+                best_sad, best_mx, best_my = sad, mx, my
+    chk = checksum(checksum(0, best_mx), best_my)
+    chk = checksum(chk, best_sad)
+    # residual DCT + quant over the four 8x8 blocks
+    for by in (0, 8):
+        for bx in (0, 8):
+            block = []
+            for i in range(8):
+                for j in range(8):
+                    y, x = by + i, bx + j
+                    r = (y + best_my + SEARCH) * REF_W + x + best_mx + SEARCH
+                    block.append(cur[y * MB + x] - ref[r] + 128)
+            for q in _quant_py(_fdct_block_py(block)):
+                chk = checksum(chk, q)
+    return chk
+
+
+_ENC_SOURCE_MAIN = """
+void fdct(int *pix, int *out) {
+    int tmp[64];
+    for (int y = 0; y < 8; y++) {
+        for (int u = 0; u < 8; u++) {
+            int acc = 0;
+            for (int x = 0; x < 8; x++)
+                acc += costab[u * 8 + x] * (pix[y * 8 + x] - 128);
+            tmp[y * 8 + u] = acc >> %(scale)d;
+        }
+    }
+    for (int u = 0; u < 8; u++) {
+        for (int v = 0; v < 8; v++) {
+            int acc = 0;
+            for (int y = 0; y < 8; y++)
+                acc += costab[v * 8 + y] * tmp[y * 8 + u];
+            out[v * 8 + u] = acc >> %(scale)d;
+        }
+    }
+}
+
+int main() {
+    int best = 1 << 30;
+    int bestmx = 0;
+    int bestmy = 0;
+    for (int my = -%(search)d; my <= %(search)d; my++) {
+        for (int mx = -%(search)d; mx <= %(search)d; mx++) {
+            int sad = 0;
+            for (int y = 0; y < %(mb)d; y++) {
+                if (sad >= best) break;
+                for (int x = 0; x < %(mb)d; x++) {
+                    int r = (y + my + %(search)d) * %(refw)d + x + mx + %(search)d;
+                    sad += __abs(cur[y * %(mb)d + x] - refframe[r]);
+                }
+            }
+            if (sad < best) { best = sad; bestmx = mx; bestmy = my; }
+        }
+    }
+    int chk = 31 * bestmx + bestmy;
+    chk = chk * 31 + best;
+    int block[64];
+    int freq[64];
+    for (int by = 0; by < %(mb)d; by += 8) {
+        for (int bx = 0; bx < %(mb)d; bx += 8) {
+            for (int i = 0; i < 8; i++) {
+                for (int j = 0; j < 8; j++) {
+                    int y = by + i;
+                    int x = bx + j;
+                    int r = (y + bestmy + %(search)d) * %(refw)d
+                            + x + bestmx + %(search)d;
+                    block[i * 8 + j] = cur[y * %(mb)d + x] - refframe[r] + 128;
+                }
+            }
+            fdct(block, freq);
+            for (int i = 0; i < 64; i++) {
+                int c = freq[i];
+                int mag = (__abs(c) + 8) / 16;
+                int q = c >= 0 ? mag : -mag;
+                chk = chk * 31 + q;
+            }
+        }
+    }
+    return chk;
+}
+""" % {"scale": SCALE_BITS, "search": SEARCH, "mb": MB, "refw": REF_W}
+
+
+@register("mpeg2_enc")
+def mpeg2_enc() -> Benchmark:
+    ref = _ref_frame_py()
+    noise = lcg_stream(41, MB * MB, -6, 6)
+    # current macroblock: the reference shifted by (+2, +1) plus noise
+    cur = []
+    for y in range(MB):
+        for x in range(MB):
+            v = ref[(y + 1 + SEARCH) * REF_W + (x + 2 + SEARCH)]
+            cur.append(max(0, min(255, v + noise[y * MB + x])))
+    source = "\n".join([
+        mkc_array("costab", COS_TABLE),
+        mkc_array("refframe", ref),
+        mkc_array("cur", cur),
+        _ENC_SOURCE_MAIN,
+    ])
+
+    def reference() -> int:
+        return _encode_py(cur, ref)
+
+    return Benchmark("mpeg2_enc", "MPEG-2-style encoder (motion est + DCT)",
+                     source, reference)

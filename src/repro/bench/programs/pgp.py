@@ -1,0 +1,350 @@
+"""pgp_enc / pgp_dec — PGP-style codec: IDEA-style block cipher + CRC.
+
+PGP's bulk cipher is IDEA; we implement an IDEA-style cipher with the
+identical operation mix: 8 rounds of mul-mod-65537 / add-mod-65536 / xor
+over 16-bit quarters plus an output transform.  ``mulmod`` has the classic
+data-dependent zero-operand hammocks, and the decode side derives
+inverse-style subkeys with an extended-Euclid modular inverse (a
+data-dependent while loop).  A bitwise CRC over the output adds the
+collapsible 8-iteration inner loop the paper's loop-collapsing
+transformation targets.  (The round permutation differs slightly from
+genuine IDEA, so this is a structural stand-in, not crypto.)
+"""
+
+from __future__ import annotations
+
+from repro.sim.values import wrap32
+
+from ..inputs import checksum, message_words
+from ..suite import Benchmark, register
+from ._util import mkc_array
+
+ROUNDS = 8
+N_BLOCKS = 20          # 4 words per block
+KEY = [0x1A2B, 0x3C4D, 0x5E6F, 0x7081, 0x92A3, 0xB4C5, 0xD6E7, 0xF809]
+CRC_POLY = 0xEDB88320
+
+
+# -- reference implementation ------------------------------------------------------
+
+
+def _mulmod_py(a: int, b: int) -> int:
+    aa = 0x10000 if a == 0 else a
+    bb = 0x10000 if b == 0 else b
+    return (aa * bb) % 0x10001 & 0xFFFF
+
+
+def _mulinv_py(x: int) -> int:
+    """Multiplicative inverse mod 65537 (0 represents 65536)."""
+    if x <= 1:
+        return x
+    t1, t0 = 1, 0
+    y, x1 = 0x10001, 0x10000 if x == 0 else x
+    while x1 != 1:
+        q = y // x1
+        y, x1 = x1, y - q * x1
+        t0, t1 = t1, t0 - q * t1
+    return t1 & 0xFFFF
+
+
+def _expand_key_py(key: list[int]) -> list[int]:
+    """52 subkeys via the IDEA 25-bit rotating key schedule."""
+    subkeys = list(key)
+    while len(subkeys) < 52:
+        # rotate the last 8 words' 128 bits left by 25
+        base = len(subkeys) - 8
+        words = subkeys[base:base + 8]
+        rotated = []
+        for i in range(8):
+            hi = words[(i + 1) % 8]
+            lo = words[(i + 2) % 8]
+            rotated.append(((hi << 9) | (lo >> 7)) & 0xFFFF)
+        subkeys.extend(rotated)
+    return subkeys[:52]
+
+
+def _encrypt_block_py(block: list[int], sk: list[int]) -> list[int]:
+    x0, x1, x2, x3 = block
+    k = 0
+    for _ in range(ROUNDS):
+        x0 = _mulmod_py(x0, sk[k])
+        x1 = (x1 + sk[k + 1]) & 0xFFFF
+        x2 = (x2 + sk[k + 2]) & 0xFFFF
+        x3 = _mulmod_py(x3, sk[k + 3])
+        t0 = x0 ^ x2
+        t1 = x1 ^ x3
+        t0 = _mulmod_py(t0, sk[k + 4])
+        t1 = (t1 + t0) & 0xFFFF
+        t1 = _mulmod_py(t1, sk[k + 5])
+        t0 = (t0 + t1) & 0xFFFF
+        x0 ^= t1
+        x2 ^= t1
+        x1 ^= t0
+        x3 ^= t0
+        x1, x2 = x2, x1
+        k += 6
+    x1, x2 = x2, x1
+    return [
+        _mulmod_py(x0, sk[48]),
+        (x1 + sk[49]) & 0xFFFF,
+        (x2 + sk[50]) & 0xFFFF,
+        _mulmod_py(x3, sk[51]),
+    ]
+
+
+def _inverse_keys_py(sk: list[int]) -> list[int]:
+    """IDEA-style decryption key schedule (mulinv/addinv of the encrypt
+    keys in reverse round order)."""
+    inv = [0] * 52
+    for r in range(ROUNDS):
+        src_t = 6 * (ROUNDS - r)
+        dst = 6 * r
+        inv[dst + 0] = _mulinv_py(sk[src_t])
+        inv[dst + 3] = _mulinv_py(sk[src_t + 3])
+        if r == 0:
+            inv[dst + 1] = (-sk[src_t + 1]) & 0xFFFF
+            inv[dst + 2] = (-sk[src_t + 2]) & 0xFFFF
+        else:
+            inv[dst + 1] = (-sk[src_t + 2]) & 0xFFFF
+            inv[dst + 2] = (-sk[src_t + 1]) & 0xFFFF
+        src = 6 * (ROUNDS - 1 - r) + 4
+        inv[dst + 4] = sk[src]
+        inv[dst + 5] = sk[src + 1]
+    inv[48] = _mulinv_py(sk[0])
+    inv[49] = (-sk[1]) & 0xFFFF
+    inv[50] = (-sk[2]) & 0xFFFF
+    inv[51] = _mulinv_py(sk[3])
+    return inv
+
+
+def _crc_py(words: list[int]) -> int:
+    crc = 0xFFFFFFFF
+    for w in words:
+        crc ^= w & 0xFFFF
+        for _ in range(8):
+            if crc & 1:
+                crc = (crc >> 1) ^ CRC_POLY
+            else:
+                crc >>= 1
+    return wrap32(crc)
+
+
+def _enc_reference(plain: list[int]) -> int:
+    sk = _expand_key_py(KEY)
+    out: list[int] = []
+    for b in range(N_BLOCKS):
+        out.extend(_encrypt_block_py(plain[b * 4:(b + 1) * 4], sk))
+    chk = _crc_py(out)
+    for w in out[::5]:
+        chk = checksum(chk, w)
+    return chk
+
+
+def _dec_reference(cipher: list[int]) -> int:
+    sk = _inverse_keys_py(_expand_key_py(KEY))
+    out: list[int] = []
+    for b in range(N_BLOCKS):
+        out.extend(_encrypt_block_py(cipher[b * 4:(b + 1) * 4], sk))
+    chk = _crc_py(out)
+    for w in out[::5]:
+        chk = checksum(chk, w)
+    return chk
+
+
+# -- MKC implementation ------------------------------------------------------------------
+
+_CIPHER_COMMON = """
+int subkeys[52];
+int out[%(words)d];
+
+int mulmod(int a, int b) {
+    if (a == 0) return (0x10001 - b) & 0xFFFF;
+    if (b == 0) return (0x10001 - a) & 0xFFFF;
+    int p = a * b;
+    int lo = p & 0xFFFF;
+    int hi = (p >> 16) & 0xFFFF;
+    int r = lo - hi;
+    if (lo < hi) r += 0x10001;
+    return r & 0xFFFF;
+}
+
+void expand_key() {
+    for (int i = 0; i < 8; i++) subkeys[i] = key[i];
+    int n = 8;
+    while (n < 52) {
+        int base = n - 8;
+        for (int i = 0; i < 8 && n + i < 52 + 8; i++) {
+            int hi = subkeys[base + ((i + 1) %% 8)];
+            int lo = subkeys[base + ((i + 2) %% 8)];
+            if (n + i < 52) {
+                subkeys[n + i] = ((hi << 9) | (lo >> 7)) & 0xFFFF;
+            }
+        }
+        n += 8;
+    }
+}
+
+void crypt_block(int *x, int *sk) {
+    int x0 = x[0];
+    int x1 = x[1];
+    int x2 = x[2];
+    int x3 = x[3];
+    int k = 0;
+    for (int round = 0; round < %(rounds)d; round++) {
+        x0 = mulmod(x0, sk[k]);
+        x1 = (x1 + sk[k + 1]) & 0xFFFF;
+        x2 = (x2 + sk[k + 2]) & 0xFFFF;
+        x3 = mulmod(x3, sk[k + 3]);
+        int t0 = x0 ^ x2;
+        int t1 = x1 ^ x3;
+        t0 = mulmod(t0, sk[k + 4]);
+        t1 = (t1 + t0) & 0xFFFF;
+        t1 = mulmod(t1, sk[k + 5]);
+        t0 = (t0 + t1) & 0xFFFF;
+        x0 ^= t1;
+        x2 ^= t1;
+        x1 ^= t0;
+        x3 ^= t0;
+        int swap = x1;
+        x1 = x2;
+        x2 = swap;
+        k += 6;
+    }
+    int swap = x1;
+    x1 = x2;
+    x2 = swap;
+    x[0] = mulmod(x0, sk[48]);
+    x[1] = (x1 + sk[49]) & 0xFFFF;
+    x[2] = (x2 + sk[50]) & 0xFFFF;
+    x[3] = mulmod(x3, sk[51]);
+}
+
+int crc_all() {
+    int crc = 0 - 1;
+    for (int i = 0; i < %(words)d; i++) {
+        crc ^= out[i] & 0xFFFF;
+        for (int b = 0; b < 8; b++) {
+            int bit = crc & 1;
+            crc = (crc >> 1) & 0x7FFFFFFF;
+            if (bit) crc ^= 0x%(poly)X;
+        }
+    }
+    return crc;
+}
+
+int finish() {
+    int chk = crc_all();
+    for (int i = 0; i < %(words)d; i += 5)
+        chk = chk * 31 + out[i];
+    return chk;
+}
+""" % {"words": N_BLOCKS * 4, "rounds": ROUNDS, "poly": CRC_POLY}
+
+_ENC_MAIN = """
+int block[4];
+
+int main() {
+    expand_key();
+    for (int b = 0; b < %(blocks)d; b++) {
+        for (int i = 0; i < 4; i++) block[i] = message[b * 4 + i];
+        crypt_block(block, subkeys);
+        for (int i = 0; i < 4; i++) out[b * 4 + i] = block[i];
+    }
+    return finish();
+}
+""" % {"blocks": N_BLOCKS}
+
+_DEC_MAIN = """
+int invkeys[52];
+int block[4];
+
+int mulinv(int x) {
+    if (x <= 1) return x;
+    int t1 = 1;
+    int t0 = 0;
+    int y = 0x10001;
+    int x1 = x;
+    while (x1 != 1) {
+        int q = y / x1;
+        int r = y - q * x1;
+        y = x1;
+        x1 = r;
+        int t = t0 - q * t1;
+        t0 = t1;
+        t1 = t;
+    }
+    return t1 & 0xFFFF;
+}
+
+void invert_keys() {
+    for (int r = 0; r < %(rounds)d; r++) {
+        int srct = 6 * (%(rounds)d - r);
+        int dst = 6 * r;
+        invkeys[dst] = mulinv(subkeys[srct]);
+        invkeys[dst + 3] = mulinv(subkeys[srct + 3]);
+        if (r == 0) {
+            invkeys[dst + 1] = (0 - subkeys[srct + 1]) & 0xFFFF;
+            invkeys[dst + 2] = (0 - subkeys[srct + 2]) & 0xFFFF;
+        } else {
+            invkeys[dst + 1] = (0 - subkeys[srct + 2]) & 0xFFFF;
+            invkeys[dst + 2] = (0 - subkeys[srct + 1]) & 0xFFFF;
+        }
+        int src = 6 * (%(rounds)d - 1 - r) + 4;
+        invkeys[dst + 4] = subkeys[src];
+        invkeys[dst + 5] = subkeys[src + 1];
+    }
+    invkeys[48] = mulinv(subkeys[0]);
+    invkeys[49] = (0 - subkeys[1]) & 0xFFFF;
+    invkeys[50] = (0 - subkeys[2]) & 0xFFFF;
+    invkeys[51] = mulinv(subkeys[3]);
+}
+
+int main() {
+    expand_key();
+    invert_keys();
+    for (int b = 0; b < %(blocks)d; b++) {
+        for (int i = 0; i < 4; i++) block[i] = cipher[b * 4 + i];
+        crypt_block(block, invkeys);
+        for (int i = 0; i < 4; i++) out[b * 4 + i] = block[i];
+    }
+    return finish();
+}
+""" % {"blocks": N_BLOCKS, "rounds": ROUNDS}
+
+
+@register("pgp_enc")
+def pgp_enc() -> Benchmark:
+    plain = message_words(N_BLOCKS * 4)
+    source = "\n".join([
+        mkc_array("key", KEY),
+        mkc_array("message", plain),
+        _CIPHER_COMMON,
+        _ENC_MAIN,
+    ])
+
+    def reference() -> int:
+        return _enc_reference(plain)
+
+    return Benchmark("pgp_enc", "PGP-style encryptor (IDEA + CRC)",
+                     source, reference)
+
+
+@register("pgp_dec")
+def pgp_dec() -> Benchmark:
+    plain = message_words(N_BLOCKS * 4)
+    sk = _expand_key_py(KEY)
+    cipher: list[int] = []
+    for b in range(N_BLOCKS):
+        cipher.extend(_encrypt_block_py(plain[b * 4:(b + 1) * 4], sk))
+    source = "\n".join([
+        mkc_array("key", KEY),
+        mkc_array("cipher", cipher),
+        _CIPHER_COMMON,
+        _DEC_MAIN,
+    ])
+
+    def reference() -> int:
+        return _dec_reference(cipher)
+
+    return Benchmark("pgp_dec", "PGP-style decryptor (IDEA inverse keys + CRC)",
+                     source, reference)

@@ -1,0 +1,103 @@
+"""Shared infrastructure for the table/figure regeneration harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.bench import benchmark
+from repro.pipeline import (
+    Compiled,
+    SimulationOutcome,
+    compile_aggressive,
+    compile_traditional,
+    run_compiled,
+    with_buffer,
+)
+
+#: buffer sizes swept in Figure 7 (operations)
+FIG7_SIZES = (16, 32, 64, 128, 256, 512, 1024, 2048)
+
+#: the headline configuration (Sections 1 and 7)
+HEADLINE_CAPACITY = 256
+
+
+@lru_cache(maxsize=None)
+def compiled_base(name: str, pipeline: str) -> Compiled:
+    """Compile a benchmark once per pipeline, without buffer assignment
+    (``with_buffer`` retargets it per capacity)."""
+    bench = benchmark(name)
+    module = bench.build()
+    if pipeline == "aggressive":
+        return compile_aggressive(module, buffer_capacity=None)
+    if pipeline == "traditional":
+        return compile_traditional(module, buffer_capacity=None)
+    raise ValueError(f"unknown pipeline {pipeline!r}")
+
+
+@lru_cache(maxsize=None)
+def run_at_capacity(name: str, pipeline: str, capacity: int | None) -> "RunSummary":
+    """Compile (cached), retarget at ``capacity``, simulate, summarize."""
+    base = compiled_base(name, pipeline)
+    compiled = with_buffer(base, capacity)
+    outcome = run_compiled(compiled)
+    expected = benchmark(name).expected()
+    if outcome.result.value != expected:
+        raise AssertionError(
+            f"{name}/{pipeline}@{capacity}: checksum "
+            f"{outcome.result.value} != expected {expected}"
+        )
+    return RunSummary(
+        name=name,
+        pipeline=pipeline,
+        capacity=capacity,
+        cycles=outcome.counters.cycles,
+        bundles=outcome.counters.bundles,
+        ops_issued=outcome.counters.ops_issued,
+        ops_from_buffer=outcome.counters.ops_from_buffer,
+        ops_from_memory=outcome.counters.ops_from_memory,
+        static_ops=compiled.static_ops,
+        branch_bubbles=outcome.counters.branch_bubbles,
+    )
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    name: str
+    pipeline: str
+    capacity: int | None
+    cycles: int
+    bundles: int
+    ops_issued: int
+    ops_from_buffer: int
+    ops_from_memory: int
+    static_ops: int
+    branch_bubbles: int
+
+    @property
+    def buffer_fraction(self) -> float:
+        if self.ops_issued == 0:
+            return 0.0
+        return self.ops_from_buffer / self.ops_issued
+
+
+def format_table(headers: list[str], rows: list[list], title: str = "") -> str:
+    widths = [len(h) for h in headers]
+    rendered = [[_fmt(cell) for cell in row] for row in rows]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)

@@ -1,0 +1,112 @@
+"""Figure 3 — media application predication characteristics.
+
+Three cumulative distributions over the aggressive-compiled benchmark
+suite: (a) consumers per predicate define, (b) predicate live-range
+duration, (c) simultaneously-live predicates per predicated loop (dynamic,
+iteration-weighted), plus the Section 4.3 predicate-sensitivity fractions
+(paper: 21.5% of dynamic ops in predicated loops are sensitive; 4
+predicates cover 99% of dynamic loop iterations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bench import benchmark_names
+from repro.ir.opcodes import Opcode
+from repro.predication.stats import PredicationStats, collect_module_stats
+
+from .common import compiled_base, format_table
+
+
+@dataclass
+class Fig3Result:
+    stats: PredicationStats
+    consumers_static: dict[int, float] = field(default_factory=dict)
+    consumers_dynamic: dict[int, float] = field(default_factory=dict)
+    duration_static: dict[int, float] = field(default_factory=dict)
+    duration_dynamic: dict[int, float] = field(default_factory=dict)
+    overlap_dynamic: dict[int, float] = field(default_factory=dict)
+    predicates_for_99pct: int = 0
+    sensitive_fraction_loops: float = 0.0
+    predicated_loops: int = 0
+    modulo_candidate_loops: int = 0
+
+
+def run(names: list[str] | None = None) -> Fig3Result:
+    names = names or benchmark_names()
+    merged = PredicationStats()
+    sensitive_ops = 0
+    total_ops = 0
+    candidates = 0
+    for name in names:
+        compiled = compiled_base(name, "aggressive")
+        stats = collect_module_stats(compiled.module, compiled.profile)
+        merged.defines.extend(stats.defines)
+        merged.loops.extend(stats.loops)
+        candidates += len(compiled.modulo)
+        for func in compiled.module.functions.values():
+            for block in func.blocks:
+                term = block.terminator
+                if term is None or term.target != block.label:
+                    continue
+                for op in block.ops:
+                    if op.opcode == Opcode.NOP:
+                        continue
+                    weight = compiled.profile.op_count(func.name, op.uid)
+                    total_ops += weight
+                    if op.guard is not None:
+                        sensitive_ops += weight
+
+    result = Fig3Result(stats=merged)
+    result.consumers_static = merged.consumers_cdf(dynamic=False)
+    result.consumers_dynamic = merged.consumers_cdf(dynamic=True)
+    result.duration_static = merged.duration_cdf(dynamic=False)
+    result.duration_dynamic = merged.duration_cdf(dynamic=True)
+    result.overlap_dynamic = merged.overlap_cdf(dynamic=True)
+    result.predicates_for_99pct = merged.predicates_covering(0.99)
+    result.sensitive_fraction_loops = (
+        sensitive_ops / total_ops if total_ops else 0.0
+    )
+    result.predicated_loops = len([lp for lp in merged.loops if lp.max_live])
+    result.modulo_candidate_loops = candidates
+    return result
+
+
+def report(result: Fig3Result) -> str:
+    parts = []
+    rows = [[k, v] for k, v in sorted(result.consumers_dynamic.items())]
+    parts.append(format_table(
+        ["consumers", "cum. fraction (dyn)"], rows,
+        "Figure 3(a): consumers per predicate define"))
+    rows = [[k, v] for k, v in sorted(result.duration_dynamic.items())][:12]
+    parts.append(format_table(
+        ["duration (ops)", "cum. fraction (dyn)"], rows,
+        "Figure 3(b): predicate live-range duration"))
+    rows = [[k, v] for k, v in sorted(result.overlap_dynamic.items())]
+    parts.append(format_table(
+        ["simultaneously live", "cum. fraction (dyn iters)"], rows,
+        "Figure 3(c): live-range overlap by loop"))
+    parts.append(
+        f"predicates covering 99% of dynamic loop iterations: "
+        f"{result.predicates_for_99pct} (paper: 4)"
+    )
+    parts.append(
+        f"dynamic op fraction sensitive to predicates in loops: "
+        f"{result.sensitive_fraction_loops:.1%} (paper: 21.5% in predicated "
+        f"loops / 9.9% in bufferable loops)"
+    )
+    parts.append(
+        f"predicated loops: {result.predicated_loops}; "
+        f"modulo-scheduled loop candidates: {result.modulo_candidate_loops} "
+        f"(paper: 122 of 564)"
+    )
+    return "\n\n".join(parts)
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(report(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

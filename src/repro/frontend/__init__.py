@@ -1,0 +1,18 @@
+"""MKC ("media kernel C") frontend: the language the benchmark programs
+are written in.  See :mod:`repro.frontend.lower` for lowering conventions."""
+
+from .lexer import LexError, Token, tokenize
+from .lower import INTRINSICS, LowerError, compile_source, lower_program
+from .parser import ParseError, parse
+
+__all__ = [
+    "INTRINSICS",
+    "LexError",
+    "LowerError",
+    "ParseError",
+    "Token",
+    "compile_source",
+    "lower_program",
+    "parse",
+    "tokenize",
+]

@@ -1,0 +1,169 @@
+"""Abstract syntax tree for MKC."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+# -- expressions ------------------------------------------------------------------
+
+
+@dataclass
+class IntLit:
+    value: int
+
+
+@dataclass
+class Name:
+    ident: str
+
+
+@dataclass
+class Index:
+    base: "Expr"
+    index: "Expr"
+
+
+@dataclass
+class Unary:
+    op: str           # "-", "!", "~"
+    operand: "Expr"
+
+
+@dataclass
+class Binary:
+    op: str           # arithmetic/comparison/bitwise; no short-circuit here
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass
+class Logical:
+    op: str           # "&&" or "||": short-circuit semantics
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass
+class Ternary:
+    cond: "Expr"
+    then: "Expr"
+    other: "Expr"
+
+
+@dataclass
+class Call:
+    callee: str
+    args: list["Expr"]
+
+
+@dataclass
+class IncDec:
+    """``x++`` / ``--x`` used as an expression; value semantics follow C."""
+
+    target: "Expr"    # Name or Index
+    op: str           # "++" or "--"
+    prefix: bool
+
+
+Expr = (IntLit | Name | Index | Unary | Binary | Logical | Ternary | Call
+        | IncDec)
+
+
+# -- statements ---------------------------------------------------------------------
+
+
+@dataclass
+class Declare:
+    name: str
+    size: int | None           # None: scalar; int: local array of words
+    init: Expr | None
+    init_list: list[int] | None = None
+
+
+@dataclass
+class Assign:
+    target: Expr               # Name or Index
+    op: str                    # "=", "+=", ...
+    value: Expr
+
+
+@dataclass
+class ExprStmt:
+    expr: Expr
+
+
+@dataclass
+class If:
+    cond: Expr
+    then: list["Stmt"]
+    other: list["Stmt"] = field(default_factory=list)
+
+
+@dataclass
+class While:
+    cond: Expr
+    body: list["Stmt"]
+
+
+@dataclass
+class DoWhile:
+    body: list["Stmt"]
+    cond: Expr
+
+
+@dataclass
+class For:
+    init: "Stmt | None"
+    cond: Expr | None
+    update: "Stmt | None"
+    body: list["Stmt"]
+
+
+@dataclass
+class Return:
+    value: Expr | None
+
+
+@dataclass
+class Break:
+    pass
+
+
+@dataclass
+class Continue:
+    pass
+
+
+Stmt = (Declare | Assign | ExprStmt | If | While | DoWhile | For | Return
+        | Break | Continue)
+
+
+# -- top level --------------------------------------------------------------------------
+
+
+@dataclass
+class Param:
+    name: str
+    pointer: bool = False      # "int *p": an address-valued int
+
+
+@dataclass
+class FunctionDef:
+    name: str
+    params: list[Param]
+    body: list[Stmt]
+    returns_value: bool
+
+
+@dataclass
+class GlobalArray:
+    name: str
+    size: int
+    init: list[int] = field(default_factory=list)
+
+
+@dataclass
+class ProgramAST:
+    globals: list[GlobalArray] = field(default_factory=list)
+    functions: list[FunctionDef] = field(default_factory=list)

@@ -1,0 +1,121 @@
+"""Lexer for MKC ("media kernel C"), the benchmark source language.
+
+MKC is the C subset the paper's benchmarks actually need: ``int`` scalars
+and word arrays, functions, the full statement/expression core, and the
+DSP intrinsics (saturating arithmetic, clip, abs, min/max) that IMPACT
+provides through intrinsic emulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+KEYWORDS = {
+    "int", "void", "if", "else", "while", "do", "for", "return",
+    "break", "continue",
+}
+
+#: multi-character operators, longest first
+_OPERATORS = [
+    "<<=", ">>=",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "~", "&", "|", "^",
+    "(", ")", "{", "}", "[", "]", ";", ",", "?", ":",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str        # "int_lit" | "ident" | "keyword" | "op" | "eof"
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"{self.kind}({self.text!r})@{self.line}:{self.column}"
+
+
+class LexError(Exception):
+    pass
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize MKC source; raises :class:`LexError` on bad input."""
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def error(message: str) -> LexError:
+        return LexError(f"line {line}:{col}: {message}")
+
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise error("unterminated comment")
+            skipped = source[i:end + 2]
+            line += skipped.count("\n")
+            if "\n" in skipped:
+                col = len(skipped) - skipped.rfind("\n")
+            else:
+                col += len(skipped)
+            i = end + 2
+            continue
+        if ch.isdigit():
+            start = i
+            if source.startswith(("0x", "0X"), i):
+                i += 2
+                while i < n and source[i] in "0123456789abcdefABCDEF":
+                    i += 1
+                if i == start + 2:
+                    raise error("malformed hex literal")
+            else:
+                while i < n and source[i].isdigit():
+                    i += 1
+            text = source[start:i]
+            tokens.append(Token("int_lit", text, line, col))
+            col += i - start
+            continue
+        if ch == "'":
+            if i + 2 < n and source[i + 2] == "'" and source[i + 1] != "\\":
+                tokens.append(Token("int_lit", str(ord(source[i + 1])), line, col))
+                i += 3
+                col += 3
+                continue
+            raise error("malformed character literal")
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            text = source[start:i]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line, col))
+            col += i - start
+            continue
+        for op in _OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token("op", op, line, col))
+                i += len(op)
+                col += len(op)
+                break
+        else:
+            raise error(f"unexpected character {ch!r}")
+    tokens.append(Token("eof", "", line, col))
+    return tokens

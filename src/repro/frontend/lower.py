@@ -1,0 +1,473 @@
+"""AST -> IR lowering for MKC.
+
+Lowering conventions chosen to produce the canonical loop shapes the rest
+of the compiler recognizes:
+
+* ``for``/``while`` loops are emitted bottom-tested with a preheader
+  guard: ``init; br !cond exit; header: body; update; br cond header`` —
+  exactly the counted-loop pattern :func:`repro.analysis.loops.analyze_trip_count`
+  matches;
+* ``&&``/``||`` over *pure* operands lower to parallel bitwise evaluation
+  (DSP-compiler style, keeping CFGs simple); impure operands get genuine
+  short-circuit control flow;
+* pure ternaries lower to ``select``; impure ones to a diamond;
+* local arrays live in the frame (word-addressed), globals at their
+  loader-assigned base; pointer parameters are address-valued ints, so
+  ``p[i]`` is a word load at ``p + i``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.builder import IRBuilder
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.opcodes import Opcode
+from repro.ir.registers import GlobalRef, Imm, Operand, VReg
+
+from . import ast
+
+
+class LowerError(Exception):
+    pass
+
+
+_BINOPS = {
+    "+": Opcode.ADD, "-": Opcode.SUB, "*": Opcode.MUL, "/": Opcode.DIV,
+    "%": Opcode.REM, "&": Opcode.AND, "|": Opcode.OR, "^": Opcode.XOR,
+    "<<": Opcode.SHL, ">>": Opcode.SAR,
+}
+_CMPOPS = {"==": "eq", "!=": "ne", "<": "lt", "<=": "le",
+           ">": "gt", ">=": "ge"}
+_INVERSE = {"eq": "ne", "ne": "eq", "lt": "ge", "ge": "lt",
+            "le": "gt", "gt": "le"}
+
+INTRINSICS = {
+    "__sat_add": (Opcode.SADD, 2),
+    "__sat_sub": (Opcode.SSUB, 2),
+    "__sat": (Opcode.SAT, 2),
+    "__clip": (Opcode.CLIP, 3),
+    "__abs": (Opcode.ABS, 1),
+    "__min": (Opcode.MIN, 2),
+    "__max": (Opcode.MAX, 2),
+    "__mulh": (Opcode.MULH, 2),
+}
+
+
+@dataclass
+class _Scalar:
+    reg: VReg
+
+
+@dataclass
+class _Array:
+    global_name: str | None = None
+    frame_offset: int | None = None
+
+
+@dataclass
+class _LoopContext:
+    continue_target: str
+    break_target: str
+
+
+class _FunctionLowerer:
+    def __init__(self, module: Module, fdef: ast.FunctionDef,
+                 known_functions: set[str]) -> None:
+        self.module = module
+        self.fdef = fdef
+        self.known = known_functions
+        params = []
+        self.func = Function(fdef.name)
+        self.scopes: list[dict[str, _Scalar | _Array]] = [{}]
+        for param in fdef.params:
+            reg = self.func.new_reg()
+            params.append(reg)
+            self._declare(param.name, _Scalar(reg))
+        self.func.params = params
+        self.builder = IRBuilder(self.func, self.func.add_block("entry"))
+        self.loop_stack: list[_LoopContext] = []
+        self._terminated = False
+
+    # -- scopes --------------------------------------------------------------------
+
+    def _declare(self, name: str, binding) -> None:
+        if name in self.scopes[-1]:
+            raise LowerError(f"{self.fdef.name}: duplicate variable {name!r}")
+        self.scopes[-1][name] = binding
+
+    def _lookup(self, name: str):
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return scope[name]
+        if name in self.module.globals:
+            return _Array(global_name=name)
+        raise LowerError(f"{self.fdef.name}: undefined variable {name!r}")
+
+    # -- driver ---------------------------------------------------------------------
+
+    def lower(self) -> Function:
+        self._lower_statements(self.fdef.body)
+        if not self._terminated:
+            self.builder.ret(Imm(0) if self.fdef.returns_value else None)
+        self.module.add_function(self.func)
+        return self.func
+
+    def _lower_statements(self, stmts) -> None:
+        for stmt in stmts:
+            if self._terminated:
+                return  # unreachable code after return/break/continue
+            self._lower_statement(stmt)
+
+    def _start_block(self, label: str) -> None:
+        self.builder.at(self.func.add_block(label))
+        self._terminated = False
+
+    # -- statements --------------------------------------------------------------------
+
+    def _lower_statement(self, stmt) -> None:  # noqa: C901
+        b = self.builder
+        if isinstance(stmt, ast.Declare):
+            self._lower_declare(stmt)
+        elif isinstance(stmt, ast.Assign):
+            self._lower_assign(stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._value(stmt.expr, want_value=False)
+        elif isinstance(stmt, ast.If):
+            self._lower_if(stmt)
+        elif isinstance(stmt, ast.While):
+            self._lower_loop(init=None, cond=stmt.cond, update=None,
+                             body=stmt.body, pretest=True)
+        elif isinstance(stmt, ast.DoWhile):
+            self._lower_loop(init=None, cond=stmt.cond, update=None,
+                             body=stmt.body, pretest=False)
+        elif isinstance(stmt, ast.For):
+            if stmt.init is not None:
+                self.scopes.append({})
+                self._lower_statement(stmt.init)
+                self._lower_loop(None, stmt.cond, stmt.update, stmt.body,
+                                 pretest=True)
+                self.scopes.pop()
+            else:
+                self._lower_loop(None, stmt.cond, stmt.update, stmt.body,
+                                 pretest=True)
+        elif isinstance(stmt, ast.Return):
+            value = self._value(stmt.value) if stmt.value is not None else None
+            b.ret(value)
+            self._terminated = True
+        elif isinstance(stmt, ast.Break):
+            if not self.loop_stack:
+                raise LowerError(f"{self.fdef.name}: break outside loop")
+            b.jump(self.loop_stack[-1].break_target)
+            self._terminated = True
+        elif isinstance(stmt, ast.Continue):
+            if not self.loop_stack:
+                raise LowerError(f"{self.fdef.name}: continue outside loop")
+            b.jump(self.loop_stack[-1].continue_target)
+            self._terminated = True
+        else:
+            raise LowerError(f"unhandled statement {stmt!r}")
+
+    def _lower_declare(self, stmt: ast.Declare) -> None:
+        if stmt.size is None:
+            reg = self.func.new_reg()
+            self._declare(stmt.name, _Scalar(reg))
+            if stmt.init is not None:
+                self.builder.mov(self._value(stmt.init), dest=reg)
+            return
+        if self.func.frame_base is None:
+            self.func.frame_base = self.func.new_reg()
+        offset = self.func.frame_words
+        self.func.frame_words += stmt.size
+        self._declare(stmt.name, _Array(frame_offset=offset))
+        if stmt.init_list:
+            for i, value in enumerate(stmt.init_list):
+                self.builder.store(self.func.frame_base,
+                                   offset + i, Imm(value))
+
+    def _lower_assign(self, stmt: ast.Assign) -> None:
+        b = self.builder
+        if isinstance(stmt.target, ast.Name):
+            binding = self._lookup(stmt.target.ident)
+            if not isinstance(binding, _Scalar):
+                raise LowerError(
+                    f"{self.fdef.name}: cannot assign to array "
+                    f"{stmt.target.ident!r}"
+                )
+            if stmt.op == "=":
+                b.mov(self._value(stmt.value), dest=binding.reg)
+            else:
+                opcode = _BINOPS[stmt.op[:-1]]
+                b.emit(opcode, [binding.reg, self._value(stmt.value)],
+                       dest=binding.reg)
+            return
+        # array element
+        base, offset = self._address(stmt.target)
+        if stmt.op == "=":
+            b.store(base, offset, self._value(stmt.value))
+        else:
+            old = b.load(base, offset)
+            opcode = _BINOPS[stmt.op[:-1]]
+            new = b.emit(opcode, [old, self._value(stmt.value)])
+            b.store(base, offset, new)
+
+    def _lower_if(self, stmt: ast.If) -> None:
+        b = self.builder
+        else_label = self.func.new_label("else")
+        end_label = self.func.new_label("endif")
+        self._branch_if_false(stmt.cond,
+                              else_label if stmt.other else end_label)
+        self.scopes.append({})
+        self._lower_statements(stmt.then)
+        self.scopes.pop()
+        then_terminated = self._terminated
+        if stmt.other:
+            if not then_terminated:
+                b.jump(end_label)
+            self._start_block(else_label)
+            self.scopes.append({})
+            self._lower_statements(stmt.other)
+            self.scopes.pop()
+            else_terminated = self._terminated
+            self._start_block(end_label)
+            self._terminated = then_terminated and else_terminated
+            if self._terminated:
+                # both arms returned: endif unreachable but must terminate
+                self.builder.ret(Imm(0) if self.fdef.returns_value else None)
+        else:
+            self._start_block(end_label)
+
+    def _lower_loop(self, init, cond, update, body, pretest: bool) -> None:
+        b = self.builder
+        header = self.func.new_label("loop")
+        latch = self.func.new_label("latch")
+        exit_label = self.func.new_label("endloop")
+
+        if pretest and cond is not None:
+            self._branch_if_false(cond, exit_label)
+        self._start_block(header)
+        self.loop_stack.append(_LoopContext(latch, exit_label))
+        self.scopes.append({})
+        self._lower_statements(body)
+        self.scopes.pop()
+        self.loop_stack.pop()
+        body_terminated = self._terminated
+
+        self._start_block(latch)
+        if update is not None:
+            self._lower_statement(update)
+        if cond is None:
+            b.jump(header)
+        else:
+            self._branch_if_true(cond, header)
+        self._start_block(exit_label)
+
+        # if the body always terminates (e.g. unconditional return) the
+        # latch is only reachable via continue; leave as emitted.
+        _ = body_terminated
+
+    # -- conditions ----------------------------------------------------------------------
+
+    def _branch_if_true(self, cond, target: str) -> None:
+        test, a, c = self._condition(cond)
+        self.builder.br(test, a, c, target)
+
+    def _branch_if_false(self, cond, target: str) -> None:
+        test, a, c = self._condition(cond)
+        self.builder.br(_INVERSE[test], a, c, target)
+
+    def _condition(self, cond) -> tuple[str, Operand, Operand]:
+        """(test, lhs, rhs) for a branch on ``cond``."""
+        if isinstance(cond, ast.Binary) and cond.op in _CMPOPS:
+            return (_CMPOPS[cond.op], self._value(cond.left),
+                    self._value(cond.right))
+        if isinstance(cond, ast.Unary) and cond.op == "!":
+            test, a, c = self._condition(cond.operand)
+            return _INVERSE[test], a, c
+        return "ne", self._value(cond), Imm(0)
+
+    # -- expressions -----------------------------------------------------------------------
+
+    def _is_pure(self, expr) -> bool:
+        if isinstance(expr, (ast.IntLit, ast.Name)):
+            return True
+        if isinstance(expr, ast.Index):
+            return self._is_pure(expr.base) and self._is_pure(expr.index)
+        if isinstance(expr, ast.Unary):
+            return self._is_pure(expr.operand)
+        if isinstance(expr, ast.Binary):
+            # division can trap; keep it out of speculative select arms
+            if expr.op in ("/", "%"):
+                return False
+            return self._is_pure(expr.left) and self._is_pure(expr.right)
+        if isinstance(expr, ast.Logical):
+            return self._is_pure(expr.left) and self._is_pure(expr.right)
+        if isinstance(expr, ast.Ternary):
+            return (self._is_pure(expr.cond) and self._is_pure(expr.then)
+                    and self._is_pure(expr.other))
+        if isinstance(expr, ast.Call):
+            opcode = INTRINSICS.get(expr.callee)
+            return opcode is not None and all(map(self._is_pure, expr.args))
+        return False  # IncDec, user calls
+
+    def _value(self, expr, want_value: bool = True) -> Operand:  # noqa: C901
+        b = self.builder
+        if isinstance(expr, ast.IntLit):
+            return Imm(expr.value)
+        if isinstance(expr, ast.Name):
+            binding = self._lookup(expr.ident)
+            if isinstance(binding, _Scalar):
+                return binding.reg
+            return self._array_base(binding)
+        if isinstance(expr, ast.Index):
+            base, offset = self._address(expr)
+            return b.load(base, offset)
+        if isinstance(expr, ast.Unary):
+            value = self._value(expr.operand)
+            if expr.op == "-":
+                return b.emit(Opcode.NEG, [value])
+            if expr.op == "~":
+                return b.emit(Opcode.NOT, [value])
+            return b.cmp("eq", value, Imm(0))
+        if isinstance(expr, ast.Binary):
+            if expr.op in _CMPOPS:
+                return b.cmp(_CMPOPS[expr.op],
+                             self._value(expr.left), self._value(expr.right))
+            return b.emit(_BINOPS[expr.op],
+                          [self._value(expr.left), self._value(expr.right)])
+        if isinstance(expr, ast.Logical):
+            return self._lower_logical(expr)
+        if isinstance(expr, ast.Ternary):
+            return self._lower_ternary(expr)
+        if isinstance(expr, ast.Call):
+            return self._lower_call(expr, want_value)
+        if isinstance(expr, ast.IncDec):
+            return self._lower_incdec(expr)
+        raise LowerError(f"unhandled expression {expr!r}")
+
+    def _lower_logical(self, expr: ast.Logical) -> Operand:
+        b = self.builder
+        if self._is_pure(expr.right):
+            left = b.cmp("ne", self._value(expr.left), Imm(0))
+            right = b.cmp("ne", self._value(expr.right), Imm(0))
+            opcode = Opcode.AND if expr.op == "&&" else Opcode.OR
+            return b.emit(opcode, [left, right])
+        # genuine short circuit
+        result = self.func.new_reg()
+        skip = self.func.new_label("sc")
+        left = b.cmp("ne", self._value(expr.left), Imm(0))
+        b.mov(left, dest=result)
+        if expr.op == "&&":
+            b.br("eq", left, Imm(0), skip)
+        else:
+            b.br("ne", left, Imm(0), skip)
+        right = b.cmp("ne", self._value(expr.right), Imm(0))
+        b.mov(right, dest=result)
+        self._start_block(skip)
+        return result
+
+    def _lower_ternary(self, expr: ast.Ternary) -> Operand:
+        b = self.builder
+        if self._is_pure(expr.then) and self._is_pure(expr.other):
+            cond = b.cmp(*self._condition_parts(expr.cond))
+            return b.emit(Opcode.SELECT, [cond, self._value(expr.then),
+                                          self._value(expr.other)])
+        result = self.func.new_reg()
+        else_label = self.func.new_label("terne")
+        end_label = self.func.new_label("ternx")
+        self._branch_if_false(expr.cond, else_label)
+        b.mov(self._value(expr.then), dest=result)
+        b.jump(end_label)
+        self._start_block(else_label)
+        b.mov(self._value(expr.other), dest=result)
+        self._start_block(end_label)
+        return result
+
+    def _condition_parts(self, cond):
+        test, a, c = self._condition(cond)
+        return test, a, c
+
+    def _lower_call(self, expr: ast.Call, want_value: bool) -> Operand:
+        b = self.builder
+        intrinsic = INTRINSICS.get(expr.callee)
+        if intrinsic is not None:
+            opcode, arity = intrinsic
+            if len(expr.args) != arity:
+                raise LowerError(
+                    f"{expr.callee} expects {arity} args, got {len(expr.args)}"
+                )
+            return b.emit(opcode, [self._value(a) for a in expr.args])
+        if expr.callee not in self.known:
+            raise LowerError(f"call to unknown function {expr.callee!r}")
+        args = [self._value(a) for a in expr.args]
+        dest = self.func.new_reg() if want_value else self.func.new_reg()
+        b.call(expr.callee, args, dest=dest)
+        return dest
+
+    def _lower_incdec(self, expr: ast.IncDec) -> Operand:
+        b = self.builder
+        delta = Imm(1) if expr.op == "++" else Imm(-1)
+        if isinstance(expr.target, ast.Name):
+            binding = self._lookup(expr.target.ident)
+            if not isinstance(binding, _Scalar):
+                raise LowerError("++/-- target must be scalar or element")
+            old = None
+            if not expr.prefix:
+                old = b.mov(binding.reg)
+            b.add(binding.reg, delta, dest=binding.reg)
+            return binding.reg if expr.prefix else old
+        base, offset = self._address(expr.target)
+        old = b.load(base, offset)
+        new = b.add(old, delta)
+        b.store(base, offset, new)
+        return new if expr.prefix else old
+
+    # -- addressing -------------------------------------------------------------------------
+
+    def _array_base(self, binding: _Array) -> Operand:
+        if binding.global_name is not None:
+            return self.builder.mov(GlobalRef(binding.global_name))
+        assert self.func.frame_base is not None
+        if binding.frame_offset == 0:
+            return self.func.frame_base
+        return self.builder.add(self.func.frame_base,
+                                Imm(binding.frame_offset))
+
+    def _address(self, expr: ast.Index) -> tuple[Operand, Operand]:
+        """(base, offset) operands for a word access."""
+        base_value = self._base_value(expr.base)
+        index = self._value(expr.index)
+        if isinstance(index, Imm):
+            return base_value, index
+        return self.builder.add(base_value, index), Imm(0)
+
+    def _base_value(self, expr) -> Operand:
+        if isinstance(expr, ast.Name):
+            binding = self._lookup(expr.ident)
+            if isinstance(binding, _Scalar):
+                return binding.reg  # pointer-valued int
+            return self._array_base(binding)
+        return self._value(expr)
+
+
+def lower_program(program: ast.ProgramAST, name: str = "module") -> Module:
+    """Lower a parsed MKC program into an IR module."""
+    module = Module(name)
+    for glob in program.globals:
+        module.add_global(glob.name, glob.size, glob.init)
+    known = {f.name for f in program.functions}
+    for fdef in program.functions:
+        _FunctionLowerer(module, fdef, known).lower()
+    return module
+
+
+def compile_source(source: str, name: str = "module") -> Module:
+    """Front door: MKC source text -> verified IR module."""
+    from repro.ir.verify import verify_module
+
+    from .parser import parse
+
+    module = lower_program(parse(source), name)
+    verify_module(module)
+    return module

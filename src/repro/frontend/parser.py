@@ -1,0 +1,360 @@
+"""Recursive-descent parser for MKC."""
+
+from __future__ import annotations
+
+from . import ast
+from .lexer import Token, tokenize
+
+
+class ParseError(Exception):
+    pass
+
+
+#: binary operator precedence (higher binds tighter); && / || handled
+#: separately for short-circuit lowering, ?: lowest.
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+               "<<=", ">>="}
+
+
+class Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing ----------------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind != "eof":
+            self.pos += 1
+        return token
+
+    def check(self, text: str) -> bool:
+        token = self.peek()
+        return token.text == text and token.kind in ("op", "keyword")
+
+    def accept(self, text: str) -> bool:
+        if self.check(text):
+            self.advance()
+            return True
+        return False
+
+    def expect(self, text: str) -> Token:
+        if not self.check(text):
+            token = self.peek()
+            raise ParseError(
+                f"line {token.line}: expected {text!r}, found {token.text!r}"
+            )
+        return self.advance()
+
+    def expect_ident(self) -> str:
+        token = self.peek()
+        if token.kind != "ident":
+            raise ParseError(
+                f"line {token.line}: expected identifier, found {token.text!r}"
+            )
+        return self.advance().text
+
+    # -- top level -----------------------------------------------------------------
+
+    def parse_program(self) -> ast.ProgramAST:
+        program = ast.ProgramAST()
+        while self.peek().kind != "eof":
+            returns_value = self._parse_type()
+            name = self.expect_ident()
+            if self.check("("):
+                program.functions.append(
+                    self._parse_function(name, returns_value)
+                )
+            else:
+                program.globals.append(self._parse_global(name))
+        return program
+
+    def _parse_type(self) -> bool:
+        if self.accept("int"):
+            return True
+        if self.accept("void"):
+            return False
+        token = self.peek()
+        raise ParseError(
+            f"line {token.line}: expected 'int' or 'void', found {token.text!r}"
+        )
+
+    def _parse_global(self, name: str) -> ast.GlobalArray:
+        self.expect("[")
+        size_tok = self.advance()
+        if size_tok.kind != "int_lit":
+            raise ParseError(f"line {size_tok.line}: global size must be constant")
+        size = int(size_tok.text, 0)
+        self.expect("]")
+        init: list[int] = []
+        if self.accept("="):
+            self.expect("{")
+            while not self.check("}"):
+                init.append(self._parse_const_int())
+                if not self.accept(","):
+                    break
+            self.expect("}")
+        self.expect(";")
+        return ast.GlobalArray(name, size, init)
+
+    def _parse_const_int(self) -> int:
+        negative = self.accept("-")
+        token = self.advance()
+        if token.kind != "int_lit":
+            raise ParseError(f"line {token.line}: expected integer constant")
+        value = int(token.text, 0)
+        return -value if negative else value
+
+    def _parse_function(self, name: str, returns_value: bool) -> ast.FunctionDef:
+        self.expect("(")
+        params: list[ast.Param] = []
+        if not self.check(")"):
+            if self.accept("void"):
+                pass
+            else:
+                while True:
+                    self.expect("int")
+                    pointer = self.accept("*")
+                    params.append(ast.Param(self.expect_ident(), pointer))
+                    if not self.accept(","):
+                        break
+        self.expect(")")
+        body = self._parse_block()
+        return ast.FunctionDef(name, params, body, returns_value)
+
+    # -- statements --------------------------------------------------------------------
+
+    def _parse_body(self) -> list[ast.Stmt]:
+        """A braced block or a single statement (loop/if bodies)."""
+        if self.check("{"):
+            return self._parse_block()
+        return [self._parse_statement()]
+
+    def _parse_block(self) -> list[ast.Stmt]:
+        self.expect("{")
+        stmts: list[ast.Stmt] = []
+        while not self.accept("}"):
+            stmts.append(self._parse_statement())
+        return stmts
+
+    def _parse_statement(self) -> ast.Stmt:
+        if self.check("{"):
+            # flatten nested blocks into an If(1){...}? keep simple: an
+            # anonymous block behaves like if(1)
+            return ast.If(ast.IntLit(1), self._parse_block())
+        if self.accept("int"):
+            return self._parse_declaration()
+        if self.accept("if"):
+            return self._parse_if()
+        if self.accept("while"):
+            self.expect("(")
+            cond = self.parse_expression()
+            self.expect(")")
+            return ast.While(cond, self._parse_body())
+        if self.accept("do"):
+            body = self._parse_body()
+            self.expect("while")
+            self.expect("(")
+            cond = self.parse_expression()
+            self.expect(")")
+            self.expect(";")
+            return ast.DoWhile(body, cond)
+        if self.accept("for"):
+            return self._parse_for()
+        if self.accept("return"):
+            value = None
+            if not self.check(";"):
+                value = self.parse_expression()
+            self.expect(";")
+            return ast.Return(value)
+        if self.accept("break"):
+            self.expect(";")
+            return ast.Break()
+        if self.accept("continue"):
+            self.expect(";")
+            return ast.Continue()
+        stmt = self._parse_simple_statement()
+        self.expect(";")
+        return stmt
+
+    def _parse_declaration(self) -> ast.Stmt:
+        name = self.expect_ident()
+        if self.accept("["):
+            size_tok = self.advance()
+            if size_tok.kind != "int_lit":
+                raise ParseError(
+                    f"line {size_tok.line}: local array size must be constant"
+                )
+            self.expect("]")
+            init_list = None
+            if self.accept("="):
+                self.expect("{")
+                init_list = []
+                while not self.check("}"):
+                    init_list.append(self._parse_const_int())
+                    if not self.accept(","):
+                        break
+                self.expect("}")
+            self.expect(";")
+            return ast.Declare(name, int(size_tok.text, 0), None, init_list)
+        init = None
+        if self.accept("="):
+            init = self.parse_expression()
+        self.expect(";")
+        return ast.Declare(name, None, init)
+
+    def _parse_if(self) -> ast.If:
+        self.expect("(")
+        cond = self.parse_expression()
+        self.expect(")")
+        then = self._parse_body()
+        other: list[ast.Stmt] = []
+        if self.accept("else"):
+            if self.accept("if"):
+                other = [self._parse_if()]
+            else:
+                other = self._parse_body()
+        return ast.If(cond, then, other)
+
+    def _parse_for(self) -> ast.For:
+        self.expect("(")
+        init = None
+        if not self.check(";"):
+            if self.accept("int"):
+                init = self._parse_declaration()
+                return self._parse_for_rest(init)
+            init = self._parse_simple_statement()
+        self.expect(";")
+        return self._parse_for_rest(init)
+
+    def _parse_for_rest(self, init) -> ast.For:
+        cond = None
+        if not self.check(";"):
+            cond = self.parse_expression()
+        self.expect(";")
+        update = None
+        if not self.check(")"):
+            update = self._parse_simple_statement()
+        self.expect(")")
+        return ast.For(init, cond, update, self._parse_body())
+
+    def _parse_simple_statement(self) -> ast.Stmt:
+        """Assignment, increment/decrement, or expression statement."""
+        start = self.pos
+        expr = self.parse_expression()
+        token = self.peek()
+        if token.kind == "op" and token.text in _ASSIGN_OPS:
+            self.advance()
+            value = self.parse_expression()
+            if not isinstance(expr, (ast.Name, ast.Index)):
+                raise ParseError(
+                    f"line {token.line}: assignment target must be a "
+                    "variable or array element"
+                )
+            return ast.Assign(expr, token.text, value)
+        return ast.ExprStmt(expr)
+
+    # -- expressions -----------------------------------------------------------------------
+
+    def parse_expression(self) -> ast.Expr:
+        return self._parse_ternary()
+
+    def _parse_ternary(self) -> ast.Expr:
+        cond = self._parse_binary(1)
+        if self.accept("?"):
+            then = self.parse_expression()
+            self.expect(":")
+            other = self._parse_ternary()
+            return ast.Ternary(cond, then, other)
+        return cond
+
+    def _parse_binary(self, min_prec: int) -> ast.Expr:
+        left = self._parse_unary()
+        while True:
+            token = self.peek()
+            prec = _PRECEDENCE.get(token.text) if token.kind == "op" else None
+            if prec is None or prec < min_prec:
+                return left
+            self.advance()
+            right = self._parse_binary(prec + 1)
+            if token.text in ("&&", "||"):
+                left = ast.Logical(token.text, left, right)
+            else:
+                left = ast.Binary(token.text, left, right)
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self.peek()
+        if token.kind == "op" and token.text in ("-", "!", "~"):
+            self.advance()
+            return ast.Unary(token.text, self._parse_unary())
+        if token.kind == "op" and token.text in ("++", "--"):
+            self.advance()
+            target = self._parse_unary()
+            if not isinstance(target, (ast.Name, ast.Index)):
+                raise ParseError(f"line {token.line}: bad ++/-- target")
+            return ast.IncDec(target, token.text, prefix=True)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while True:
+            if self.accept("["):
+                index = self.parse_expression()
+                self.expect("]")
+                expr = ast.Index(expr, index)
+                continue
+            token = self.peek()
+            if token.kind == "op" and token.text in ("++", "--"):
+                if not isinstance(expr, (ast.Name, ast.Index)):
+                    raise ParseError(f"line {token.line}: bad ++/-- target")
+                self.advance()
+                expr = ast.IncDec(expr, token.text, prefix=False)
+                continue
+            return expr
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self.peek()
+        if token.kind == "int_lit":
+            self.advance()
+            return ast.IntLit(int(token.text, 0))
+        if token.kind == "ident":
+            name = self.advance().text
+            if self.accept("("):
+                args: list[ast.Expr] = []
+                if not self.check(")"):
+                    while True:
+                        args.append(self.parse_expression())
+                        if not self.accept(","):
+                            break
+                self.expect(")")
+                return ast.Call(name, args)
+            return ast.Name(name)
+        if self.accept("("):
+            expr = self.parse_expression()
+            self.expect(")")
+            return expr
+        raise ParseError(
+            f"line {token.line}: unexpected token {token.text!r}"
+        )
+
+
+def parse(source: str) -> ast.ProgramAST:
+    """Parse MKC source text into an AST."""
+    return Parser(tokenize(source)).parse_program()

@@ -1,0 +1,75 @@
+"""Core intermediate representation for the repro compiler.
+
+The IR follows the structure of IMPACT's Lcode as the paper describes it:
+register-based operations with optional guard predicates, organized into
+labeled blocks whose layout order defines fallthrough, grouped into
+functions and modules.  Hyperblocks (single-entry predicated regions with
+side exits) are ordinary blocks whose :attr:`~repro.ir.block.BasicBlock.hyperblock`
+flag is set.
+"""
+
+from .block import BasicBlock
+from .builder import IRBuilder
+from .function import Function
+from .module import GlobalData, Module
+from .opcodes import (
+    CMP_TESTS,
+    PTYPES,
+    Opcode,
+    Unit,
+    is_branch,
+    is_conditional_branch,
+    latency_of,
+    unit_of,
+)
+from .operation import Operation
+from .printer import format_function, format_module
+from .registers import (
+    FLOAT,
+    INT,
+    PRED,
+    FImm,
+    GlobalRef,
+    Imm,
+    Label,
+    Operand,
+    VReg,
+    freg,
+    ireg,
+    preg,
+)
+from .verify import VerificationError, verify_function, verify_module
+
+__all__ = [
+    "BasicBlock",
+    "CMP_TESTS",
+    "FImm",
+    "FLOAT",
+    "Function",
+    "GlobalData",
+    "GlobalRef",
+    "INT",
+    "IRBuilder",
+    "Imm",
+    "Label",
+    "Module",
+    "Opcode",
+    "Operand",
+    "Operation",
+    "PRED",
+    "PTYPES",
+    "Unit",
+    "VReg",
+    "VerificationError",
+    "format_function",
+    "format_module",
+    "freg",
+    "ireg",
+    "is_branch",
+    "is_conditional_branch",
+    "latency_of",
+    "preg",
+    "unit_of",
+    "verify_function",
+    "verify_module",
+]

@@ -1,0 +1,183 @@
+"""Opcode definitions and static metadata for the repro IR.
+
+Each opcode carries the metadata the rest of the compiler needs:
+
+* which functional-unit class executes it (:data:`UNIT`);
+* its result latency in cycles (:data:`LATENCY`, Section 7 of the paper:
+  arithmetic 1, multiplies 2, divides 8, loads 3, floating point 2);
+* structural properties (branch? memory? has side effects? speculable?).
+
+The instruction set is deliberately DSP-flavoured: it includes the
+saturating arithmetic, clip, abs and min/max operations that the paper
+notes are provided through "intrinsic emulation support" in the IMPACT
+environment, since MediaBench-style codecs lean on them heavily.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class Unit(str, Enum):
+    """Functional-unit classes of the modeled 8-wide VLIW (Figure 6)."""
+
+    IALU = "ialu"
+    IMUL = "imul"      # integer multiply / divide (shares slots with FPU)
+    FPU = "fpu"
+    MEM = "mem"
+    BRANCH = "branch"
+    PRED = "pred"      # predicate-generating unit
+
+
+class Opcode(str, Enum):
+    # -- integer arithmetic (IALU, latency 1) --
+    ADD = "add"
+    SUB = "sub"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    SHR = "shr"        # logical shift right
+    SAR = "sar"        # arithmetic shift right
+    NEG = "neg"
+    NOT = "not"
+    MOV = "mov"
+    MIN = "min"
+    MAX = "max"
+    ABS = "abs"
+    SADD = "sadd"      # saturating add (signed 16-bit result range)
+    SSUB = "ssub"      # saturating subtract (signed 16-bit result range)
+    SAT = "sat"        # saturate src0 to signed src1-bit range
+    CLIP = "clip"      # clamp src0 into [src1, src2]
+    SELECT = "select"  # dest = src1 if src0 != 0 else src2 (cond move pair)
+    CMP = "cmp"        # integer compare writing 0/1; attrs["cmp"] holds test
+
+    # -- integer multiply/divide (IMUL) --
+    MUL = "mul"        # latency 2
+    MULH = "mulh"      # high 32 bits of 64-bit signed product, latency 2
+    DIV = "div"        # latency 8
+    REM = "rem"        # latency 8
+
+    # -- floating point (FPU, latency 2) --
+    FADD = "fadd"
+    FSUB = "fsub"
+    FMUL = "fmul"
+    FDIV = "fdiv"
+    FCMP = "fcmp"      # writes int 0/1; attrs["cmp"]
+    ITOF = "itof"
+    FTOI = "ftoi"
+    FMOV = "fmov"
+
+    # -- memory (MEM) --
+    LD = "ld"          # dest = mem[src0 + src1], latency 3
+    ST = "st"          # mem[src0 + src1] = src2, latency 1
+
+    # -- control (BRANCH) --
+    JUMP = "jump"              # unconditional; attrs["target"]
+    BR = "br"                  # branch if cmp(src0, src1); attrs["cmp","target"]
+    BR_CLOOP = "br_cloop"      # counted loop-back; attrs["target","lc"]
+    BR_WLOOP = "br_wloop"      # while loop-back; attrs["cmp","target"]
+    CLOOP_SET = "cloop_set"    # load hardware loop counter attrs["lc"] = src0
+    CALL = "call"              # attrs["callee"]; srcs = args, dests = rets
+    RET = "ret"                # optional src0 = return value
+
+    # -- loop-buffer management (BRANCH unit, Table 3) --
+    REC_CLOOP = "rec_cloop"    # attrs["buf_addr","num","lc"]; src0 = count
+    REC_WLOOP = "rec_wloop"    # attrs["buf_addr","num"]
+    EXEC_CLOOP = "exec_cloop"  # attrs["buf_addr","num","lc"]; src0 = count
+    EXEC_WLOOP = "exec_wloop"  # attrs["buf_addr","num"]
+
+    # -- predication (PRED) --
+    PRED_DEF = "pred_def"      # attrs["cmp","ptypes"]; dests = predicate regs
+    PRED_SET = "pred_set"      # unconditionally set predicate dest to imm src0
+
+    NOP = "nop"
+
+
+#: Comparison test names usable in attrs["cmp"].
+CMP_TESTS = ("eq", "ne", "lt", "le", "gt", "ge", "ltu", "geu")
+
+#: Predicate-define destination types (Table 2 of the paper).
+PTYPES = ("ut", "uf", "ot", "of", "at", "af", "ct", "cf")
+
+_IALU_OPS = {
+    Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.OR, Opcode.XOR,
+    Opcode.SHL, Opcode.SHR, Opcode.SAR, Opcode.NEG, Opcode.NOT,
+    Opcode.MOV, Opcode.MIN, Opcode.MAX, Opcode.ABS, Opcode.SADD,
+    Opcode.SSUB, Opcode.SAT, Opcode.CLIP, Opcode.SELECT, Opcode.CMP,
+}
+_IMUL_OPS = {Opcode.MUL, Opcode.MULH, Opcode.DIV, Opcode.REM}
+_FPU_OPS = {
+    Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FDIV,
+    Opcode.FCMP, Opcode.ITOF, Opcode.FTOI, Opcode.FMOV,
+}
+_MEM_OPS = {Opcode.LD, Opcode.ST}
+_BRANCH_OPS = {
+    Opcode.JUMP, Opcode.BR, Opcode.BR_CLOOP, Opcode.BR_WLOOP,
+    Opcode.CLOOP_SET, Opcode.CALL, Opcode.RET,
+    Opcode.REC_CLOOP, Opcode.REC_WLOOP, Opcode.EXEC_CLOOP, Opcode.EXEC_WLOOP,
+}
+_PRED_OPS = {Opcode.PRED_DEF, Opcode.PRED_SET}
+
+UNIT: dict[Opcode, Unit] = {}
+for _op in _IALU_OPS:
+    UNIT[_op] = Unit.IALU
+for _op in _IMUL_OPS:
+    UNIT[_op] = Unit.IMUL
+for _op in _FPU_OPS:
+    UNIT[_op] = Unit.FPU
+for _op in _MEM_OPS:
+    UNIT[_op] = Unit.MEM
+for _op in _BRANCH_OPS:
+    UNIT[_op] = Unit.BRANCH
+for _op in _PRED_OPS:
+    UNIT[_op] = Unit.PRED
+UNIT[Opcode.NOP] = Unit.IALU
+
+LATENCY: dict[Opcode, int] = {op: 1 for op in Opcode}
+LATENCY.update({op: 2 for op in (Opcode.MUL, Opcode.MULH)})
+LATENCY.update({op: 8 for op in (Opcode.DIV, Opcode.REM)})
+LATENCY.update({op: 2 for op in _FPU_OPS})
+LATENCY[Opcode.LD] = 3
+
+#: Operations that transfer control (end of a path through a block).
+BRANCHES = {
+    Opcode.JUMP, Opcode.BR, Opcode.BR_CLOOP, Opcode.BR_WLOOP, Opcode.RET,
+}
+
+#: Conditional branches: may fall through as well as take their target.
+CONDITIONAL_BRANCHES = {Opcode.BR, Opcode.BR_CLOOP, Opcode.BR_WLOOP}
+
+#: Operations that may not be speculated (moved above a guarding branch or
+#: have their guard removed by predicate promotion).  Stores and control
+#: transfers are never speculable; everything else has a speculative form in
+#: the modeled architecture (Section 7: "general control speculation is
+#: supported ... except for stores").
+NON_SPECULABLE = {Opcode.ST} | _BRANCH_OPS | {Opcode.PRED_DEF, Opcode.PRED_SET}
+
+#: Operations with side effects beyond their register destinations.
+HAS_SIDE_EFFECTS = {Opcode.ST, Opcode.CALL} | BRANCHES | {
+    Opcode.CLOOP_SET, Opcode.REC_CLOOP, Opcode.REC_WLOOP,
+    Opcode.EXEC_CLOOP, Opcode.EXEC_WLOOP,
+}
+
+#: Potentially trapping operations (need a speculative form when promoted).
+POTENTIALLY_EXCEPTING = {Opcode.LD, Opcode.DIV, Opcode.REM, Opcode.FDIV}
+
+
+def unit_of(op: Opcode) -> Unit:
+    """The functional-unit class that executes ``op``."""
+    return UNIT[op]
+
+
+def latency_of(op: Opcode) -> int:
+    """Result latency of ``op`` in cycles."""
+    return LATENCY[op]
+
+
+def is_branch(op: Opcode) -> bool:
+    return op in BRANCHES
+
+
+def is_conditional_branch(op: Opcode) -> bool:
+    return op in CONDITIONAL_BRANCHES

@@ -1,0 +1,63 @@
+"""Predicate-define semantics (Table 2 of the paper).
+
+A predicate define computes ``cond = cmp(src0, src1)`` under guard ``g`` and
+updates each destination according to its *type*:
+
+========  =====================================================
+type      update rule (``-`` means "leave the register alone")
+========  =====================================================
+``ut``    g & cond      (always written: 0 when g is false)
+``uf``    g & !cond     (always written)
+``ot``    write 1 iff g & cond
+``of``    write 1 iff g & !cond
+``at``    write 0 iff g & !cond
+``af``    write 0 iff g & cond
+``ct``    write cond iff g
+``cf``    write !cond iff g
+========  =====================================================
+
+The unconditional (u) types compute simple conditions; the or (o) types
+accumulate compound conditions such as ``(x < 0) || (x > 3)``; the and (a)
+types accumulate conjunctions; the conditional (c) types behave like a
+guarded move of the condition.  If-conversion needs only the u and o types.
+"""
+
+from __future__ import annotations
+
+
+def pred_update(ptype: str, guard: int, cond: int) -> int | None:
+    """Table 2: the value written to a destination, or ``None`` for no write."""
+    guard = 1 if guard else 0
+    cond = 1 if cond else 0
+    if ptype == "ut":
+        return guard & cond
+    if ptype == "uf":
+        return guard & (cond ^ 1)
+    if ptype == "ot":
+        return 1 if (guard and cond) else None
+    if ptype == "of":
+        return 1 if (guard and not cond) else None
+    if ptype == "at":
+        return 0 if (guard and not cond) else None
+    if ptype == "af":
+        return 0 if (guard and cond) else None
+    if ptype == "ct":
+        return cond if guard else None
+    if ptype == "cf":
+        return (cond ^ 1) if guard else None
+    raise ValueError(f"unknown predicate define type {ptype!r}")
+
+
+def always_writes(ptype: str) -> bool:
+    """True for types that write their destination on every execution."""
+    return ptype in ("ut", "uf")
+
+
+def may_write_one(ptype: str) -> bool:
+    """True for types that can deposit a 1."""
+    return ptype in ("ut", "uf", "ot", "of", "ct", "cf")
+
+
+def may_write_zero(ptype: str) -> bool:
+    """True for types that can deposit a 0."""
+    return ptype in ("ut", "uf", "at", "af", "ct", "cf")

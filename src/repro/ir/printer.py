@@ -1,0 +1,36 @@
+"""Textual dumping of IR for debugging and golden tests."""
+
+from __future__ import annotations
+
+from .function import Function
+from .module import Module
+
+
+def format_function(func: Function, profile=None) -> str:
+    """Render a function as readable text.
+
+    If ``profile`` (a :class:`repro.analysis.profile.Profile`) is given,
+    block execution weights are annotated.
+    """
+    lines = [f"func {func.name}({', '.join(map(repr, func.params))}):"]
+    for block in func.blocks:
+        weight = ""
+        if profile is not None:
+            count = profile.block_count(func.name, block.label)
+            weight = f"    ; weight={count}"
+        mark = " [hyperblock]" if block.hyperblock else ""
+        lines.append(f"  {block.label}:{mark}{weight}")
+        for op in block.ops:
+            lines.append(f"    {op!r}")
+    return "\n".join(lines)
+
+
+def format_module(module: Module, profile=None) -> str:
+    parts = [f"module {module.name}"]
+    for data in module.globals.values():
+        shown = data.init[:8]
+        suffix = ", ..." if len(data.init) > 8 else ""
+        parts.append(f"global {data.name}[{data.size}] = {shown}{suffix}")
+    for func in module.functions.values():
+        parts.append(format_function(func, profile))
+    return "\n\n".join(parts)

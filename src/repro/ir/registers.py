@@ -1,0 +1,118 @@
+"""Operand kinds for the repro IR.
+
+The IR is register based, in the style of IMPACT's Lcode: operations read
+and write *virtual registers* and may be guarded by a *predicate register*.
+Three register classes exist:
+
+``i``
+    32-bit integer registers (the general register file; bound to 64
+    physical registers late in compilation).
+``f``
+    floating-point registers.
+``p``
+    single-bit predicate registers (bound to 8 physical predicates, or to
+    issue-slot standing predicates under the paper's slot-based scheme).
+
+Besides registers, operands can be immediates (:class:`Imm`), code labels
+(:class:`Label`) and references to module globals (:class:`GlobalRef`).
+All operand types are immutable and hashable so they can key dependence
+and liveness sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+INT = "i"
+FLOAT = "f"
+PRED = "p"
+
+_VALID_KINDS = (INT, FLOAT, PRED)
+
+
+@dataclass(frozen=True, slots=True)
+class VReg:
+    """A virtual register: a register class and an index within it."""
+
+    kind: str
+    index: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in _VALID_KINDS:
+            raise ValueError(f"bad register kind {self.kind!r}")
+        if self.index < 0:
+            raise ValueError(f"bad register index {self.index}")
+
+    @property
+    def is_predicate(self) -> bool:
+        return self.kind == PRED
+
+    @property
+    def is_int(self) -> bool:
+        return self.kind == INT
+
+    @property
+    def is_float(self) -> bool:
+        return self.kind == FLOAT
+
+    def __repr__(self) -> str:
+        return f"{self.kind}{self.index}"
+
+
+@dataclass(frozen=True, slots=True)
+class Imm:
+    """An integer immediate operand."""
+
+    value: int
+
+    def __repr__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True, slots=True)
+class FImm:
+    """A floating-point immediate operand."""
+
+    value: float
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True, slots=True)
+class Label:
+    """A reference to a basic-block label (branch target)."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"@{self.name}"
+
+
+@dataclass(frozen=True, slots=True)
+class GlobalRef:
+    """A reference to a module global; evaluates to its base address."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"${self.name}"
+
+
+#: Union type of everything that can appear in an operand position.
+Operand = VReg | Imm | FImm | Label | GlobalRef
+
+
+def ireg(index: int) -> VReg:
+    """Shorthand constructor for an integer register."""
+    return VReg(INT, index)
+
+
+def freg(index: int) -> VReg:
+    """Shorthand constructor for a floating-point register."""
+    return VReg(FLOAT, index)
+
+
+def preg(index: int) -> VReg:
+    """Shorthand constructor for a predicate register."""
+    return VReg(PRED, index)

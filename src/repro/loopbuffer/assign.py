@@ -1,0 +1,228 @@
+"""Compiler-side loop-buffer assignment (the Figure 5 scheduling problem).
+
+"The compiler manages the buffer as a resource, scheduling loop bodies
+into segments of the buffer as required ... the goal of scheduling loops
+into the buffer is to minimize the total number of bundles fetched from
+the global memory.  The compiler must choose locations for each buffered
+loop, such that needed loops will not conflict with each other."
+
+Heuristic implemented (mirroring the paper's Figure 5(d) discussion):
+
+1. Candidate loops are simple loops whose buffer footprint (kernel ops
+   times the MVE expansion factor) fits the buffer.
+2. Candidates are ranked by *buffer benefit* — the dynamic operations they
+   would issue from the buffer (iterations beyond each recording pass,
+   times body size).
+3. Each loop is placed first-fit into free buffer space.  When no gap
+   fits, the loop is placed over the range whose current occupants carry
+   the least benefit — displacement then happens dynamically through
+   re-recording, which the hardware residency table makes cheap.
+4. Ties between cohabitation candidates are broken by *recording
+   overhead* (Figure 5(d): loop "F" stays resident over "E" because its
+   recording overhead, 14 ops vs 12, is larger); with
+   ``overhead_aware=False`` this tie-break is disabled for ablation.
+
+The pass then rewrites the IR: each assigned counted loop's ``cloop_set``
+becomes ``rec_cloop buf_addr, num, count``; other assigned loops get a
+``rec_wloop`` in their preheader.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.cfgview import CFGView
+from repro.analysis.loops import find_loops, is_simple_loop
+from repro.analysis.profile import Profile
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.opcodes import Opcode
+from repro.ir.operation import Operation
+
+
+@dataclass
+class LoopCandidate:
+    func: str
+    header: str
+    ops: int                  # buffer footprint in operations
+    iterations: int           # dynamic iterations (profile)
+    entries: int              # times the loop is entered (recordings lower bound)
+    counted: bool             # ends in br_cloop
+
+    @property
+    def benefit(self) -> int:
+        """Dynamic ops issued from the buffer once resident."""
+        if self.iterations <= 0:
+            return 0
+        recorded = max(self.entries, 1)
+        return max(0, self.iterations - recorded) * self.ops
+
+    @property
+    def recording_overhead(self) -> int:
+        return self.ops
+
+
+@dataclass
+class Assignment:
+    func: str
+    header: str
+    offset: int
+    length: int
+    counted: bool
+
+
+@dataclass
+class AssignmentResult:
+    assigned: list[Assignment] = field(default_factory=list)
+    unassigned: list[str] = field(default_factory=list)
+
+    def lookup(self, func: str, header: str) -> Assignment | None:
+        for a in self.assigned:
+            if a.func == func and a.header == header:
+                return a
+        return None
+
+
+def collect_candidates(
+    module: Module,
+    profile: Profile,
+    capacity: int,
+    footprint: dict[tuple[str, str], int] | None = None,
+) -> list[LoopCandidate]:
+    """Enumerate bufferable loops with their footprints and weights.
+
+    ``footprint`` optionally overrides a loop's op count with its
+    modulo-scheduled, MVE-expanded kernel size.
+    """
+    candidates = []
+    for func in module.functions.values():
+        cfg = CFGView(func)
+        for loop in find_loops(func, cfg):
+            if not is_simple_loop(func, loop):
+                continue
+            block = func.block(loop.header)
+            ops = sum(1 for op in block.ops if op.opcode != Opcode.NOP)
+            if footprint is not None:
+                ops = footprint.get((func.name, loop.header), ops)
+            if ops == 0 or ops > capacity:
+                continue
+            pre = loop.preheader(cfg)
+            iterations = profile.block_count(func.name, loop.header)
+            entries = (profile.edge_count(func.name, pre, loop.header)
+                       if pre is not None else 0)
+            counted = block.terminator is not None and \
+                block.terminator.opcode == Opcode.BR_CLOOP
+            candidates.append(
+                LoopCandidate(func.name, loop.header, ops, iterations,
+                              max(entries, 1 if iterations else 0), counted)
+            )
+    return candidates
+
+
+def assign_buffer(
+    module: Module,
+    profile: Profile,
+    capacity: int = 256,
+    footprint: dict[tuple[str, str], int] | None = None,
+    overhead_aware: bool = True,
+) -> AssignmentResult:
+    """Choose buffer offsets for the module's loops and rewrite the IR."""
+    candidates = collect_candidates(module, profile, capacity, footprint)
+    if overhead_aware:
+        candidates.sort(key=lambda c: (c.benefit, c.recording_overhead),
+                        reverse=True)
+    else:
+        candidates.sort(key=lambda c: c.benefit, reverse=True)
+
+    result = AssignmentResult()
+    placed: list[tuple[Assignment, LoopCandidate]] = []
+
+    for cand in candidates:
+        if cand.benefit <= 0:
+            result.unassigned.append(f"{cand.func}/{cand.header}")
+            continue
+        offset = _first_fit(placed, cand.ops, capacity)
+        if offset is None:
+            offset = _cheapest_overlap(placed, cand.ops, capacity)
+        assignment = Assignment(cand.func, cand.header, offset, cand.ops,
+                                cand.counted)
+        placed.append((assignment, cand))
+        result.assigned.append(assignment)
+
+    _rewrite_ir(module, result)
+    return result
+
+
+def _first_fit(placed, length: int, capacity: int) -> int | None:
+    """Lowest offset whose [offset, offset+length) hits no placed loop."""
+    taken = sorted(
+        (a.offset, a.offset + a.length) for a, _ in placed
+    )
+    offset = 0
+    for start, end in taken:
+        if offset + length <= start:
+            return offset
+        offset = max(offset, end)
+    if offset + length <= capacity:
+        return offset
+    return None
+
+
+def _cheapest_overlap(placed, length: int, capacity: int) -> int:
+    """Offset minimizing the total benefit of overlapped occupants."""
+    best_offset, best_cost = 0, None
+    starts = sorted({0} | {a.offset for a, _ in placed}
+                    | {a.offset + a.length for a, _ in placed})
+    for offset in starts:
+        if offset + length > capacity:
+            continue
+        cost = sum(
+            cand.benefit
+            for a, cand in placed
+            if a.offset < offset + length and offset < a.offset + a.length
+        )
+        if best_cost is None or cost < best_cost:
+            best_offset, best_cost = offset, cost
+    return best_offset
+
+
+def _rewrite_ir(module: Module, result: AssignmentResult) -> None:
+    """Install rec_cloop / rec_wloop operations for assigned loops."""
+    for assignment in result.assigned:
+        func = module.function(assignment.func)
+        cfg = CFGView(func)
+        loop = next(
+            lp for lp in find_loops(func, cfg)
+            if lp.header == assignment.header
+        )
+        pre_label = loop.preheader(cfg)
+        if pre_label is None:
+            continue
+        pre = func.block(pre_label)
+        block = func.block(assignment.header)
+        term = block.terminator
+
+        if assignment.counted and term is not None and \
+                term.opcode == Opcode.BR_CLOOP:
+            lc = term.attrs["lc"]
+            # replace the matching cloop_set with rec_cloop (same count)
+            for i, op in enumerate(pre.ops):
+                if op.opcode == Opcode.CLOOP_SET and op.attrs.get("lc") == lc:
+                    pre.ops[i] = Operation(
+                        Opcode.REC_CLOOP, [], list(op.srcs), op.guard,
+                        {"lc": lc, "buf_addr": assignment.offset,
+                         "num": assignment.length,
+                         "loop": assignment.header},
+                    )
+                    break
+        else:
+            insert_at = len(pre.ops)
+            if pre.terminator is not None:
+                insert_at -= 1
+            pre.insert(
+                insert_at,
+                Operation(Opcode.REC_WLOOP, [], [], None,
+                          {"buf_addr": assignment.offset,
+                           "num": assignment.length,
+                           "loop": assignment.header}),
+            )

@@ -1,0 +1,18 @@
+"""Loop transformations enabling buffering: complete peeling of short
+counted loops, predicated loop collapsing of nests, and counted-loop
+(``br_cloop``) conversion."""
+
+from .cloop import CloopStats, convert_counted_loops
+from .collapse import CollapseStats, collapse_loop, collapse_nested_loops
+from .peel import PeelStats, peel_loop, peel_short_loops
+
+__all__ = [
+    "CloopStats",
+    "CollapseStats",
+    "PeelStats",
+    "collapse_loop",
+    "collapse_nested_loops",
+    "convert_counted_loops",
+    "peel_loop",
+    "peel_short_loops",
+]

@@ -1,0 +1,116 @@
+"""Counted-loop conversion: install ``br_cloop`` loop-back branches.
+
+Section 3 / Figure 2(d): "the loop-back branch is transformed to a special
+counted loop form, eliminating the inductor, and directing instruction
+fetch to fall out of the loop buffer on the last iteration."
+
+A simple loop whose trip count is available at entry gets:
+
+* ``cloop_set <count>`` in its preheader (the hardware loop counter the
+  ``rec_cloop`` buffer operation of Table 3 later takes over);
+* its conditional loop-back branch replaced by ``br_cloop``;
+* collapsed loops (loop-back ``jump`` annotated with ``collapse_total``)
+  are handled too, deleting the now-redundant final-iteration outer-exit
+  branch when the exit target is the layout fall-out block.
+
+The induction increment frequently becomes dead afterwards; run DCE to
+reap it ("eliminating the inductor").
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.analysis.cfgview import CFGView
+from repro.analysis.loops import analyze_trip_count, find_loops
+from repro.ir.function import Function
+from repro.ir.opcodes import Opcode
+from repro.ir.operation import Operation
+from repro.ir.registers import Imm, Operand
+
+
+@dataclass
+class CloopStats:
+    converted: list[str] = field(default_factory=list)
+    rejected: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def loops_converted(self) -> int:
+        return len(self.converted)
+
+
+def convert_counted_loops(func: Function) -> CloopStats:
+    """Convert every eligible simple loop of ``func`` to br_cloop form."""
+    stats = CloopStats()
+    lc_ids = itertools.count()
+    progress = True
+    while progress:
+        progress = False
+        cfg = CFGView(func)
+        loops = find_loops(func, cfg)
+        for loop in sorted(loops, key=lambda lp: -lp.depth):
+            if loop.header in stats.rejected or len(loop.body) != 1:
+                continue
+            block = func.block(loop.header)
+            term = block.terminator
+            if term is None or term.target != loop.header:
+                continue
+            if term.opcode == Opcode.BR_CLOOP:
+                continue  # already converted
+            pre_label = loop.preheader(cfg)
+            if pre_label is None:
+                stats.rejected[loop.header] = "no unique preheader"
+                continue
+
+            if term.opcode == Opcode.JUMP and "collapse_total" in term.attrs:
+                _convert_collapsed(func, block, term, pre_label,
+                                   f"lc{next(lc_ids)}")
+                stats.converted.append(loop.header)
+                progress = True
+                break
+
+            if term.opcode != Opcode.BR or term.guard is not None:
+                stats.rejected[loop.header] = "irregular loop-back branch"
+                continue
+            trip = analyze_trip_count(func, loop, cfg)
+            if trip is None or not trip.runtime_countable:
+                stats.rejected[loop.header] = "count not available at entry"
+                continue
+            count_operand: Operand
+            count_operand = (Imm(trip.count) if trip.count is not None
+                             else trip.bound)
+            _install(func, block, term, pre_label, count_operand,
+                     f"lc{next(lc_ids)}")
+            stats.converted.append(loop.header)
+            progress = True
+            break
+    return stats
+
+
+def _install(func: Function, block, term: Operation, pre_label: str,
+             count: Operand, lc: str) -> None:
+    pre = func.block(pre_label)
+    insert_at = len(pre.ops)
+    if pre.terminator is not None:
+        insert_at -= 1
+    pre.insert(insert_at,
+               Operation(Opcode.CLOOP_SET, [], [count], None, {"lc": lc}))
+    block.ops[-1] = Operation(Opcode.BR_CLOOP, [], [], None,
+                              {"target": block.label, "lc": lc})
+
+
+def _convert_collapsed(func: Function, block, term: Operation,
+                       pre_label: str, lc: str) -> None:
+    """Figure 2(d): collapsed loop with constant total iteration count."""
+    total = term.attrs["collapse_total"]
+    _install(func, block, term, pre_label, Imm(total), lc)
+    # the guarded outer-exit branch is redundant on the final iteration if
+    # its target is exactly where br_cloop falls out (the layout successor)
+    idx = func.blocks.index(block)
+    fall = func.blocks[idx + 1].label if idx + 1 < len(func.blocks) else None
+    for i in range(len(block.ops) - 2, -1, -1):
+        op = block.ops[i]
+        if op.attrs.get("outer_exit") and op.target == fall:
+            del block.ops[i]
+            break

@@ -1,0 +1,99 @@
+"""Complete peeling of short counted inner loops (Figure 1(a)).
+
+Section 3: "Provided that the inner loop contains a reasonable number of
+instructions, it can be eliminated by peeling it completely.  We
+heuristically peel any counted loop of less than six iterations, so long
+as peeling would create less than 36 instructions."
+
+Peeling replaces a single-block counted loop with N straight-line copies
+of its body (the loop-back branch deleted), dissolving the inner level of
+a nest so the outer loop becomes an acyclic region eligible for
+if-conversion and, ultimately, the loop buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.cfgview import CFGView
+from repro.analysis.loops import analyze_trip_count, find_loops
+from repro.ir.function import Function
+from repro.ir.opcodes import Opcode
+
+#: the paper's heuristics
+DEFAULT_MAX_ITERATIONS = 6     # peel loops of *less than* this many iterations
+DEFAULT_MAX_NEW_OPS = 36       # so long as fewer than this many ops appear
+
+
+@dataclass
+class PeelStats:
+    peeled: list[str] = field(default_factory=list)
+    rejected: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def loops_peeled(self) -> int:
+        return len(self.peeled)
+
+
+def peel_loop(func: Function, header: str, count: int) -> None:
+    """Replace the single-block loop at ``header`` with ``count`` copies."""
+    block = func.block(header)
+    term = block.terminator
+    assert term is not None and term.target == header
+    body_ops = block.ops[:-1]
+
+    new_ops = []
+    for iteration in range(count):
+        for op in body_ops:
+            new_ops.append(op if iteration == 0 else op.copy())
+    block.ops = new_ops
+
+
+def peel_short_loops(
+    func: Function,
+    max_iterations: int = DEFAULT_MAX_ITERATIONS,
+    max_new_ops: int = DEFAULT_MAX_NEW_OPS,
+) -> PeelStats:
+    """Peel every eligible counted loop of ``func`` (innermost first)."""
+    stats = PeelStats()
+    progress = True
+    while progress:
+        progress = False
+        cfg = CFGView(func)
+        loops = find_loops(func, cfg)
+        for loop in sorted(loops, key=lambda lp: -lp.depth):
+            if loop.header in stats.rejected:
+                continue
+            if len(loop.body) != 1:
+                stats.rejected[loop.header] = "not a single-block loop"
+                continue
+            block = func.block(loop.header)
+            term = block.terminator
+            if term is None or term.target != loop.header or term.guard is not None:
+                stats.rejected[loop.header] = "irregular loop-back branch"
+                continue
+            if term.opcode != Opcode.BR:
+                stats.rejected[loop.header] = "already counted/collapsed"
+                continue
+            if any(op.target == loop.header for op in block.ops[:-1]):
+                stats.rejected[loop.header] = "multiple loop-back branches"
+                continue
+            trip = analyze_trip_count(func, loop, cfg)
+            if trip is None or trip.count is None:
+                stats.rejected[loop.header] = "trip count unknown"
+                continue
+            if trip.count >= max_iterations:
+                stats.rejected[loop.header] = f"{trip.count} iterations too many"
+                continue
+            new_ops = (trip.count - 1) * (len(block.ops) - 1)
+            if new_ops >= max_new_ops:
+                stats.rejected[loop.header] = f"{new_ops} new ops too many"
+                continue
+            # a side exit inside the body makes copies diverge from the
+            # counted model only if it can re-enter; exits leaving the
+            # function/loop are fine and are preserved in each copy
+            peel_loop(func, loop.header, trip.count)
+            stats.peeled.append(loop.header)
+            progress = True
+            break
+    return stats

@@ -1,0 +1,30 @@
+"""Classic and ILP scalar optimizations.
+
+- :mod:`repro.opt.simplify_cfg` — unreachable-block removal, jump
+  threading, straight-line merging.
+- :mod:`repro.opt.local` — constant folding/propagation, copy propagation,
+  algebraic simplification, local CSE.
+- :mod:`repro.opt.dce` — global predicate-aware dead-code elimination and
+  predication-based partial dead-code removal.
+- :mod:`repro.opt.reassoc` — expression reassociation (height reduction).
+- :mod:`repro.opt.inline` — profile-guided inlining with a static code
+  expansion budget.
+"""
+
+from .dce import eliminate_dead_code, sink_partially_dead
+from .inline import inline_call, inline_module
+from .local import optimize_block, optimize_function
+from .reassoc import reassociate_block, reassociate_function
+from .simplify_cfg import simplify_cfg
+
+__all__ = [
+    "eliminate_dead_code",
+    "inline_call",
+    "inline_module",
+    "optimize_block",
+    "optimize_function",
+    "reassociate_block",
+    "reassociate_function",
+    "simplify_cfg",
+    "sink_partially_dead",
+]

@@ -1,0 +1,129 @@
+"""Global dead-code elimination (predicate-aware liveness based).
+
+Also provides the paper's *partial dead-code removal* flavour
+(Section 3 / Figure 2(d)): an operation whose value is consumed only by
+operations guarded under a single predicate can itself be guarded under
+that predicate, making it dead (nullified) on the executions where its
+result was unused — turning fully-sequential code into parallelizable
+disjoint-predicate code.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.cfgview import CFGView
+from repro.analysis.liveness import liveness, op_unconditional_writes
+from repro.ir.function import Function
+from repro.ir.opcodes import NON_SPECULABLE, Opcode
+from repro.ir.registers import VReg
+
+
+def eliminate_dead_code(func: Function) -> int:
+    """Remove side-effect-free ops whose destinations are all dead.
+
+    Iterates to a fixed point (removing one op can kill its inputs).
+    Returns the number of operations removed.
+    """
+    removed_total = 0
+    while True:
+        removed = _dce_once(func)
+        removed_total += removed
+        if removed == 0:
+            return removed_total
+
+
+def _dce_once(func: Function) -> int:
+    info = liveness(func)
+    removed = 0
+    for block in func.blocks:
+        live = set(info.live_out[block.label])
+        keep: list = []
+        for op in reversed(block.ops):
+            # a mid-block side exit revives whatever is live on its taken
+            # path: kills *below* the branch do not hold on the exit path
+            if op.is_branch and op.target is not None \
+                    and func.has_block(op.target):
+                live |= info.live_in[op.target]
+            removable = (
+                not op.has_side_effects
+                and not op.is_branch
+                and op.opcode != Opcode.NOP
+                and op.dests
+                and all(dst not in live for dst in op.dests)
+            )
+            if op.opcode == Opcode.NOP:
+                removed += 1
+                continue
+            if removable:
+                removed += 1
+                continue
+            keep.append(op)
+            live -= set(op_unconditional_writes(op))
+            live |= set(op.reads())
+        keep.reverse()
+        block.ops = keep
+    return removed
+
+
+def sink_partially_dead(func: Function) -> int:
+    """Partial dead-code removal by predication (block-local).
+
+    If an unguarded, speculation-safe operation's destination is read only
+    by operations all guarded by the same predicate ``p`` (before any
+    unconditional redefinition), guard the defining operation by ``p``.
+    The definition then no longer executes on iterations where ``p`` is
+    false, and disjoint-guard scheduling can overlap it with the ``!p``
+    work (the Figure 2(d) ``mov r2 = 0`` / ``add r2 = r2, 1`` pattern).
+    """
+    changed = 0
+    info = liveness(func)
+    for block in func.blocks:
+        exit_live: set = set()
+        for op in block.ops:
+            if op.is_branch and op.target is not None \
+                    and func.has_block(op.target) and op.target != block.label:
+                exit_live |= info.live_in[op.target]
+        for i, op in enumerate(block.ops):
+            if op.guard is not None or len(op.dests) != 1:
+                continue
+            if op.opcode in NON_SPECULABLE or op.has_side_effects or op.is_branch:
+                continue
+            dest = op.dests[0]
+            if dest.is_predicate or dest in exit_live:
+                continue
+            guard = _sole_consumer_guard(block.ops, i, dest,
+                                         info.live_out[block.label])
+            if guard is not None and guard not in op.dests:
+                defined_after = any(
+                    guard in later.dests for later in block.ops[i + 1:]
+                )
+                defined_before = any(
+                    guard in earlier.dests for earlier in block.ops[:i]
+                )
+                if not defined_after and defined_before:
+                    op.guard = guard
+                    changed += 1
+    return changed
+
+
+def _sole_consumer_guard(ops, def_index, dest: VReg, block_live_out) -> VReg | None:
+    """The unique guard predicate of all consumers of ``dest`` after
+    ``def_index``, or None when consumers vary / dest escapes the block."""
+    guard: VReg | None = None
+    found = False
+    for op in ops[def_index + 1:]:
+        if dest in op.reads():
+            if op.guard is None:
+                return None
+            if guard is None:
+                guard = op.guard
+            elif guard != op.guard:
+                return None
+            found = True
+        if dest in op_unconditional_writes(op):
+            if dest in block_live_out:
+                # the redefinition masks the escape; the value cannot leak
+                pass
+            return guard if found else None
+    if dest in block_live_out:
+        return None  # value escapes the block; must stay unconditional
+    return guard if found else None

@@ -1,0 +1,218 @@
+"""Profile-guided function inlining.
+
+Section 3: "Profiling also directs function inlining, which is performed to
+enhance formation of loop regions, since loop regions in our implementation
+may not contain calls to subroutines.  ... profile-guided inlining was
+performed up to an estimated limit of 50% static code expansion."
+
+Call sites are ranked by dynamic call count (hottest first, with a bonus
+for sites inside loops, which block loop-region formation) and inlined
+until the module grows past the expansion budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.cfgview import CFGView
+from repro.analysis.loops import find_loops
+from repro.analysis.profile import Profile
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.opcodes import Opcode
+from repro.ir.operation import Operation
+from repro.ir.registers import VReg
+
+DEFAULT_EXPANSION_LIMIT = 0.5
+
+
+@dataclass
+class InlineStats:
+    sites_inlined: int = 0
+    ops_added: int = 0
+
+
+@dataclass
+class _Site:
+    caller: str
+    block_label: str
+    op_uid: int
+    callee: str
+    weight: int
+    in_loop: bool
+
+
+def _call_sites(module: Module, profile: Profile) -> list[_Site]:
+    sites: list[_Site] = []
+    for func in module.functions.values():
+        loops = find_loops(func)
+        loop_blocks = set()
+        for loop in loops:
+            loop_blocks |= loop.body
+        for block in func.blocks:
+            for op in block.ops:
+                if op.opcode != Opcode.CALL:
+                    continue
+                sites.append(
+                    _Site(
+                        caller=func.name,
+                        block_label=block.label,
+                        op_uid=op.uid,
+                        callee=op.attrs["callee"],
+                        weight=profile.op_count(func.name, op.uid),
+                        in_loop=block.label in loop_blocks,
+                    )
+                )
+    return sites
+
+
+def _is_recursive(module: Module, callee: str, caller: str) -> bool:
+    """Does ``callee`` (transitively) call ``caller`` or itself?"""
+    seen: set[str] = set()
+    stack = [callee]
+    while stack:
+        name = stack.pop()
+        if name in seen:
+            continue
+        seen.add(name)
+        func = module.functions.get(name)
+        if func is None:
+            continue
+        for op in func.ops():
+            if op.opcode == Opcode.CALL:
+                target = op.attrs["callee"]
+                if target == caller or target == callee:
+                    return True
+                stack.append(target)
+    return False
+
+
+def inline_call(module: Module, caller: Function, block_label: str,
+                call_op: Operation) -> int:
+    """Inline one call site; returns the number of ops added."""
+    callee = module.function(call_op.attrs["callee"])
+    block = caller.block(block_label)
+    call_index = block.ops.index(call_op)
+
+    # fresh registers for every callee register
+    reg_map: dict[VReg, VReg] = {}
+
+    def fresh(reg: VReg) -> VReg:
+        if reg not in reg_map:
+            reg_map[reg] = caller.new_reg(reg.kind)
+        return reg_map[reg]
+
+    # fresh labels for every callee block
+    label_map = {
+        blk.label: caller.new_label(f"inl_{callee.name}_") for blk in callee.blocks
+    }
+    cont_label = caller.new_label("cont")
+
+    # split the call block: [0, call) stays; (call, end] moves to cont block
+    tail_ops = block.ops[call_index + 1:]
+    block.ops = block.ops[:call_index]
+
+    # marshal arguments
+    for param, arg in zip(callee.params, call_op.srcs):
+        block.append(Operation(Opcode.MOV, [fresh(param)], [arg]))
+
+    # frame merging: callee locals live at the end of the caller's frame
+    if callee.frame_words:
+        if caller.frame_base is None:
+            caller.frame_base = caller.new_reg()
+        offset = caller.frame_words
+        caller.frame_words += callee.frame_words
+        if callee.frame_base is not None:
+            from repro.ir.registers import Imm
+
+            block.append(
+                Operation(Opcode.ADD, [fresh(callee.frame_base)],
+                          [caller.frame_base, Imm(offset)])
+            )
+
+    block.append(Operation(Opcode.JUMP, attrs={"target": label_map[callee.entry.label]}))
+
+    # clone callee blocks
+    insert_at = caller.blocks.index(block) + 1
+    added_ops = 0
+    for blk in callee.blocks:
+        clone = caller.add_block(label_map[blk.label], index=insert_at)
+        insert_at += 1
+        for op in blk.ops:
+            new_op = op.copy()
+            new_op.replace_reads(
+                {reg: fresh(reg) for reg in op.reads()}
+            )
+            new_op.replace_writes({reg: fresh(reg) for reg in op.writes()})
+            if new_op.target is not None:
+                new_op.attrs["target"] = label_map[new_op.target]
+            if new_op.opcode == Opcode.RET:
+                if call_op.dests and new_op.srcs:
+                    clone.append(
+                        Operation(Opcode.MOV, [call_op.dests[0]],
+                                  [new_op.srcs[0]], new_op.guard)
+                    )
+                    added_ops += 1
+                clone.append(
+                    Operation(Opcode.JUMP, [], [], new_op.guard,
+                              {"target": cont_label})
+                )
+                added_ops += 1
+                continue
+            clone.append(new_op)
+            added_ops += 1
+        # callee fallthrough between blocks must be preserved explicitly,
+        # because clones may interleave with caller layout
+        if blk.falls_through:
+            idx = callee.blocks.index(blk)
+            if idx + 1 < len(callee.blocks):
+                clone.append(
+                    Operation(Opcode.JUMP,
+                              attrs={"target": label_map[callee.blocks[idx + 1].label]})
+                )
+                added_ops += 1
+
+    # continuation block receives the rest of the original call block
+    cont = caller.add_block(cont_label, index=insert_at)
+    cont.ops = tail_ops
+    caller.sync_reg_counters()
+    return added_ops
+
+
+def inline_module(
+    module: Module,
+    profile: Profile,
+    expansion_limit: float = DEFAULT_EXPANSION_LIMIT,
+) -> InlineStats:
+    """Inline hot call sites until the static-expansion budget is spent."""
+    stats = InlineStats()
+    original_size = module.op_count()
+    budget = int(original_size * expansion_limit)
+
+    while True:
+        sites = _call_sites(module, profile)
+        sites = [
+            s for s in sites
+            if s.weight > 0
+            and s.callee in module.functions
+            and not _is_recursive(module, s.callee, s.caller)
+        ]
+        if not sites:
+            return stats
+        sites.sort(key=lambda s: (s.in_loop, s.weight), reverse=True)
+        progressed = False
+        for site in sites:
+            callee = module.function(site.callee)
+            cost = callee.op_count()
+            if stats.ops_added + cost > budget:
+                continue
+            caller = module.function(site.caller)
+            block = caller.block(site.block_label)
+            call_op = next(op for op in block.ops if op.uid == site.op_uid)
+            added = inline_call(module, caller, site.block_label, call_op)
+            stats.sites_inlined += 1
+            stats.ops_added += added
+            progressed = True
+            break  # re-rank: inlining creates new sites and changes weights
+        if not progressed:
+            return stats

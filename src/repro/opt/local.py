@@ -1,0 +1,283 @@
+"""Block-local optimization: constant folding/propagation, copy propagation,
+algebraic simplification, and common-subexpression elimination by local
+value numbering.
+
+Facts are predicate-aware in the conservative direction: a *guarded* write
+invalidates what we knew about its destination but establishes nothing
+(the write may be nullified at run time).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.ir.block import BasicBlock
+from repro.ir.function import Function
+from repro.ir.opcodes import Opcode
+from repro.ir.operation import Operation
+from repro.ir.registers import Imm, Operand, VReg
+from repro.sim.values import cdiv, compare, crem, saturate, wrap32
+
+_FOLDABLE = {
+    Opcode.ADD: lambda a, b: wrap32(a + b),
+    Opcode.SUB: lambda a, b: wrap32(a - b),
+    Opcode.MUL: lambda a, b: wrap32(a * b),
+    Opcode.MULH: lambda a, b: wrap32((a * b) >> 32),
+    Opcode.AND: lambda a, b: wrap32(a & b),
+    Opcode.OR: lambda a, b: wrap32(a | b),
+    Opcode.XOR: lambda a, b: wrap32(a ^ b),
+    Opcode.SHL: lambda a, b: wrap32(a << (b & 31)),
+    Opcode.SHR: lambda a, b: wrap32((a & 0xFFFFFFFF) >> (b & 31)),
+    Opcode.SAR: lambda a, b: wrap32(a >> (b & 31)),
+    Opcode.MIN: min,
+    Opcode.MAX: max,
+    Opcode.SADD: lambda a, b: saturate(a + b, 16),
+    Opcode.SSUB: lambda a, b: saturate(a - b, 16),
+    Opcode.SAT: lambda a, b: saturate(a, b),
+}
+
+_FOLDABLE_UNARY = {
+    Opcode.NEG: lambda a: wrap32(-a),
+    Opcode.NOT: lambda a: wrap32(~a),
+    Opcode.ABS: lambda a: wrap32(abs(a)),
+}
+
+
+@dataclass
+class LocalOptStats:
+    folded: int = 0
+    copies_propagated: int = 0
+    cse_hits: int = 0
+    branches_folded: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.folded + self.copies_propagated + self.cse_hits + self.branches_folded
+
+
+class _ValueTable:
+    """Local value numbers for registers, constants, and expressions."""
+
+    def __init__(self) -> None:
+        self._fresh = itertools.count()
+        self.reg_vn: dict[VReg, int] = {}
+        self.const_vn: dict[int, int] = {}
+        self.vn_const: dict[int, int] = {}
+        self.vn_reg: dict[int, VReg] = {}  # a register currently holding the vn
+        self.expr: dict[tuple, int] = {}
+        self.mem_version = 0
+
+    def fresh(self) -> int:
+        return next(self._fresh)
+
+    def vn_of(self, operand: Operand) -> int | None:
+        if isinstance(operand, Imm):
+            if operand.value not in self.const_vn:
+                vn = self.fresh()
+                self.const_vn[operand.value] = vn
+                self.vn_const[vn] = operand.value
+            return self.const_vn[operand.value]
+        if isinstance(operand, VReg):
+            if operand not in self.reg_vn:
+                vn = self.fresh()
+                self.reg_vn[operand] = vn
+                # the register itself is the canonical holder of its value
+                self.vn_reg.setdefault(vn, operand)
+            return self.reg_vn[operand]
+        return None
+
+    def const_of(self, operand: Operand) -> int | None:
+        vn = self.vn_of(operand)
+        if vn is None:
+            return None
+        return self.vn_const.get(vn)
+
+    def _drop_holder(self, reg: VReg) -> None:
+        stale = [vn for vn, holder in self.vn_reg.items() if holder == reg]
+        for vn in stale:
+            del self.vn_reg[vn]
+
+    def set_reg(self, reg: VReg, vn: int) -> None:
+        self._drop_holder(reg)
+        self.reg_vn[reg] = vn
+        if vn not in self.vn_reg:
+            self.vn_reg[vn] = reg
+
+    def invalidate_reg(self, reg: VReg) -> None:
+        self._drop_holder(reg)
+        self.reg_vn[reg] = self.fresh()
+
+
+def _attrs_signature(op: Operation) -> tuple:
+    return (op.attrs.get("cmp"),)
+
+
+def optimize_block(block: BasicBlock, func: Function) -> LocalOptStats:
+    """One forward pass of folding / copy-prop / CSE over a block."""
+    stats = LocalOptStats()
+    table = _ValueTable()
+    new_ops: list[Operation] = []
+
+    for op in block.ops:
+        # propagate known constants / copies into sources
+        new_srcs: list[Operand] = []
+        for src in op.srcs:
+            if isinstance(src, VReg):
+                const = table.const_of(src)
+                if const is not None and not src.is_predicate:
+                    new_srcs.append(Imm(const))
+                    stats.copies_propagated += 1
+                    continue
+                vn = table.vn_of(src)
+                holder = table.vn_reg.get(vn)
+                if holder is not None and holder != src and holder.kind == src.kind:
+                    new_srcs.append(holder)
+                    stats.copies_propagated += 1
+                    continue
+            new_srcs.append(src)
+        op.srcs = new_srcs
+
+        op = _try_fold(op, table, stats)
+
+        # branch folding on constant conditions
+        if op.opcode == Opcode.BR and all(isinstance(s, Imm) for s in op.srcs) \
+                and op.guard is None:
+            taken = compare(op.attrs["cmp"], op.srcs[0].value, op.srcs[1].value)
+            stats.branches_folded += 1
+            if taken:
+                new_ops.append(Operation(Opcode.JUMP, attrs={"target": op.target}))
+                break  # everything after an unconditional jump is dead
+            continue  # never taken: drop the branch
+
+        replacement = _update_table(op, table, stats)
+        if replacement is not None:
+            new_ops.append(replacement)
+        if (replacement is not None and replacement.opcode == Opcode.JUMP
+                and replacement.guard is None):
+            break
+
+    block.ops = new_ops
+    return stats
+
+
+def _try_fold(op: Operation, table: _ValueTable, stats: LocalOptStats) -> Operation:
+    """Fold constants and apply algebraic identities; returns the op or a
+    replacement for it."""
+    code = op.opcode
+    consts = [src.value if isinstance(src, Imm) else None for src in op.srcs]
+
+    def as_mov(src: Operand) -> Operation:
+        stats.folded += 1
+        return Operation(Opcode.MOV, list(op.dests), [src], op.guard)
+
+    if code in _FOLDABLE and None not in consts:
+        if code in (Opcode.DIV, Opcode.REM) and consts[1] == 0:
+            return op
+        return as_mov(Imm(_FOLDABLE[code](consts[0], consts[1])))
+    if code in _FOLDABLE_UNARY and consts[0] is not None:
+        return as_mov(Imm(_FOLDABLE_UNARY[code](consts[0])))
+    if code == Opcode.DIV and None not in consts and consts[1] != 0:
+        return as_mov(Imm(wrap32(cdiv(consts[0], consts[1]))))
+    if code == Opcode.REM and None not in consts and consts[1] != 0:
+        return as_mov(Imm(wrap32(crem(consts[0], consts[1]))))
+    if code == Opcode.CMP and None not in consts:
+        return as_mov(Imm(compare(op.attrs["cmp"], consts[0], consts[1])))
+    if code == Opcode.CLIP and None not in consts:
+        return as_mov(Imm(max(consts[1], min(consts[2], consts[0]))))
+    if code == Opcode.SELECT and consts[0] is not None:
+        return as_mov(op.srcs[1] if consts[0] else op.srcs[2])
+
+    # algebraic identities
+    if code == Opcode.ADD:
+        if consts[1] == 0:
+            return as_mov(op.srcs[0])
+        if consts[0] == 0:
+            return as_mov(op.srcs[1])
+    if code == Opcode.SUB and consts[1] == 0:
+        return as_mov(op.srcs[0])
+    if code == Opcode.MUL:
+        if consts[1] == 1:
+            return as_mov(op.srcs[0])
+        if consts[0] == 1:
+            return as_mov(op.srcs[1])
+        if consts[1] == 0 or consts[0] == 0:
+            return as_mov(Imm(0))
+        for i, other in ((1, 0), (0, 1)):
+            value = consts[i]
+            if value is not None and value > 1 and (value & (value - 1)) == 0:
+                stats.folded += 1
+                return Operation(
+                    Opcode.SHL, list(op.dests),
+                    [op.srcs[other], Imm(value.bit_length() - 1)], op.guard,
+                )
+    if code in (Opcode.SHL, Opcode.SHR, Opcode.SAR) and consts[1] == 0:
+        return as_mov(op.srcs[0])
+    if code == Opcode.OR and consts[1] == 0:
+        return as_mov(op.srcs[0])
+    if code == Opcode.AND and consts[1] == 0:
+        return as_mov(Imm(0))
+    if code == Opcode.DIV and consts[1] == 1:
+        return as_mov(op.srcs[0])
+    return op
+
+
+def _update_table(
+    op: Operation, table: _ValueTable, stats: LocalOptStats
+) -> Operation | None:
+    """Record the op's effects; may rewrite it into a MOV on a CSE hit.
+
+    Returns the operation to emit (possibly replaced), or ``None``.
+    """
+    if op.opcode in (Opcode.ST, Opcode.CALL):
+        table.mem_version += 1
+
+    guarded = op.guard is not None
+
+    if op.opcode == Opcode.MOV and not guarded and not op.dests[0].is_predicate:
+        vn = table.vn_of(op.srcs[0])
+        if vn is not None:
+            table.set_reg(op.dests[0], vn)
+            return op
+        table.invalidate_reg(op.dests[0])
+        return op
+
+    cse_ok = (
+        not guarded
+        and len(op.dests) == 1
+        and not op.dests[0].is_predicate
+        and not op.has_side_effects
+        and not op.is_branch
+        and op.opcode not in (Opcode.PRED_DEF, Opcode.PRED_SET, Opcode.NOP)
+    )
+    if cse_ok:
+        vns = tuple(table.vn_of(src) for src in op.srcs)
+        if None not in vns:
+            key = (op.opcode, _attrs_signature(op), vns,
+                   table.mem_version if op.opcode == Opcode.LD else None)
+            hit = table.expr.get(key)
+            if hit is not None and hit in table.vn_reg:
+                stats.cse_hits += 1
+                holder = table.vn_reg[hit]
+                table.set_reg(op.dests[0], hit)
+                return Operation(Opcode.MOV, [op.dests[0]], [holder])
+            vn = table.fresh()
+            table.expr[key] = vn
+            table.set_reg(op.dests[0], vn)
+            return op
+
+    for dst in op.dests:
+        table.invalidate_reg(dst)
+    return op
+
+
+def optimize_function(func: Function) -> LocalOptStats:
+    """Run local optimization over every block of ``func``."""
+    stats = LocalOptStats()
+    for block in func.blocks:
+        got = optimize_block(block, func)
+        stats.folded += got.folded
+        stats.copies_propagated += got.copies_propagated
+        stats.cse_hits += got.cse_hits
+        stats.branches_folded += got.branches_folded
+    return stats

@@ -1,0 +1,177 @@
+"""Expression reassociation for dependence-height reduction.
+
+Section 3: "Height-reducing transformations ... help to ensure a benefit.
+Here, in particular, we see expression reassociation (allowing the upward
+motion of the predicate define) ..."
+
+A linear chain ``t1 = a + b; t2 = t1 + c; t3 = t2 + d`` has dependence
+height 3; rebalancing into ``(a + b) + (c + d)`` gives height 2, freeing
+the final value (often a comparison input feeding a predicate define or a
+branch) earlier in the schedule.  We rebalance block-local chains of a
+single associative opcode whose intermediate results have exactly one use.
+"""
+
+from __future__ import annotations
+
+from repro.ir.block import BasicBlock
+from repro.ir.function import Function
+from repro.ir.opcodes import Opcode
+from repro.ir.operation import Operation
+from repro.ir.registers import Imm, Operand, VReg
+
+_ASSOCIATIVE = {Opcode.ADD, Opcode.MUL, Opcode.AND, Opcode.OR, Opcode.XOR,
+                Opcode.MIN, Opcode.MAX}
+
+
+def _use_counts(block: BasicBlock) -> dict[VReg, int]:
+    counts: dict[VReg, int] = {}
+    for op in block.ops:
+        for reg in op.reads():
+            counts[reg] = counts.get(reg, 0) + 1
+    return counts
+
+
+def reassociate_block(
+    block: BasicBlock, func: Function, live_out: set[VReg] | None = None
+) -> int:
+    """Rebalance associative chains in one block; returns chains rewritten.
+
+    ``live_out`` (from :func:`repro.analysis.liveness.liveness`) prevents
+    deleting chain intermediates whose values escape the block; without it
+    the pass only rewrites chains whose intermediates are block-local by
+    conservative default (no deletions of escaping temps).
+    """
+    if live_out is None:
+        from repro.analysis.liveness import liveness
+
+        live_out = liveness(func).live_out[block.label]
+    uses = _use_counts(block)
+    rewritten = 0
+    index_of = {id(op): i for i, op in enumerate(block.ops)}
+
+    defs: dict[VReg, Operation] = {}
+    for op in block.ops:
+        for dst in op.dests:
+            defs[dst] = op  # last def wins; chains use single-def temps
+
+    def chain_leaves(op: Operation, code: Opcode, members: list[Operation]) -> list[Operand] | None:
+        """Collect the leaf operands of a single-use chain rooted at ``op``."""
+        leaves: list[Operand] = []
+        for src in op.srcs:
+            sub = defs.get(src) if isinstance(src, VReg) else None
+            if (
+                sub is not None
+                and sub.opcode == code
+                and sub.guard is None
+                and uses.get(src, 0) == 1
+                and len(sub.dests) == 1
+                and src not in live_out
+                and index_of[id(sub)] < index_of[id(op)]
+                and _single_def_in_block(block, src)
+            ):
+                inner = chain_leaves(sub, code, members)
+                if inner is None:
+                    return None
+                members.append(sub)
+                leaves.extend(inner)
+            else:
+                leaves.append(src)
+        return leaves
+
+    for op in list(block.ops):
+        if op.opcode not in _ASSOCIATIVE or op.guard is not None:
+            continue
+        if len(op.dests) != 1 or id(op) not in index_of:
+            continue
+        # only rewrite *maximal* chains: skip ops feeding a same-opcode
+        # single-use consumer (the bigger root will collect this one)
+        dest = op.dests[0]
+        if uses.get(dest, 0) == 1 and dest not in live_out:
+            consumer = next(
+                (o for o in block.ops if dest in o.reads()), None
+            )
+            if (consumer is not None and consumer.opcode == op.opcode
+                    and consumer.guard is None):
+                continue
+        members: list[Operation] = []
+        leaves = chain_leaves(op, op.opcode, members)
+        if leaves is None or len(members) < 2 or len(leaves) < 4:
+            continue
+        if _tree_height(op, defs, uses, block, live_out) <= _balanced_height(len(leaves)):
+            continue  # already balanced
+        _rewrite_balanced(block, func, op, members, leaves)
+        rewritten += 1
+        # recompute bookkeeping after a structural rewrite
+        uses = _use_counts(block)
+        index_of = {id(o): i for i, o in enumerate(block.ops)}
+        defs = {}
+        for o in block.ops:
+            for dst in o.dests:
+                defs[dst] = o
+    return rewritten
+
+
+def _single_def_in_block(block: BasicBlock, reg: VReg) -> bool:
+    return sum(1 for op in block.ops if reg in op.dests) == 1
+
+
+def _balanced_height(nleaves: int) -> int:
+    return max(1, (nleaves - 1).bit_length())
+
+
+def _tree_height(op: Operation, defs, uses, block: BasicBlock, live_out) -> int:
+    """Height of the single-use chain/tree rooted at ``op``."""
+    best = 0
+    for src in op.srcs:
+        sub = defs.get(src) if isinstance(src, VReg) else None
+        if (
+            sub is not None
+            and sub.opcode == op.opcode
+            and sub.guard is None
+            and uses.get(src, 0) == 1
+            and src not in live_out
+            and len(sub.dests) == 1
+            and _single_def_in_block(block, src)
+        ):
+            best = max(best, _tree_height(sub, defs, uses, block, live_out))
+    return best + 1
+
+
+def _rewrite_balanced(
+    block: BasicBlock,
+    func: Function,
+    root: Operation,
+    members: list[Operation],
+    leaves: list[Operand],
+) -> None:
+    """Replace the chain ops with a balanced tree ending at root's dest."""
+    code = root.opcode
+    position = block.ops.index(root)
+    dead = {id(m) for m in members}
+    block.ops = [op for op in block.ops if id(op) not in dead]
+    position = block.ops.index(root)
+
+    level: list[Operand] = list(leaves)
+    new_ops: list[Operation] = []
+    while len(level) > 2:
+        nxt: list[Operand] = []
+        it = iter(range(0, len(level) - 1, 2))
+        for i in it:
+            temp = func.new_reg()
+            new_ops.append(Operation(code, [temp], [level[i], level[i + 1]]))
+            nxt.append(temp)
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+    root.srcs = list(level)
+    block.ops[position:position] = new_ops
+
+
+def reassociate_function(func: Function) -> int:
+    from repro.analysis.liveness import liveness
+
+    info = liveness(func)
+    return sum(
+        reassociate_block(block, func, info.live_out[block.label])
+        for block in func.blocks
+    )

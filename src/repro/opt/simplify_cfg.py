@@ -1,0 +1,177 @@
+"""CFG cleanup: unreachable-code removal, jump threading, block merging.
+
+Run between major transforms; the loop transforms and if-conversion leave
+behind forwarding blocks and unreachable remnants that these passes fold
+away, keeping block counts (and therefore analysis cost) down.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.cfgview import CFGView
+from repro.ir.function import Function
+from repro.ir.opcodes import Opcode
+
+
+def remove_unreachable(func: Function) -> int:
+    """Delete blocks unreachable from the entry; returns removal count."""
+    cfg = CFGView(func)
+    reachable = cfg.reachable()
+    doomed = [block.label for block in func.blocks if block.label not in reachable]
+    for label in doomed:
+        func.remove_block(label)
+    return len(doomed)
+
+
+def _retarget(func: Function, old: str, new: str) -> None:
+    for block in func.blocks:
+        for op in block.ops:
+            if op.target == old:
+                op.attrs["target"] = new
+
+
+def thread_jumps(func: Function) -> int:
+    """Redirect branches that target a block containing only ``jump X``."""
+    changed = 0
+    again = True
+    while again:
+        again = False
+        for block in func.blocks:
+            if len(block.ops) != 1:
+                continue
+            op = block.ops[0]
+            if op.opcode != Opcode.JUMP or op.guard is not None:
+                continue
+            target = op.target
+            if target == block.label:
+                continue  # self loop
+            referenced = any(
+                other.label != block.label and b.target == block.label
+                for other in func.blocks
+                for b in other.branch_ops()
+            )
+            if referenced:
+                _retarget(func, block.label, target)
+                changed += 1
+                again = True
+    return changed
+
+
+def merge_straightline(func: Function) -> int:
+    """Merge B into A when A's sole successor is B and B's sole pred is A."""
+    merged = 0
+    again = True
+    while again:
+        again = False
+        cfg = CFGView(func)
+        for block in list(func.blocks):
+            succs = cfg.succs.get(block.label)
+            if not succs or len(succs) != 1:
+                continue
+            succ_label = succs[0]
+            if succ_label == block.label or succ_label == func.entry.label:
+                continue
+            if len(cfg.preds[succ_label]) != 1:
+                continue
+            succ = func.block(succ_label)
+            term = block.terminator
+            # the ONLY reference to B may be A's terminator jump (or pure
+            # fallthrough).  A mid-block side exit targeting B — e.g. a
+            # guarded hyperblock exit — cannot be retargeted to A's start.
+            refs = sum(
+                1
+                for other in func.blocks
+                for op in other.branch_ops()
+                if op.target == succ_label
+            )
+            if term is not None and term.opcode == Opcode.JUMP and term.guard is None:
+                if refs != 1:
+                    continue
+                block.ops.pop()
+            elif term is not None:
+                continue  # conditional terminator with one successor: leave it
+            elif refs != 0:
+                continue
+            # preserve B's fallthrough: after the merge, A's layout successor
+            # may differ from B's, so make B's fallthrough explicit.
+            succ_idx = func.blocks.index(succ)
+            fall_target = None
+            if succ.falls_through and succ_idx + 1 < len(func.blocks):
+                fall_target = func.blocks[succ_idx + 1].label
+            block.ops.extend(succ.ops)
+            block.hyperblock = block.hyperblock or succ.hyperblock
+            func.remove_block(succ_label)
+            if fall_target is not None:
+                from repro.ir.operation import Operation
+
+                block.append(Operation(Opcode.JUMP, attrs={"target": fall_target}))
+            merged += 1
+            again = True
+            break
+    return merged
+
+
+def drop_redundant_jumps(func: Function) -> int:
+    """Remove ``jump next`` where ``next`` is the fallthrough block."""
+    removed = 0
+    for i, block in enumerate(func.blocks[:-1]):
+        term = block.terminator
+        if (
+            term is not None
+            and term.opcode == Opcode.JUMP
+            and term.guard is None
+            and term.target == func.blocks[i + 1].label
+        ):
+            block.ops.pop()
+            removed += 1
+    return removed
+
+
+def split_at_branches(func: Function) -> int:
+    """Re-normalize to branch-terminated blocks.
+
+    Merging creates blocks with mid-block side exits; if-conversion's
+    region model wants control transfers only at block ends (allowing the
+    trailing BR+JUMP pair).  Splitting after each interior branch restores
+    that shape; the split points become plain fallthrough edges.
+    """
+    splits = 0
+    changed = True
+    while changed:
+        changed = False
+        for index, block in enumerate(func.blocks):
+            cut = None
+            for i, op in enumerate(block.ops[:-1]):
+                if not op.is_branch:
+                    continue
+                # a BR immediately before a final JUMP is a legal ending
+                if (i == len(block.ops) - 2 and op.opcode == Opcode.BR
+                        and block.ops[-1].opcode == Opcode.JUMP):
+                    continue
+                cut = i
+                break
+            if cut is None:
+                continue
+            rest = block.ops[cut + 1:]
+            block.ops = block.ops[: cut + 1]
+            tail = func.add_block(func.new_label(f"{block.label}_t"),
+                                  index=index + 1)
+            tail.ops = rest
+            tail.hyperblock = block.hyperblock
+            splits += 1
+            changed = True
+            break
+    return splits
+
+
+def simplify_cfg(func: Function) -> int:
+    """Run all cleanups to a fixed point; returns total change count."""
+    total = 0
+    while True:
+        changed = remove_unreachable(func)
+        changed += thread_jumps(func)
+        changed += remove_unreachable(func)
+        changed += merge_straightline(func)
+        changed += drop_redundant_jumps(func)
+        total += changed
+        if not changed:
+            return total

@@ -1,0 +1,318 @@
+"""End-to-end compilation pipelines (Section 7.1's two configurations).
+
+``compile_traditional``
+    "only traditional compiler optimizations (i.e. no predication and no
+    loop collapsing)": profile-guided inlining, classical scalar
+    optimization, counted-loop conversion, modulo scheduling, loop-buffer
+    assignment.
+
+``compile_aggressive``
+    adds the control transformations "intended to enhance opportunities
+    for instruction buffering": loop peeling, predicated loop collapsing,
+    hyperblock if-conversion of loop bodies (and acyclic hammocks),
+    branch combining, predicate promotion, height reduction and
+    predication-based partial dead-code removal.
+
+Both share the backend: re-profiling, modulo scheduling of simple loops
+(with MVE footprints), buffer assignment (which rewrites ``cloop_set``
+into ``rec_cloop`` / inserts ``rec_wloop``), then list scheduling of every
+block for the cycle simulator.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+
+from repro.analysis.cfgview import CFGView
+from repro.analysis.loops import find_loops, is_simple_loop
+from repro.analysis.profile import Profile
+from repro.ir.module import Module
+from repro.ir.verify import verify_module
+from repro.loopbuffer.assign import AssignmentResult, assign_buffer
+from repro.looptrans.cloop import convert_counted_loops
+from repro.looptrans.collapse import collapse_nested_loops
+from repro.looptrans.peel import peel_short_loops
+from repro.opt.dce import eliminate_dead_code, sink_partially_dead
+from repro.opt.inline import inline_module
+from repro.opt.local import optimize_function
+from repro.opt.reassoc import reassociate_function
+from repro.opt.simplify_cfg import simplify_cfg
+from repro.predication.branch_combine import combine_branches
+from repro.predication.hyperblock import (
+    form_hammock_hyperblocks,
+    form_loop_hyperblocks,
+)
+from repro.predication.promotion import promote_function
+from repro.sched.list_sched import schedule_function
+from repro.sched.machine import DEFAULT_MACHINE, MachineDescription
+from repro.sched.modulo import ModuloSchedulingFailed, modulo_schedule
+from repro.sim.interp import profile_module
+from repro.sim.power import FetchEnergy
+from repro.sim.vliw import simulate
+
+
+@dataclass
+class Compiled:
+    """A compiled program plus everything the simulator needs."""
+
+    module: Module
+    profile: Profile
+    schedules: dict[str, dict[str, object]]
+    modulo: dict[tuple[str, str], object]
+    assignment: AssignmentResult | None
+    machine: MachineDescription
+    entry: str
+    args: list[int]
+    stats: dict[str, object] = field(default_factory=dict)
+    buffer_capacity: int | None = None
+
+    @property
+    def static_ops(self) -> int:
+        return self.module.op_count()
+
+
+@dataclass
+class SimulationOutcome:
+    result: object
+    counters: object
+    buffer: object
+    energy: FetchEnergy
+
+    @property
+    def buffer_issue_fraction(self) -> float:
+        return self.counters.buffer_issue_fraction
+
+    @property
+    def cycles(self) -> int:
+        return self.counters.cycles
+
+
+def _scalar_cleanup(module: Module) -> None:
+    for func in module.functions.values():
+        simplify_cfg(func)
+        optimize_function(func)
+        eliminate_dead_code(func)
+        simplify_cfg(func)
+
+
+def _common_frontend(module: Module, entry: str, args: list[int],
+                     inline_budget: float, max_steps: int) -> Profile:
+    _scalar_cleanup(module)
+    profile, _ = profile_module(module, entry, args, max_steps=max_steps)
+    inline_module(module, profile, expansion_limit=inline_budget)
+    _scalar_cleanup(module)
+    verify_module(module)
+    profile, _ = profile_module(module, entry, args, max_steps=max_steps)
+    return profile
+
+
+def _backend(
+    module: Module,
+    entry: str,
+    args: list[int],
+    machine: MachineDescription,
+    buffer_capacity: int | None,
+    max_steps: int,
+    stats: dict,
+) -> Compiled:
+    verify_module(module)
+    profile, _ = profile_module(module, entry, args, max_steps=max_steps)
+
+    # modulo-schedule simple loops; their MVE-expanded kernels are the
+    # buffer footprints
+    modulo: dict[tuple[str, str], object] = {}
+    footprint: dict[tuple[str, str], int] = {}
+    for func in module.functions.values():
+        cfg = CFGView(func)
+        for loop in find_loops(func, cfg):
+            if not is_simple_loop(func, loop):
+                continue
+            block = func.block(loop.header)
+            try:
+                sched = modulo_schedule(block, machine)
+            except ModuloSchedulingFailed:
+                continue
+            modulo[(func.name, loop.header)] = sched
+            footprint[(func.name, loop.header)] = sched.buffered_op_count
+
+    assignment = None
+    if buffer_capacity:
+        assignment = assign_buffer(module, profile, buffer_capacity,
+                                   footprint=footprint)
+        verify_module(module)
+
+    schedules = {
+        func.name: schedule_function(func, machine)
+        for func in module.functions.values()
+    }
+    stats["modulo_loops"] = len(modulo)
+    return Compiled(module, profile, schedules, modulo, assignment,
+                    machine, entry, list(args), stats,
+                    buffer_capacity=buffer_capacity)
+
+
+def compile_traditional(
+    module: Module,
+    entry: str = "main",
+    args: list[int] | None = None,
+    machine: MachineDescription = DEFAULT_MACHINE,
+    buffer_capacity: int | None = 256,
+    inline_budget: float = 0.5,
+    max_steps: int = 200_000_000,
+) -> Compiled:
+    """The baseline pipeline: no predication, no loop restructuring."""
+    module = copy.deepcopy(module)
+    args = list(args or [])
+    stats: dict[str, object] = {"pipeline": "traditional"}
+    _common_frontend(module, entry, args, inline_budget, max_steps)
+    convert_counted_loops_stats = convert_counted_loops_all(module)
+    stats["cloops"] = convert_counted_loops_stats
+    _scalar_cleanup(module)
+    return _backend(module, entry, args, machine, buffer_capacity,
+                    max_steps, stats)
+
+
+def compile_aggressive(
+    module: Module,
+    entry: str = "main",
+    args: list[int] | None = None,
+    machine: MachineDescription = DEFAULT_MACHINE,
+    buffer_capacity: int | None = 256,
+    inline_budget: float = 0.5,
+    max_steps: int = 200_000_000,
+    hammocks: bool = True,
+    collapse: bool = True,
+    peel: bool = True,
+    promote: bool = True,
+    combine: bool = True,
+) -> Compiled:
+    """The paper's aggressive pipeline (hyperblock + loop transforms)."""
+    module = copy.deepcopy(module)
+    args = list(args or [])
+    stats: dict[str, object] = {"pipeline": "aggressive"}
+    profile = _common_frontend(module, entry, args, inline_budget, max_steps)
+
+    peel_stats, collapse_stats, form_stats = [], [], []
+    for func in module.functions.values():
+        # innermost loops first become hyperblocks, dissolving their
+        # internal control flow ...
+        form_stats.append(form_loop_hyperblocks(func, profile))
+        # ... then short counted inner loops peel away entirely ...
+        if peel:
+            peel_stats.append(peel_short_loops(func))
+            simplify_cfg(func)
+        # ... remaining nests collapse into single predicated loops ...
+        if collapse:
+            collapse_stats.append(collapse_nested_loops(func))
+        # ... exposing new single-level loops for if-conversion
+        form_stats.append(form_loop_hyperblocks(func, profile))
+        if hammocks:
+            form_hammock_hyperblocks(func, profile)
+    verify_module(module)
+
+    profile, _ = profile_module(module, entry, args, max_steps=max_steps)
+    combine_stats = []
+    promote_stats = []
+    for func in module.functions.values():
+        if combine:
+            combine_stats.append(combine_branches(func, profile))
+        reassociate_function(func)
+        sink_partially_dead(func)
+        if promote:
+            promote_stats.append(promote_function(func))
+        optimize_function(func)
+        eliminate_dead_code(func)
+    verify_module(module)
+
+    stats["peel"] = peel_stats
+    stats["collapse"] = collapse_stats
+    stats["hyperblocks"] = form_stats
+    stats["combine"] = combine_stats
+    stats["promotion"] = promote_stats
+    stats["cloops"] = convert_counted_loops_all(module)
+    for func in module.functions.values():
+        eliminate_dead_code(func)
+    return _backend(module, entry, args, machine, buffer_capacity,
+                    max_steps, stats)
+
+
+def convert_counted_loops_all(module: Module):
+    return {
+        func.name: convert_counted_loops(func)
+        for func in module.functions.values()
+    }
+
+
+def with_buffer(compiled: Compiled, capacity: int | None,
+                overhead_aware: bool = True) -> Compiled:
+    """Re-target a compiled program at a different buffer capacity.
+
+    Buffer assignment is capacity-dependent (offsets, which loops fit), so
+    a Figure 7-style size sweep re-runs assignment and scheduling per
+    size.  The input should have been compiled with
+    ``buffer_capacity=None`` (no ``rec`` ops installed yet); the original
+    ``Compiled`` is left untouched.
+    """
+    module = copy.deepcopy(compiled.module)
+    # deepcopy preserves op uids and labels, so the existing profile stays
+    # valid — no re-profiling per buffer size
+    profile = compiled.profile
+
+    modulo: dict[tuple[str, str], object] = {}
+    footprint: dict[tuple[str, str], int] = {}
+    for func in module.functions.values():
+        cfg = CFGView(func)
+        for loop in find_loops(func, cfg):
+            if not is_simple_loop(func, loop):
+                continue
+            try:
+                sched = modulo_schedule(func.block(loop.header), compiled.machine)
+            except ModuloSchedulingFailed:
+                continue
+            modulo[(func.name, loop.header)] = sched
+            footprint[(func.name, loop.header)] = sched.buffered_op_count
+
+    assignment = None
+    if capacity:
+        assignment = assign_buffer(module, profile, capacity,
+                                   footprint=footprint,
+                                   overhead_aware=overhead_aware)
+    schedules = {
+        func.name: schedule_function(func, compiled.machine)
+        for func in module.functions.values()
+    }
+    return Compiled(module, profile, schedules, modulo, assignment,
+                    compiled.machine, compiled.entry, list(compiled.args),
+                    dict(compiled.stats), buffer_capacity=capacity)
+
+
+def run_compiled(
+    compiled: Compiled,
+    buffer_capacity: int | None | str = "compiled",
+    max_steps: int = 200_000_000,
+) -> SimulationOutcome:
+    """Simulate a compiled program on the VLIW.
+
+    ``buffer_capacity`` defaults to the capacity the program was compiled
+    for (buffer assignment bakes offsets in); passing a different value is
+    only meaningful for programs compiled with ``buffer_capacity=None``.
+    """
+    if buffer_capacity == "compiled":
+        buffer_capacity = compiled.buffer_capacity
+    result, counters, buffer = simulate(
+        compiled.module,
+        compiled.schedules,
+        compiled.modulo,
+        compiled.machine,
+        buffer_capacity,
+        compiled.entry,
+        compiled.args,
+        max_steps=max_steps,
+    )
+    energy = FetchEnergy(
+        ops_from_memory=counters.ops_from_memory,
+        ops_from_buffer=counters.ops_from_buffer,
+        buffer_capacity=buffer_capacity or 1,
+    )
+    return SimulationOutcome(result, counters, buffer, energy)

@@ -1,0 +1,72 @@
+"""Predication: if-conversion, branch combining, promotion, coloring,
+predication statistics, and the paper's slot-based predication scheme.
+
+Table 2 semantics (the predicate-define truth table) live in
+:mod:`repro.ir.preddef` next to the IR and are re-exported here.
+"""
+
+from repro.ir.preddef import always_writes, may_write_one, may_write_zero, pred_update
+
+from .branch_combine import CombineStats, combine_branches
+from .coloring import (
+    LiveRange,
+    PredicateSpillRequired,
+    apply_coloring,
+    color_predicates,
+    max_live_predicates,
+    predicate_live_ranges,
+)
+from .hyperblock import (
+    FormationStats,
+    form_hammock_hyperblocks,
+    form_loop_hyperblocks,
+)
+from .ifconvert import (
+    HyperblockInfo,
+    IfConversionError,
+    check_region_convertible,
+    if_convert_region,
+)
+from .promotion import (
+    PromotionStats,
+    promote_block,
+    promote_function,
+    sensitivity_stats,
+)
+from .stats import (
+    DefineStat,
+    LoopOverlapStat,
+    PredicationStats,
+    collect_function_stats,
+    collect_module_stats,
+)
+
+__all__ = [
+    "CombineStats",
+    "DefineStat",
+    "FormationStats",
+    "HyperblockInfo",
+    "IfConversionError",
+    "LiveRange",
+    "LoopOverlapStat",
+    "PredicateSpillRequired",
+    "PredicationStats",
+    "always_writes",
+    "apply_coloring",
+    "check_region_convertible",
+    "collect_function_stats",
+    "collect_module_stats",
+    "color_predicates",
+    "combine_branches",
+    "form_hammock_hyperblocks",
+    "form_loop_hyperblocks",
+    "if_convert_region",
+    "max_live_predicates",
+    "may_write_one",
+    "may_write_zero",
+    "pred_update",
+    "predicate_live_ranges",
+    "promote_block",
+    "promote_function",
+    "sensitivity_stats",
+]

@@ -1,0 +1,179 @@
+"""Hyperblock-formation driver: pick regions and apply if-conversion.
+
+Strategy follows Section 3 of the paper: loop bodies are the regions that
+matter, because the loop buffer only holds simple loops.  Innermost loops
+whose bodies are acyclic (after peeling/collapsing has dissolved any nests)
+are if-converted whole; acyclic *hammocks* in non-loop code can optionally
+be converted too, which shortens non-loop fetch but does not affect
+bufferability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.cfgview import CFGView
+from repro.analysis.loops import find_loops
+from repro.analysis.profile import Profile
+from repro.ir.function import Function
+from repro.opt.simplify_cfg import simplify_cfg, split_at_branches
+
+from .ifconvert import (
+    HyperblockInfo,
+    IfConversionError,
+    check_region_convertible,
+    if_convert_region,
+)
+
+#: conversion is abandoned for regions that would exceed this many ops;
+#: far beyond buffer capacity a hyperblock only hurts the schedule.
+DEFAULT_MAX_REGION_OPS = 512
+
+
+@dataclass
+class FormationStats:
+    converted: list[HyperblockInfo] = field(default_factory=list)
+    rejected: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def loops_converted(self) -> int:
+        return len(self.converted)
+
+
+def _region_op_count(func: Function, body: set[str]) -> int:
+    return sum(len(func.block(label).ops) for label in body)
+
+
+def form_loop_hyperblocks(
+    func: Function,
+    profile: Profile | None = None,
+    max_region_ops: int = DEFAULT_MAX_REGION_OPS,
+) -> FormationStats:
+    """If-convert every convertible loop body of ``func``.
+
+    Loops are visited innermost-first; a multi-block loop whose body is an
+    acyclic single-entry region (and free of calls) collapses into one
+    hyperblock.  Loops with remaining inner loops are skipped — peeling or
+    collapsing must dissolve the nest first.
+    """
+    stats = FormationStats()
+    split_at_branches(func)
+    progress = True
+    while progress:
+        progress = False
+        cfg = CFGView(func)
+        loops = find_loops(func, cfg)
+        # innermost (deepest) first
+        for loop in sorted(loops, key=lambda lp: -lp.depth):
+            if len(loop.body) < 2:
+                continue  # already a simple loop
+            if loop.children:
+                stats.rejected[loop.header] = "contains inner loop"
+                continue
+            if _region_op_count(func, loop.body) > max_region_ops:
+                stats.rejected[loop.header] = "region too large"
+                continue
+            reason = check_region_convertible(func, loop.header, loop.body, cfg)
+            if reason is not None:
+                stats.rejected[loop.header] = reason
+                continue
+            try:
+                info = if_convert_region(func, loop.header, loop.body, cfg)
+            except IfConversionError as exc:  # race with stale CFG view
+                stats.rejected[loop.header] = str(exc)
+                continue
+            stats.converted.append(info)
+            stats.rejected.pop(loop.header, None)
+            progress = True
+            break  # CFG changed: rebuild analyses
+    simplify_cfg(func)
+    return stats
+
+
+def form_hammock_hyperblocks(
+    func: Function,
+    profile: Profile | None = None,
+    max_region_ops: int = DEFAULT_MAX_REGION_OPS,
+) -> FormationStats:
+    """If-convert acyclic hammock/diamond regions outside loops.
+
+    A candidate region is a block ``B`` with a conditional terminator whose
+    two successor subgraphs re-join at a common block ``J`` such that every
+    block between ``B`` and ``J`` is dominated by ``B`` and reaches only
+    ``J``-or-internal blocks.  We use the simplest profitable subset:
+    diamonds and triangles (the shapes partial predication cannot express
+    beyond, per Section 4).
+    """
+    from repro.analysis.dominators import dominator_tree, postdominator_tree
+
+    stats = FormationStats()
+    split_at_branches(func)
+    progress = True
+    while progress:
+        progress = False
+        cfg = CFGView(func)
+        loops = find_loops(func, cfg)
+        loop_blocks: set[str] = set()
+        for loop in loops:
+            loop_blocks |= loop.body
+        dom = dominator_tree(cfg)
+        pdom = postdominator_tree(cfg)
+        for block in func.blocks:
+            label = block.label
+            if label in loop_blocks:
+                continue
+            succs = cfg.succs.get(label, [])
+            if len(succs) != 2:
+                continue
+            join = _common_join(cfg, pdom, label, succs)
+            if join is None:
+                continue
+            body = _region_between(cfg, label, join)
+            if body is None or len(body) < 2:
+                continue
+            if body & loop_blocks:
+                continue
+            if _region_op_count(func, body) > max_region_ops:
+                continue
+            if not all(dom.dominates(label, member) for member in body):
+                continue
+            if check_region_convertible(func, label, body, cfg) is not None:
+                continue
+            try:
+                info = if_convert_region(func, label, body, cfg)
+            except IfConversionError:
+                continue
+            stats.converted.append(info)
+            progress = True
+            break
+    simplify_cfg(func)
+    return stats
+
+
+def _common_join(cfg: CFGView, pdom, label: str, succs: list[str]) -> str | None:
+    """Immediate postdominator of ``label`` if it postdominates both arms."""
+    node = pdom.idom.get(label)
+    if node in (None, "<exit>"):
+        return None
+    return node
+
+
+def _region_between(cfg: CFGView, entry: str, join: str) -> set[str] | None:
+    """Blocks on paths from ``entry`` to ``join`` (exclusive of ``join``)."""
+    body: set[str] = set()
+    stack = [entry]
+    while stack:
+        label = stack.pop()
+        if label == join or label in body:
+            continue
+        body.add(label)
+        for succ in cfg.succs[label]:
+            if succ == join:
+                continue
+            if succ not in cfg.succs:
+                return None
+            stack.append(succ)
+        if not cfg.succs[label] and label != join:
+            # a RET inside the region: allowed as a guarded side exit
+            continue
+    return body

@@ -1,0 +1,392 @@
+"""If-conversion: turning single-entry acyclic regions into hyperblocks.
+
+This is the transformation at the heart of the paper (Park-Schlansker
+if-conversion [7] forming hyperblocks [13]): a region of control flow is
+replaced by one straight-line block in which every operation is guarded by
+the *path predicate* of its original block.  Loop bodies whose internal
+control flow is fully if-converted become *simple loops* eligible for the
+loop buffer.
+
+Predicate construction follows the classic recipe:
+
+* the region entry executes unconditionally (guard ``None``);
+* a block with a single incoming edge receives an unconditional-type
+  (``ut``/``uf``) predicate computed by the branch that feeds it;
+* a block with several incoming edges (a join) receives an or-type
+  (``ot``/``of``) predicate: cleared at the top of the hyperblock, then
+  accumulated by one define per incoming edge — exactly the two define
+  classes the paper notes are required for if-conversion (Section 4).
+
+Control leaving the region stays as *guarded* branches (hyperblock side
+exits); back edges to the region entry become the loop-back branch of the
+resulting simple loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.cfgview import CFGView
+from repro.ir.block import BasicBlock
+from repro.ir.function import Function
+from repro.ir.opcodes import Opcode
+from repro.ir.operation import Operation
+from repro.ir.registers import Imm, VReg
+
+
+class IfConversionError(Exception):
+    """The region cannot legally be if-converted."""
+
+
+@dataclass
+class HyperblockInfo:
+    """Result of one successful if-conversion."""
+
+    label: str
+    blocks_merged: int
+    pred_defines: int
+    predicates_used: int
+    guarded_ops: int
+    side_exits: int
+
+
+@dataclass
+class _EdgeInfo:
+    src: str
+    dst: str            # target label (internal, external, or entry/back edge)
+    cond: str | None    # comparison test, None for unconditional edges
+    srcs: list = field(default_factory=list)  # comparison operands
+    taken: bool = True  # condition sense: taken side or fallthrough side
+
+
+def check_region_convertible(
+    func: Function, entry: str, body: set[str], cfg: CFGView
+) -> str | None:
+    """Return a reason string when the region is NOT convertible, else None.
+
+    Requirements: single entry; internal control acyclic apart from back
+    edges into the entry; no subroutine calls ("loop regions may not contain
+    calls to subroutines"); no pre-guarded operations (stacked predication
+    would require guard conjunction hardware we do not model); terminators
+    limited to plain jumps / conditional branches / returns.
+    """
+    for label in body:
+        if label != entry:
+            for pred in cfg.preds[label]:
+                if pred not in body:
+                    return f"side entry into {label} from {pred}"
+        block = func.block(label)
+        for i, op in enumerate(block.ops):
+            if op.opcode == Opcode.CALL:
+                return f"call in {label}"
+            if op.guard is not None:
+                return f"pre-guarded op in {label}"
+            if op.opcode in (Opcode.BR_CLOOP, Opcode.BR_WLOOP, Opcode.CLOOP_SET,
+                             Opcode.REC_CLOOP, Opcode.REC_WLOOP,
+                             Opcode.EXEC_CLOOP, Opcode.EXEC_WLOOP):
+                return f"loop-control op in {label}"
+            if op.is_branch and i != len(block.ops) - 1:
+                # allow the canonical BR+JUMP two-op ending (explicit else)
+                last = block.ops[-1]
+                if not (i == len(block.ops) - 2 and op.opcode == Opcode.BR
+                        and last.opcode == Opcode.JUMP):
+                    return f"mid-block branch in {label}"
+    if _topo_order(func, entry, body, cfg) is None:
+        return "internal cycle (nested loop not yet transformed)"
+    return None
+
+
+def _topo_order(
+    func: Function, entry: str, body: set[str], cfg: CFGView
+) -> list[str] | None:
+    """Topological order of the region ignoring edges into the entry
+    (back edges); None when the remaining subgraph is cyclic."""
+    state: dict[str, int] = {}
+    order: list[str] = []
+
+    def visit(label: str) -> bool:
+        state[label] = 1
+        for succ in cfg.succs[label]:
+            if succ not in body or succ == entry:
+                continue
+            mark = state.get(succ, 0)
+            if mark == 1:
+                return False
+            if mark == 0 and not visit(succ):
+                return False
+        state[label] = 2
+        order.append(label)
+        return True
+
+    if not visit(entry):
+        return None
+    if len(order) != len(body):
+        # unreachable region blocks: exclude them by failing
+        return None
+    order.reverse()
+    return order
+
+
+def _edges_of_block(func: Function, label: str, body: set[str]) -> list[_EdgeInfo]:
+    """Outgoing edges of a region block, from its terminator + layout."""
+    block = func.block(label)
+    term = block.terminator
+    edges: list[_EdgeInfo] = []
+    idx = func.blocks.index(block)
+    fall = func.blocks[idx + 1].label if idx + 1 < len(func.blocks) else None
+
+    if term is None:
+        if fall is not None:
+            edges.append(_EdgeInfo(label, fall, None))
+        return edges
+    if term.opcode == Opcode.JUMP:
+        if len(block.ops) >= 2 and block.ops[-2].opcode == Opcode.BR:
+            # BR + JUMP pair: the jump is the explicit not-taken edge
+            br = block.ops[-2]
+            edges.append(
+                _EdgeInfo(label, br.target, br.attrs["cmp"],
+                          list(br.srcs), taken=True)
+            )
+            edges.append(
+                _EdgeInfo(label, term.target, br.attrs["cmp"],
+                          list(br.srcs), taken=False)
+            )
+            return edges
+        edges.append(_EdgeInfo(label, term.target, None))
+        return edges
+    if term.opcode == Opcode.RET:
+        return edges
+    if term.opcode == Opcode.BR:
+        edges.append(
+            _EdgeInfo(label, term.target, term.attrs["cmp"],
+                      list(term.srcs), taken=True)
+        )
+        if fall is not None:
+            edges.append(
+                _EdgeInfo(label, fall, term.attrs["cmp"],
+                          list(term.srcs), taken=False)
+            )
+        return edges
+    raise IfConversionError(f"unsupported terminator {term!r} in {label}")
+
+
+def if_convert_region(
+    func: Function, entry: str, body: set[str], cfg: CFGView | None = None
+) -> HyperblockInfo:
+    """If-convert the single-entry acyclic region ``body`` rooted at ``entry``.
+
+    The region blocks are replaced by one hyperblock carrying ``entry``'s
+    label (so external branches into the region stay valid).  Raises
+    :class:`IfConversionError` when the region is not convertible.
+    """
+    if cfg is None:
+        cfg = CFGView(func)
+    reason = check_region_convertible(func, entry, body, cfg)
+    if reason is not None:
+        raise IfConversionError(reason)
+    order = _topo_order(func, entry, body, cfg)
+    assert order is not None and order[0] == entry
+
+    # collect incoming internal edges per region block (back edges excluded)
+    in_edges: dict[str, list[_EdgeInfo]] = {label: [] for label in body}
+    out_edges: dict[str, list[_EdgeInfo]] = {}
+    for label in order:
+        edges = _edges_of_block(func, label, body)
+        out_edges[label] = edges
+        for edge in edges:
+            if edge.dst in body and edge.dst != entry:
+                in_edges[edge.dst].append(edge)
+
+    # assign a guard predicate to every block
+    block_pred: dict[str, VReg | None] = {entry: None}
+    needs_init: list[VReg] = []
+    stats_defines = 0
+
+    for label in order[1:]:
+        edges = in_edges[label]
+        if not edges:
+            raise IfConversionError(f"{label} unreachable within region")
+        if len(edges) == 1 and edges[0].cond is None:
+            # single unconditional in-edge: share the source's predicate
+            block_pred[label] = block_pred[edges[0].src]
+        else:
+            pred = func.new_pred()
+            block_pred[label] = pred
+            if len(edges) > 1:
+                needs_init.append(pred)
+
+    # build the merged operation list
+    merged: list[Operation] = []
+    for pred in needs_init:
+        merged.append(Operation(Opcode.PRED_SET, [pred], [Imm(0)]))
+
+    guarded_ops = 0
+    side_exits = 0
+    predicates = set(needs_init)
+
+    for label in order:
+        block = func.block(label)
+        pb = block_pred[label]
+        term = block.terminator
+        cond_br = None
+        if term is not None and term.opcode == Opcode.BR:
+            cond_br = term
+            body_ops = block.ops[:-1]
+        elif (term is not None and term.opcode == Opcode.JUMP
+              and len(block.ops) >= 2 and block.ops[-2].opcode == Opcode.BR):
+            cond_br = block.ops[-2]
+            body_ops = block.ops[:-2]
+        elif term is not None:
+            body_ops = block.ops[:-1]
+        else:
+            body_ops = list(block.ops)
+
+        for op in body_ops:
+            new_op = op  # ops are moved, not copied: uids stay stable
+            if pb is not None:
+                new_op.guard = pb
+                guarded_ops += 1
+            merged.append(new_op)
+
+        # now lower the terminator / fallthrough control
+        edges = out_edges[label]
+        if term is not None and term.opcode == Opcode.RET:
+            term.guard = pb
+            merged.append(term)
+            side_exits += 1 if pb is not None else 0
+            continue
+
+        if cond_br is not None:
+            term = cond_br
+            taken = next(e for e in edges if e.taken)
+            fall = next((e for e in edges if not e.taken), None)
+            taken_internal = taken.dst in body and taken.dst != entry
+            fall_internal = (fall is not None and fall.dst in body
+                             and fall.dst != entry)
+
+            # predicate contributions computed by this branch's condition
+            dests: list[VReg] = []
+            ptypes: list[str] = []
+            if taken_internal:
+                tpred = block_pred[taken.dst]
+                assert tpred is not None
+                dests.append(tpred)
+                ptypes.append("ot" if len(in_edges[taken.dst]) > 1 else "ut")
+                predicates.add(tpred)
+            fall_pred_for_exit: VReg | None = None
+            if fall_internal:
+                fpred = block_pred[fall.dst]
+                assert fpred is not None
+                dests.append(fpred)
+                ptypes.append("of" if len(in_edges[fall.dst]) > 1 else "uf")
+                predicates.add(fpred)
+            elif fall is not None and not taken_internal:
+                # branch is kept: the not-taken exit can reuse guard pb
+                pass
+            elif fall is not None:
+                # branch dissolves into a predicate; the fallthrough exit
+                # needs its own guard predicate pb & !cond
+                fall_pred_for_exit = func.new_pred()
+                dests.append(fall_pred_for_exit)
+                ptypes.append("uf")
+                predicates.add(fall_pred_for_exit)
+
+            if dests:
+                merged.append(
+                    Operation(Opcode.PRED_DEF, dests, list(term.srcs), pb,
+                              {"cmp": term.attrs["cmp"], "ptypes": ptypes})
+                )
+                stats_defines += 1
+
+            if not taken_internal:
+                # keep the conditional branch (to the entry = loop-back, or
+                # to an external block = side exit), guarded by pb
+                kept = Operation(Opcode.BR, [], list(term.srcs), pb,
+                                 {"cmp": term.attrs["cmp"],
+                                  "target": taken.dst})
+                merged.append(kept)
+                side_exits += 1
+            if fall is not None and not fall_internal:
+                if fall_pred_for_exit is not None:
+                    merged.append(
+                        Operation(Opcode.JUMP, [], [], fall_pred_for_exit,
+                                  {"target": fall.dst})
+                    )
+                else:
+                    merged.append(
+                        Operation(Opcode.JUMP, [], [], pb,
+                                  {"target": fall.dst})
+                    )
+                side_exits += 1
+            continue
+
+        # unconditional jump or plain fallthrough
+        if edges:
+            edge = edges[0]
+            internal = edge.dst in body and edge.dst != entry
+            if internal:
+                target_pred = block_pred[edge.dst]
+                if len(in_edges[edge.dst]) > 1:
+                    assert target_pred is not None
+                    merged.append(
+                        Operation(Opcode.PRED_DEF, [target_pred],
+                                  [Imm(0), Imm(0)], pb,
+                                  {"cmp": "eq", "ptypes": ["ot"]})
+                    )
+                    stats_defines += 1
+                    predicates.add(target_pred)
+                # single unconditional edge: predicate shared, nothing to do
+            else:
+                merged.append(
+                    Operation(Opcode.JUMP, [], [], pb, {"target": edge.dst})
+                )
+                side_exits += 1
+
+    # splice: remove region blocks, insert the hyperblock where the entry
+    # will sit once the other region blocks are gone
+    position = sum(
+        1 for block in func.blocks[: func.block_index(entry)]
+        if block.label not in body
+    )
+    for label in body:
+        func.remove_block(label)
+    hyper = BasicBlock(entry, merged)
+    hyper.hyperblock = True
+    func.adopt_block(hyper, index=position)
+    _relax_trailing_exits(func, hyper)
+
+    return HyperblockInfo(
+        label=entry,
+        blocks_merged=len(body),
+        pred_defines=stats_defines,
+        predicates_used=len(predicates),
+        guarded_ops=guarded_ops,
+        side_exits=side_exits,
+    )
+
+
+def _relax_trailing_exits(func: Function, block: BasicBlock) -> None:
+    """Drop the guard of the block's final transfer operation(s).
+
+    Every path through the converted region ends in some transfer op, so if
+    control reaches the *last* transfer, none of the earlier ones fired and
+    this must be the active path's transfer — its guard is necessarily
+    true.  Dropping it restores the canonical simple-loop shape (an
+    unguarded loop-back branch at the end) and lets redundant trailing
+    jumps to the layout successor be deleted, exposing the fall-out exit.
+    """
+    while block.ops:
+        last = block.ops[-1]
+        if not last.is_branch:
+            break
+        if last.guard is not None:
+            last.guard = None
+        idx = func.blocks.index(block)
+        if (
+            last.opcode == Opcode.JUMP
+            and idx + 1 < len(func.blocks)
+            and last.target == func.blocks[idx + 1].label
+        ):
+            block.ops.pop()
+            continue
+        break

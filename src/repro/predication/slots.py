@@ -1,0 +1,181 @@
+"""Slot-based predication allocation (Section 4.2, Figure 4).
+
+The paper's low-overhead scheme replaces the predicate register file with
+one **standing predicate** per issue slot: predicate defines "source-route"
+computed values directly to the slots whose operations they control, and
+every operation spends a single **predicate-sensitivity bit** (``psens``)
+saying whether it consults its slot's standing predicate.
+
+Allocation happens after scheduling, when every operation has an issue
+slot.  For each predicate web the constraints are:
+
+* all consumers of a predicate must find its value in their own slot, so
+  each define routes the value to every consumer slot — and a define can
+  drive at most **two** slot predicates (Figure 4's encoding);
+* a slot holds one standing predicate at a time: predicates routed to the
+  same slot must have disjoint [define, last-consumer] intervals;
+* two defines may write the same slot in the same cycle only if they are
+  guaranteed to write the same value (or-type contributions to one
+  predicate); the compiler must not co-schedule potential 0/1 writers.
+
+When consumers span more than two slots, extra defines would have to be
+replicated (Section 4.2's asymmetric-machine caveat); we report the
+replication count rather than silently rescheduling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.block import BasicBlock
+from repro.ir.opcodes import Opcode
+from repro.ir.registers import VReg
+
+#: a predicate define can drive this many slot predicates (Figure 4)
+SLOTS_PER_DEFINE = 2
+
+
+@dataclass
+class PredicateRoute:
+    """Where one predicate's value lives under the slot-based scheme."""
+
+    reg: VReg
+    define_times: list[int] = field(default_factory=list)
+    consumer_slots: set[int] = field(default_factory=set)
+    interval: tuple[int, int] = (0, 0)   # [first define, last consumer]
+
+
+@dataclass
+class SlotAllocation:
+    """Result of slot-predication allocation for one scheduled block."""
+
+    routes: dict[VReg, PredicateRoute] = field(default_factory=dict)
+    sensitive_ops: int = 0
+    total_ops: int = 0
+    #: defines whose consumers span more than SLOTS_PER_DEFINE slots, and
+    #: would need replicated defines on this schedule
+    replications_needed: int = 0
+    #: (slot, pred_a, pred_b) standing-predicate interval conflicts
+    conflicts: list[tuple[int, VReg, VReg]] = field(default_factory=list)
+    #: (cycle, slot) pairs where two defines could write opposite values
+    write_races: list[tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.conflicts and not self.write_races
+
+    @property
+    def extra_defines(self) -> int:
+        return self.replications_needed
+
+
+def allocate_slot_predication(block: BasicBlock, schedule) -> SlotAllocation:
+    """Bind the block's predicates to issue-slot standing predicates.
+
+    ``schedule`` is a :class:`repro.sched.bundle.Schedule` or
+    :class:`repro.sched.modulo.ModuloSchedule`-like object exposing issue
+    times and slots for each op uid (``cycle_of``/``slot_of`` or
+    ``times``/``slots`` dicts).
+    """
+    times, slots = _placement_maps(block, schedule)
+    alloc = SlotAllocation()
+
+    # gather webs
+    for op in block.ops:
+        if op.opcode == Opcode.NOP or op.uid not in times:
+            continue
+        alloc.total_ops += 1
+        if op.guard is not None:
+            route = alloc.routes.setdefault(op.guard, PredicateRoute(op.guard))
+            route.consumer_slots.add(slots[op.uid])
+            op.attrs["psens"] = True
+            alloc.sensitive_ops += 1
+        if op.opcode in (Opcode.PRED_DEF, Opcode.PRED_SET):
+            for dest in op.dests:
+                route = alloc.routes.setdefault(dest, PredicateRoute(dest))
+                route.define_times.append(times[op.uid])
+
+    # intervals and routing annotations
+    for op in block.ops:
+        if op.opcode in (Opcode.PRED_DEF, Opcode.PRED_SET) and op.uid in times:
+            routing: dict[str, list[int]] = {}
+            for dest in op.dests:
+                route = alloc.routes[dest]
+                target_slots = sorted(route.consumer_slots)
+                routing[repr(dest)] = target_slots
+                if len(target_slots) > SLOTS_PER_DEFINE:
+                    alloc.replications_needed += (
+                        -(-len(target_slots) // SLOTS_PER_DEFINE) - 1
+                    )
+            op.attrs["slot_route"] = routing
+
+    for reg, route in alloc.routes.items():
+        start = min(route.define_times, default=0)
+        end = start
+        for op in block.ops:
+            if op.guard == reg and op.uid in times:
+                end = max(end, times[op.uid])
+        route.interval = (start, end)
+
+    _check_conflicts(alloc)
+    _check_write_races(block, times, slots, alloc)
+    return alloc
+
+
+def _placement_maps(block, schedule) -> tuple[dict[int, int], dict[int, int]]:
+    if hasattr(schedule, "placement"):  # list Schedule
+        times = {uid: p.cycle for uid, p in schedule.placement.items()}
+        slots = {uid: p.slot for uid, p in schedule.placement.items()}
+        return times, slots
+    return dict(schedule.times), dict(schedule.slots)  # ModuloSchedule
+
+
+def _check_conflicts(alloc: SlotAllocation) -> None:
+    """Standing-predicate interference: per slot, intervals must not overlap."""
+    by_slot: dict[int, list[PredicateRoute]] = {}
+    for route in alloc.routes.values():
+        for slot in route.consumer_slots:
+            by_slot.setdefault(slot, []).append(route)
+    for slot, routes in by_slot.items():
+        routes.sort(key=lambda r: r.interval)
+        for a, b in zip(routes, routes[1:]):
+            # half-open overlap: a's value must stand until its last
+            # consumer; b may not be defined into the slot before that
+            if b.interval[0] < a.interval[1] and a.reg != b.reg:
+                alloc.conflicts.append((slot, a.reg, b.reg))
+
+
+def _check_write_races(block, times, slots, alloc) -> None:
+    """Two defines in one cycle writing one slot with possibly-different
+    values are a hardware race (Section 4.2)."""
+    writers: dict[tuple[int, int], list] = {}
+    for op in block.ops:
+        if op.opcode not in (Opcode.PRED_DEF, Opcode.PRED_SET):
+            continue
+        if op.uid not in times:
+            continue
+        for dest in op.dests:
+            route = alloc.routes.get(dest)
+            if route is None:
+                continue
+            for slot in route.consumer_slots:
+                writers.setdefault((times[op.uid], slot), []).append((op, dest))
+    for (cycle, slot), entries in writers.items():
+        if len(entries) < 2:
+            continue
+        regs = {dest for _, dest in entries}
+        if len(regs) > 1:
+            alloc.write_races.append((cycle, slot))
+        else:
+            # same predicate: or-type contributions write only equal values
+            ptypes = set()
+            for op, _ in entries:
+                if op.opcode == Opcode.PRED_DEF:
+                    ptypes.update(op.attrs["ptypes"])
+                else:
+                    ptypes.add("set")
+            one_writers = ptypes & {"ot", "of"}
+            zero_writers = ptypes & {"at", "af"}
+            mixed = ptypes & {"ut", "uf", "ct", "cf", "set"}
+            if mixed or (one_writers and zero_writers):
+                alloc.write_races.append((cycle, slot))

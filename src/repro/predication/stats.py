@@ -1,0 +1,158 @@
+"""Predication-characteristics metrics (Figure 3 of the paper).
+
+Three cumulative distributions over the benchmark set:
+
+* **(a) consumers per predicate define** — how many guarded operations each
+  predicate define feeds (static = per define instance, dynamic = weighted
+  by execution count);
+* **(b) predicate live-range duration** — ops (a stand-in for cycles prior
+  to scheduling; the scheduled variant uses issue times) between a define
+  and its range's last consumer;
+* **(c) live-range overlap by loop** — simultaneously-live predicates per
+  predicated loop, weighted by dynamic iterations.
+
+These are the measurements that justify the slot-based scheme: defines
+rarely feed more than a handful of consumers, and four predicates cover
+almost all dynamic loop iterations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.profile import Profile
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.opcodes import Opcode
+from repro.ir.registers import VReg
+
+from .coloring import max_live_predicates, predicate_live_ranges
+
+
+@dataclass
+class DefineStat:
+    """Per-define measurements for one predicate destination."""
+
+    func: str
+    block: str
+    op_uid: int
+    reg: VReg
+    consumers: int
+    duration: int
+    weight: int  # dynamic executions of the define
+
+
+@dataclass
+class LoopOverlapStat:
+    func: str
+    block: str
+    max_live: int
+    iterations: int
+
+
+@dataclass
+class PredicationStats:
+    defines: list[DefineStat] = field(default_factory=list)
+    loops: list[LoopOverlapStat] = field(default_factory=list)
+
+    # -- Figure 3(a): consumers per define ------------------------------------
+
+    def consumers_cdf(self, dynamic: bool = False) -> dict[int, float]:
+        """Cumulative fraction of defines with <= N consumers."""
+        weights: dict[int, int] = {}
+        for stat in self.defines:
+            w = stat.weight if dynamic else 1
+            if w:
+                weights[stat.consumers] = weights.get(stat.consumers, 0) + w
+        return _cdf(weights)
+
+    # -- Figure 3(b): live range durations -------------------------------------
+
+    def duration_cdf(self, dynamic: bool = False) -> dict[int, float]:
+        weights: dict[int, int] = {}
+        for stat in self.defines:
+            w = stat.weight if dynamic else 1
+            if w:
+                weights[stat.duration] = weights.get(stat.duration, 0) + w
+        return _cdf(weights)
+
+    # -- Figure 3(c): overlap by loop -------------------------------------------
+
+    def overlap_cdf(self, dynamic: bool = True) -> dict[int, float]:
+        weights: dict[int, int] = {}
+        for stat in self.loops:
+            w = stat.iterations if dynamic else 1
+            if w:
+                weights[stat.max_live] = weights.get(stat.max_live, 0) + w
+        return _cdf(weights)
+
+    def predicates_covering(self, fraction: float = 0.99) -> int:
+        """Fewest simultaneously-live predicates covering ``fraction`` of
+        dynamic loop iterations (the paper: 4 covers 99%)."""
+        cdf = self.overlap_cdf(dynamic=True)
+        for n in sorted(cdf):
+            if cdf[n] >= fraction:
+                return n
+        return max(cdf, default=0)
+
+
+def _cdf(weights: dict[int, int]) -> dict[int, float]:
+    total = sum(weights.values())
+    if total == 0:
+        return {}
+    out: dict[int, float] = {}
+    running = 0
+    for key in sorted(weights):
+        running += weights[key]
+        out[key] = running / total
+    return out
+
+
+def collect_function_stats(
+    func: Function, profile: Profile | None = None
+) -> PredicationStats:
+    """Measure predication characteristics over ``func``'s hyperblocks."""
+    stats = PredicationStats()
+    for block in func.blocks:
+        has_preds = any(
+            op.opcode in (Opcode.PRED_DEF, Opcode.PRED_SET) for op in block.ops
+        )
+        if not has_preds:
+            continue
+
+        ranges = {rng.reg: rng for rng in predicate_live_ranges(block)}
+        for i, op in enumerate(block.ops):
+            if op.opcode not in (Opcode.PRED_DEF, Opcode.PRED_SET):
+                continue
+            weight = profile.op_count(func.name, op.uid) if profile else 0
+            for reg in op.dests:
+                rng = ranges.get(reg)
+                if rng is None:
+                    continue
+                consumers = sum(1 for c in rng.consumers if c > i)
+                last = max((c for c in rng.consumers if c > i), default=i)
+                stats.defines.append(
+                    DefineStat(func.name, block.label, op.uid, reg,
+                               consumers, last - i, weight)
+                )
+
+        term = block.terminator
+        is_loop = term is not None and term.target == block.label
+        if is_loop:
+            iters = profile.block_count(func.name, block.label) if profile else 0
+            stats.loops.append(
+                LoopOverlapStat(func.name, block.label,
+                                max_live_predicates(block), iters)
+            )
+    return stats
+
+
+def collect_module_stats(
+    module: Module, profile: Profile | None = None
+) -> PredicationStats:
+    total = PredicationStats()
+    for func in module.functions.values():
+        got = collect_function_stats(func, profile)
+        total.defines.extend(got.defines)
+        total.loops.extend(got.loops)
+    return total

@@ -1,0 +1,31 @@
+"""VLIW scheduling: machine description, list scheduling, iterative modulo
+scheduling with modulo variable expansion, and register-binding checks."""
+
+from .bundle import Bundle, Placement, Schedule
+from .list_sched import schedule_block, schedule_function
+from .machine import DEFAULT_MACHINE, MachineDescription
+from .modulo import (
+    ModuloSchedule,
+    ModuloSchedulingFailed,
+    modulo_schedule,
+    recurrence_mii,
+    resource_mii,
+)
+from .regbind import BindReport, check_bindability
+
+__all__ = [
+    "BindReport",
+    "Bundle",
+    "DEFAULT_MACHINE",
+    "MachineDescription",
+    "ModuloSchedule",
+    "ModuloSchedulingFailed",
+    "Placement",
+    "Schedule",
+    "check_bindability",
+    "modulo_schedule",
+    "recurrence_mii",
+    "resource_mii",
+    "schedule_block",
+    "schedule_function",
+]

@@ -1,0 +1,88 @@
+"""Scheduled-code representation: bundles and per-block schedules.
+
+A :class:`Schedule` binds every operation of one block to an (issue cycle,
+issue slot) pair; a :class:`Bundle` is the set of operations issuing in one
+cycle.  Operation bundles are stored in the compressed format of the
+modeled machine (Section 7): NOPs consume no space, so a bundle's fetch
+cost is the number of real operations in it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.opcodes import Opcode
+from repro.ir.operation import Operation
+
+
+@dataclass
+class Placement:
+    cycle: int
+    slot: int
+
+
+@dataclass
+class Bundle:
+    """Operations issuing in a single cycle, keyed by slot."""
+
+    cycle: int
+    ops: dict[int, Operation] = field(default_factory=dict)
+
+    def add(self, slot: int, op: Operation) -> None:
+        if slot in self.ops:
+            raise ValueError(f"slot {slot} already occupied in cycle {self.cycle}")
+        self.ops[slot] = op
+
+    @property
+    def op_count(self) -> int:
+        """Fetchable operations (compressed encoding: NOPs are free)."""
+        return sum(1 for op in self.ops.values() if op.opcode != Opcode.NOP)
+
+    def in_slot_order(self) -> list[tuple[int, Operation]]:
+        return sorted(self.ops.items())
+
+
+@dataclass
+class Schedule:
+    """A complete schedule of one block's operations."""
+
+    bundles: list[Bundle] = field(default_factory=list)
+    placement: dict[int, Placement] = field(default_factory=dict)  # op uid ->
+
+    @property
+    def length(self) -> int:
+        """Schedule length in cycles."""
+        if not self.bundles:
+            return 0
+        return self.bundles[-1].cycle + 1
+
+    @property
+    def op_count(self) -> int:
+        return sum(bundle.op_count for bundle in self.bundles)
+
+    def place(self, op: Operation, cycle: int, slot: int) -> None:
+        while len(self.bundles) <= cycle:
+            self.bundles.append(Bundle(len(self.bundles)))
+        self.bundles[cycle].add(slot, op)
+        self.placement[op.uid] = Placement(cycle, slot)
+
+    def cycle_of(self, op: Operation) -> int:
+        return self.placement[op.uid].cycle
+
+    def slot_of(self, op: Operation) -> int:
+        return self.placement[op.uid].slot
+
+    def utilization(self, width: int) -> float:
+        """Fraction of issue capacity used (real ops / slots available)."""
+        if not self.bundles:
+            return 0.0
+        return self.op_count / (len(self.bundles) * width)
+
+    def dump(self) -> str:
+        lines = []
+        for bundle in self.bundles:
+            entries = ", ".join(
+                f"s{slot}:{op!r}" for slot, op in bundle.in_slot_order()
+            )
+            lines.append(f"  cycle {bundle.cycle}: {entries}")
+        return "\n".join(lines)

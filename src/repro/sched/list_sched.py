@@ -1,0 +1,155 @@
+"""Acyclic (prepass) list scheduling of blocks onto the VLIW.
+
+Classic critical-path list scheduling: operations become ready when all
+their dependence predecessors have issued and their latencies elapsed;
+each cycle, ready operations are placed highest-priority-first into
+compatible free slots (scarcest-unit slots preferred, so an IALU op does
+not squat on the lone branch slot).
+
+The dependence graph is predicate-aware (disjoint-guard relaxation) and,
+when liveness is supplied, allows speculable operations to hoist above
+hyperblock side exits (Section 3's control-speculation support).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.dependence import DependenceGraph, build_dependence_graph
+from repro.analysis.predrel import PredicateRelations
+from repro.ir.block import BasicBlock
+from repro.ir.opcodes import Opcode
+
+from .bundle import Schedule
+from .machine import DEFAULT_MACHINE, MachineDescription
+
+
+def _priorities(graph: DependenceGraph) -> list[int]:
+    """Latency-weighted height of each op (longest path to a leaf)."""
+    n = len(graph.ops)
+    height = [0] * n
+    order = _topo(graph)
+    for i in reversed(order):
+        best = 0
+        for edge in graph.succs[i]:
+            if edge.distance == 0:
+                best = max(best, max(edge.latency, 1) + height[edge.dst])
+        height[i] = best
+    return height
+
+
+def _topo(graph: DependenceGraph) -> list[int]:
+    n = len(graph.ops)
+    indeg = [0] * n
+    for edge in graph.edges:
+        if edge.distance == 0:
+            indeg[edge.dst] += 1
+    stack = [i for i in range(n) if indeg[i] == 0]
+    order: list[int] = []
+    while stack:
+        node = stack.pop()
+        order.append(node)
+        for edge in graph.succs[node]:
+            if edge.distance == 0:
+                indeg[edge.dst] -= 1
+                if indeg[edge.dst] == 0:
+                    stack.append(edge.dst)
+    if len(order) != n:
+        raise RuntimeError("dependence graph has a zero-distance cycle")
+    return order
+
+
+def schedule_block(
+    block: BasicBlock,
+    machine: MachineDescription = DEFAULT_MACHINE,
+    exit_live: dict[int, set] | None = None,
+    relations: PredicateRelations | None = None,
+) -> Schedule:
+    """List-schedule one block; returns the bundle schedule."""
+    ops = [op for op in block.ops if op.opcode != Opcode.NOP]
+    if relations is None:
+        relations = PredicateRelations(block)
+    graph = build_dependence_graph(ops, relations=relations,
+                                   exit_live=exit_live)
+    priority = _priorities(graph)
+
+    n = len(ops)
+    earliest = [0] * n
+    unscheduled = set(range(n))
+    issue_time: dict[int, int] = {}
+    schedule = Schedule()
+    cycle = 0
+
+    preds_remaining = [0] * n
+    for edge in graph.edges:
+        if edge.distance == 0:
+            preds_remaining[edge.dst] += 1
+
+    ready: list[int] = [i for i in range(n) if preds_remaining[i] == 0]
+
+    while unscheduled:
+        # candidates whose earliest start has arrived
+        candidates = [i for i in ready if earliest[i] <= cycle]
+        candidates.sort(key=lambda i: (-priority[i], i))
+        occupied: set[int] = {
+            slot for slot, _ in schedule.bundles[cycle].in_slot_order()
+        } if cycle < len(schedule.bundles) else set()
+
+        placed_any = False
+        for i in candidates:
+            op = ops[i]
+            slot = next(
+                (s for s in machine.slots_for_op(op.opcode)
+                 if s not in occupied),
+                None,
+            )
+            if slot is None:
+                continue
+            schedule.place(op, cycle, slot)
+            occupied.add(slot)
+            issue_time[i] = cycle
+            unscheduled.discard(i)
+            ready.remove(i)
+            placed_any = True
+            for edge in graph.succs[i]:
+                if edge.distance != 0:
+                    continue
+                preds_remaining[edge.dst] -= 1
+                earliest[edge.dst] = max(
+                    earliest[edge.dst], cycle + edge.latency
+                )
+                if preds_remaining[edge.dst] == 0:
+                    ready.append(edge.dst)
+        cycle += 1
+        if cycle > 10 * (n + 8) + 64:
+            raise RuntimeError(
+                f"list scheduler failed to converge on {block.label}"
+            )
+    return schedule
+
+
+def schedule_function(
+    func,
+    machine: MachineDescription = DEFAULT_MACHINE,
+    liveness_info=None,
+) -> dict[str, Schedule]:
+    """List-schedule every block; returns label -> Schedule."""
+    from repro.analysis.liveness import liveness
+
+    if liveness_info is None:
+        liveness_info = liveness(func)
+    schedules: dict[str, Schedule] = {}
+    for block in func.blocks:
+        exit_live = _exit_live_map(func, block, liveness_info)
+        schedules[block.label] = schedule_block(
+            block, machine, exit_live=exit_live
+        )
+    return schedules
+
+
+def _exit_live_map(func, block, liveness_info) -> dict[int, set]:
+    """Map op-list index of each branch to registers live on its taken path."""
+    ops = [op for op in block.ops if op.opcode != Opcode.NOP]
+    result: dict[int, set] = {}
+    for i, op in enumerate(ops):
+        if op.is_branch and op.target is not None and func.has_block(op.target):
+            result[i] = set(liveness_info.live_in.get(op.target, set()))
+    return result

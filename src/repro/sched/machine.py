@@ -1,0 +1,77 @@
+"""The modeled 8-wide VLIW machine (Section 7, Figure 6).
+
+"Our experimental machine is an 8-wide unified VLIW with resources loosely
+modeled after the TI 'C6x series microprocessors. ... The processor has
+eight integer ALUs, two of which can issue integer multiplies; three
+memory units; one branch unit; two floating-point units; and four units
+capable of generating predicate values."
+
+The per-slot capability table in Figure 6 is typographically garbled in
+the available text; we reconstruct it from the prose (every slot has an
+IALU; the multiply-capable ALUs share their slots with the FPUs as the
+figure's "Imul/F" units):
+
+====  ==========================
+slot  units
+====  ==========================
+0     IALU, PRED
+1     IALU, PRED
+2     IALU, IMUL, FPU
+3     IALU, IMUL, FPU
+4     IALU, MEM, PRED
+5     IALU, MEM, PRED
+6     IALU, MEM
+7     IALU, BRANCH
+====  ==========================
+
+Latencies (Section 7): arithmetic 1, multiplies 2, divides 8, loads 3,
+floating point 2.  Branch resolution costs a 3-cycle taken-branch bubble
+when fetching from global memory (Section 2 cites 3-5 cycle penalties);
+the loop buffer's loop-back prediction removes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.opcodes import Opcode, Unit, unit_of
+
+_DEFAULT_SLOTS: tuple[frozenset, ...] = (
+    frozenset({Unit.IALU, Unit.PRED}),
+    frozenset({Unit.IALU, Unit.PRED}),
+    frozenset({Unit.IALU, Unit.IMUL, Unit.FPU}),
+    frozenset({Unit.IALU, Unit.IMUL, Unit.FPU}),
+    frozenset({Unit.IALU, Unit.MEM, Unit.PRED}),
+    frozenset({Unit.IALU, Unit.MEM, Unit.PRED}),
+    frozenset({Unit.IALU, Unit.MEM}),
+    frozenset({Unit.IALU, Unit.BRANCH}),
+)
+
+
+@dataclass(frozen=True)
+class MachineDescription:
+    """Issue-slot capabilities and fetch-side parameters."""
+
+    slot_units: tuple[frozenset, ...] = _DEFAULT_SLOTS
+    branch_penalty: int = 3       # taken-branch bubble, global fetch
+    int_registers: int = 64
+    predicate_registers: int = 8
+    operation_bits: int = 32      # each operation is 32 bits (Section 7)
+
+    @property
+    def width(self) -> int:
+        return len(self.slot_units)
+
+    def slots_for(self, unit: Unit) -> list[int]:
+        """Issue slots that can execute ``unit``, scarcest-capability first."""
+        slots = [i for i, units in enumerate(self.slot_units) if unit in units]
+        return sorted(slots, key=lambda i: len(self.slot_units[i]))
+
+    def slots_for_op(self, opcode: Opcode) -> list[int]:
+        return self.slots_for(unit_of(opcode))
+
+    def unit_count(self, unit: Unit) -> int:
+        return sum(1 for units in self.slot_units if unit in units)
+
+
+DEFAULT_MACHINE = MachineDescription()

@@ -1,0 +1,257 @@
+"""Iterative modulo scheduling (Rau [2]) for simple loops.
+
+Computes the minimum initiation interval (ResMII from unit counts, RecMII
+from dependence recurrences) and places the loop body's operations into a
+modulo reservation table, bumping conflicting operations as in classic IMS
+until the schedule converges or the II is raised.
+
+Modulo variable expansion (MVE): register lifetimes that exceed the II
+overlap their own next-iteration definitions; without rotating registers
+the kernel must be unrolled by ``ceil(max_lifetime / II)`` copies.  The
+paper leans on exactly this effect when explaining mpg123's buffer
+behaviour ("a number of large loops ... require four modulo variable
+expansions, thus increasing their code size"), so the expansion factor and
+the expanded kernel size are first-class outputs here — they determine a
+loop's loop-buffer footprint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import ceil, gcd
+
+from repro.analysis.dependence import DependenceGraph, build_dependence_graph
+from repro.analysis.predrel import PredicateRelations
+from repro.ir.block import BasicBlock
+from repro.ir.opcodes import Opcode, Unit, unit_of
+from repro.ir.registers import VReg
+
+from .machine import DEFAULT_MACHINE, MachineDescription
+
+
+class ModuloSchedulingFailed(Exception):
+    """No schedule found within the II search budget."""
+
+
+@dataclass
+class ModuloSchedule:
+    ii: int
+    times: dict[int, int]            # op uid -> issue time
+    slots: dict[int, int]            # op uid -> issue slot
+    ops: list                        # scheduled operations, original order
+    mve_factor: int = 1
+
+    @property
+    def schedule_length(self) -> int:
+        """Flat length of one iteration (the pipeline fill time)."""
+        return max(self.times.values(), default=0) + 1
+
+    @property
+    def stages(self) -> int:
+        return max(1, ceil(self.schedule_length / self.ii))
+
+    @property
+    def kernel_op_count(self) -> int:
+        """Operations in one kernel copy (NOPs excluded)."""
+        return sum(1 for op in self.ops if op.opcode != Opcode.NOP)
+
+    @property
+    def buffered_op_count(self) -> int:
+        """Loop-buffer footprint: kernel ops times the MVE unroll factor."""
+        return self.kernel_op_count * self.mve_factor
+
+
+def resource_mii(ops, machine: MachineDescription) -> int:
+    """ResMII: each unit class's op count over its slot count."""
+    demand: dict[Unit, int] = {}
+    for op in ops:
+        if op.opcode == Opcode.NOP:
+            continue
+        unit = unit_of(op.opcode)
+        demand[unit] = demand.get(unit, 0) + 1
+    mii = 1
+    for unit, count in demand.items():
+        slots = machine.unit_count(unit)
+        mii = max(mii, ceil(count / slots))
+    # IALU ops can spill into any slot, but every op consumes *some* slot
+    total = sum(demand.values())
+    mii = max(mii, ceil(total / machine.width))
+    return mii
+
+
+def recurrence_mii(graph: DependenceGraph) -> int:
+    """RecMII: smallest II with no positive cycle of weight lat - II*dist.
+
+    Checked by Bellman-Ford-style relaxation on longest paths; the II is
+    feasible when relaxation converges (no positive-weight cycle).
+    """
+    ii = 1
+    while ii < 512:
+        if _feasible(graph, ii):
+            return ii
+        ii += 1
+    raise ModuloSchedulingFailed("recurrence MII exceeds search budget")
+
+
+def _feasible(graph: DependenceGraph, ii: int) -> bool:
+    n = len(graph.ops)
+    dist = [0] * n
+    for _ in range(n + 1):
+        changed = False
+        for edge in graph.edges:
+            weight = edge.latency - ii * edge.distance
+            if dist[edge.src] + weight > dist[edge.dst]:
+                dist[edge.dst] = dist[edge.src] + weight
+                changed = True
+        if not changed:
+            return True
+    return False
+
+
+def modulo_schedule(
+    block: BasicBlock,
+    machine: MachineDescription = DEFAULT_MACHINE,
+    max_ii: int = 256,
+    budget_factor: int = 8,
+) -> ModuloSchedule:
+    """Iteratively modulo-schedule a simple loop body."""
+    ops = [op for op in block.ops if op.opcode != Opcode.NOP]
+    relations = PredicateRelations(block)
+    graph = build_dependence_graph(ops, relations=relations, loop_carried=True)
+    mii = max(resource_mii(ops, machine), recurrence_mii(graph))
+
+    for ii in range(mii, max_ii + 1):
+        result = _try_schedule(ops, graph, machine, ii,
+                               budget_factor * len(ops) + 32)
+        if result is not None:
+            times, slots = result
+            sched = ModuloSchedule(
+                ii=ii,
+                times={ops[i].uid: t for i, t in times.items()},
+                slots={ops[i].uid: s for i, s in slots.items()},
+                ops=list(ops),
+            )
+            sched.mve_factor = _mve_factor(ops, graph, times, ii)
+            return sched
+    raise ModuloSchedulingFailed(f"no II <= {max_ii} for {block.label}")
+
+
+def _try_schedule(ops, graph, machine, ii, budget):
+    """One IMS attempt at a fixed II; returns (times, slots) or None."""
+    n = len(ops)
+    height = _heights(graph, ii)
+    order = sorted(range(n), key=lambda i: (-height[i], i))
+    times: dict[int, int] = {}
+    slots: dict[int, int] = {}
+    # modulo reservation table: (slot, time mod ii) -> op index
+    mrt: dict[tuple[int, int], int] = {}
+    never_scheduled = set(range(n))
+    worklist = list(order)
+    attempts = 0
+
+    while worklist:
+        attempts += 1
+        if attempts > budget:
+            return None
+        i = worklist.pop(0)
+        lo = 0
+        for edge in graph.preds[i]:
+            if edge.src in times:
+                lo = max(lo, times[edge.src] + edge.latency - ii * edge.distance)
+        lo = max(lo, 0)
+        hi = lo + ii - 1
+
+        placed = False
+        for t in range(lo, hi + 1):
+            slot = _free_slot(ops[i], t % ii, mrt, machine)
+            if slot is not None:
+                _place(i, t, slot, times, slots, mrt, ii)
+                placed = True
+                break
+        if not placed:
+            # forced placement at lo: evict whatever conflicts (classic IMS)
+            t = lo
+            slot_candidates = machine.slots_for_op(ops[i].opcode)
+            slot = slot_candidates[0]
+            evicted = [
+                j for (s, m), j in list(mrt.items())
+                if s == slot and m == t % ii
+            ]
+            for j in evicted:
+                _unplace(j, times, slots, mrt, ii)
+                worklist.append(j)
+            _place(i, t, slot, times, slots, mrt, ii)
+        never_scheduled.discard(i)
+
+        # displace successors whose constraints broke
+        for edge in graph.succs[i]:
+            j = edge.dst
+            if j in times and j != i:
+                if times[i] + edge.latency - ii * edge.distance > times[j]:
+                    _unplace(j, times, slots, mrt, ii)
+                    worklist.append(j)
+
+    if _valid(graph, times, ii):
+        return times, slots
+    return None
+
+
+def _heights(graph, ii):
+    n = len(graph.ops)
+    height = [0] * n
+    for _ in range(n + 1):
+        changed = False
+        for edge in graph.edges:
+            weight = edge.latency - ii * edge.distance
+            if height[edge.src] < height[edge.dst] + weight:
+                height[edge.src] = height[edge.dst] + weight
+                changed = True
+        if not changed:
+            break
+    return height
+
+
+def _free_slot(op, mslot_time, mrt, machine):
+    for slot in machine.slots_for_op(op.opcode):
+        if (slot, mslot_time) not in mrt:
+            return slot
+    return None
+
+
+def _place(i, t, slot, times, slots, mrt, ii):
+    times[i] = t
+    slots[i] = slot
+    mrt[(slot, t % ii)] = i
+
+
+def _unplace(i, times, slots, mrt, ii):
+    t = times.pop(i)
+    slot = slots.pop(i)
+    mrt.pop((slot, t % ii), None)
+
+
+def _valid(graph, times, ii):
+    if len(times) != len(graph.ops):
+        return False
+    for edge in graph.edges:
+        if times[edge.src] + edge.latency - ii * edge.distance > times[edge.dst]:
+            return False
+    return True
+
+
+def _mve_factor(ops, graph, times, ii) -> int:
+    """Kernel unroll factor required by register lifetimes (no rotating
+    register file on the modeled machine)."""
+    lifetime: dict[VReg, int] = {}
+    for edge in graph.edges:
+        if edge.kind != "flow":
+            continue
+        src_op = ops[edge.src]
+        span = times[edge.dst] + ii * edge.distance - times[edge.src]
+        for reg in src_op.dests:
+            lifetime[reg] = max(lifetime.get(reg, 0), span)
+    factor = 1
+    for span in lifetime.values():
+        if span > 0:
+            factor = max(factor, ceil(span / ii))
+    return factor

@@ -1,0 +1,1 @@
+"""Simulators: functional interpreter, cycle-level VLIW model, power model."""

@@ -1,0 +1,85 @@
+"""Flat word-addressed memory with a global/stack loader.
+
+The modeled machine is a von Neumann design with a single unified memory
+(Section 2 of the paper).  Addresses are in 32-bit words.  The loader
+places module globals from :data:`GLOBAL_BASE` upward; call frames are
+carved from :data:`STACK_BASE` upward (the functional interpreter and the
+VLIW simulator share frame conventions so architectural state can be
+compared operation for operation).
+"""
+
+from __future__ import annotations
+
+from repro.ir.module import Module
+
+GLOBAL_BASE = 0x1000
+STACK_BASE = 0x100000
+
+
+class MemoryError_(Exception):
+    """A simulated memory access fault."""
+
+
+class Memory:
+    """Sparse word-addressed memory."""
+
+    def __init__(self) -> None:
+        self._words: dict[int, int] = {}
+        self.loads = 0
+        self.stores = 0
+
+    def read(self, addr: int) -> int:
+        if addr < 0:
+            raise MemoryError_(f"negative address {addr:#x}")
+        self.loads += 1
+        return self._words.get(addr, 0)
+
+    def write(self, addr: int, value: int) -> None:
+        if addr < 0:
+            raise MemoryError_(f"negative address {addr:#x}")
+        self.stores += 1
+        self._words[addr] = value
+
+    def peek(self, addr: int) -> int:
+        """Read without perturbing access counters (for test inspection)."""
+        return self._words.get(addr, 0)
+
+    def poke(self, addr: int, value: int) -> None:
+        """Write without perturbing access counters (for test setup)."""
+        self._words[addr] = value
+
+    def read_block(self, addr: int, count: int) -> list[int]:
+        return [self.peek(addr + i) for i in range(count)]
+
+    def write_block(self, addr: int, values: list[int]) -> None:
+        for i, value in enumerate(values):
+            self.poke(addr + i, value)
+
+
+class Loader:
+    """Lays out a module's globals and manages stack frames."""
+
+    def __init__(self, module: Module, memory: Memory | None = None) -> None:
+        self.module = module
+        self.memory = memory if memory is not None else Memory()
+        self.global_addrs: dict[str, int] = {}
+        addr = GLOBAL_BASE
+        for data in module.globals.values():
+            self.global_addrs[data.name] = addr
+            self.memory.write_block(addr, data.words())
+            addr += data.size
+        self._stack_top = STACK_BASE
+
+    def global_addr(self, name: str) -> int:
+        return self.global_addrs[name]
+
+    def push_frame(self, words: int) -> int:
+        """Allocate a stack frame; returns its base address."""
+        base = self._stack_top
+        self._stack_top += words
+        return base
+
+    def pop_frame(self, words: int) -> None:
+        self._stack_top -= words
+        if self._stack_top < STACK_BASE:
+            raise MemoryError_("stack underflow")

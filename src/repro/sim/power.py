@@ -1,0 +1,63 @@
+"""Instruction-fetch energy model (Section 7.2, Figure 8(b)).
+
+The paper calibrates with Cacti 2.0 at 0.13um: "fetching an operation from
+a single-port, 256-operation buffer (assuming 32-bit operations) consumes
+41.8 times less power than a fetch from a 512KB, 2 read/write port,
+non-cache memory", and notes that memory power commonly scales about
+linearly with size.  We therefore model per-operation fetch energy as:
+
+* global memory: fixed ``MEMORY_ENERGY`` = 41.8 units;
+* loop buffer of capacity C ops: ``C / 256`` units (linear size scaling
+  through the calibration point: 1.0 unit at the paper's 256-op buffer).
+
+Reported quantities are ratios of sums of these, so the unit is arbitrary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: energy units per op fetched from the 512 KB global memory
+MEMORY_ENERGY = 41.8
+#: calibration buffer size (ops)
+CALIBRATION_CAPACITY = 256
+
+
+def buffer_energy_per_op(capacity: int) -> float:
+    """Per-op fetch energy of a ``capacity``-op loop buffer."""
+    if capacity <= 0:
+        raise ValueError("capacity must be positive")
+    return capacity / CALIBRATION_CAPACITY
+
+
+@dataclass
+class FetchEnergy:
+    """Fetch-energy rollup for one simulated run."""
+
+    ops_from_memory: int
+    ops_from_buffer: int
+    buffer_capacity: int
+
+    @property
+    def memory_energy(self) -> float:
+        return self.ops_from_memory * MEMORY_ENERGY
+
+    @property
+    def buffer_energy(self) -> float:
+        return self.ops_from_buffer * buffer_energy_per_op(self.buffer_capacity)
+
+    @property
+    def total(self) -> float:
+        return self.memory_energy + self.buffer_energy
+
+    def normalized_to(self, baseline: "FetchEnergy") -> float:
+        """This run's fetch energy relative to ``baseline``'s."""
+        if baseline.total == 0:
+            return 0.0
+        return self.total / baseline.total
+
+
+def unbuffered_baseline(total_ops: int) -> FetchEnergy:
+    """The Figure 8(b) normalization point: every op from global memory."""
+    return FetchEnergy(ops_from_memory=total_ops, ops_from_buffer=0,
+                       buffer_capacity=CALIBRATION_CAPACITY)

@@ -1,0 +1,201 @@
+"""Bundle-level model of the slot-based predication harness (Figure 4).
+
+Executes one scheduled straight-line block cycle by cycle under the
+paper's hardware scheme:
+
+* each issue slot holds a **standing predicate** in its guard latch;
+* an operation whose ``psens`` bit is set is nullified when its own
+  slot's standing predicate is 0;
+* a predicate define, when Table 2 calls for an update, drives the value
+  and write lines of the 16-bit predicate bus toward the slots recorded
+  in its ``slot_route``; the update is latched at end of cycle and
+  visible to operations issuing in *subsequent* cycles (the 1-cycle
+  generator-to-squash path of Section 7.3);
+* two simultaneous writers to one slot are legal only when they drive
+  the same value — otherwise the harness raises, which is the condition
+  the compiler must prevent.
+
+Used to validate architectural equivalence: for any scheduled block,
+executing under this model must produce the same register/memory state as
+sequential execution under the register-predicate model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.block import BasicBlock
+from repro.ir.opcodes import Opcode
+from repro.ir.preddef import pred_update
+from repro.ir.registers import FImm, GlobalRef, Imm, VReg
+from repro.sim.interp import SimError, evaluate_op
+from repro.sim.values import compare, wrap32
+
+
+class SlotWriteRace(SimError):
+    """Two predicate defines drove one slot with different values."""
+
+
+@dataclass
+class HarnessState:
+    regs: dict[VReg, int] = field(default_factory=dict)
+    memory: dict[int, int] = field(default_factory=dict)
+    standing: dict[int, int] = field(default_factory=dict)  # slot -> 0/1
+    #: synthetic base addresses for module globals (assigned on first use)
+    global_addrs: dict[str, int] = field(default_factory=dict)
+
+
+def _value(state: HarnessState, operand):
+    if isinstance(operand, VReg):
+        return state.regs.get(operand, 0)
+    if isinstance(operand, (Imm, FImm)):
+        return operand.value
+    if isinstance(operand, GlobalRef):
+        if operand.name not in state.global_addrs:
+            state.global_addrs[operand.name] = 0x1000 + 256 * len(state.global_addrs)
+        return state.global_addrs[operand.name]
+    raise SimError(f"slot harness cannot evaluate {operand!r}")
+
+
+def run_slot_model(
+    block: BasicBlock,
+    schedule,
+    initial_regs: dict[VReg, int] | None = None,
+    initial_memory: dict[int, int] | None = None,
+) -> HarnessState:
+    """Execute a scheduled block under the slot-predication harness."""
+    state = HarnessState(
+        regs=dict(initial_regs or {}),
+        memory=dict(initial_memory or {}),
+        standing={slot: 0 for slot in range(8)},
+    )
+    by_cycle: dict[int, list] = {}
+    for op in block.ops:
+        if op.opcode == Opcode.NOP or op.uid not in schedule.placement:
+            continue
+        place = schedule.placement[op.uid]
+        by_cycle.setdefault(place.cycle, []).append((place.slot, op))
+
+    for cycle in sorted(by_cycle):
+        reg_writes: dict[VReg, int] = {}
+        mem_writes: dict[int, int] = {}
+        bus: dict[int, int] = {}  # slot -> driven value
+
+        # sample phase: all reads see start-of-cycle state
+        for slot, op in sorted(by_cycle[cycle]):
+            psens = bool(op.attrs.get("psens")) or op.guard is not None
+            guard_ok = (state.standing.get(slot, 0) == 1) if psens else True
+
+            if op.opcode in (Opcode.PRED_DEF, Opcode.PRED_SET):
+                _drive_bus(state, op, slot, guard_ok, bus)
+                continue
+            if not guard_ok:
+                continue
+            _execute(state, op, reg_writes, mem_writes)
+
+        # write phase
+        for reg, value in reg_writes.items():
+            state.regs[reg] = value
+        for addr, value in mem_writes.items():
+            state.memory[addr] = value
+        for slot, value in bus.items():
+            state.standing[slot] = value
+    return state
+
+
+def _drive_bus(state, op, slot, guard_ok, bus) -> None:
+    guard = 1 if guard_ok else 0
+    if op.opcode == Opcode.PRED_SET:
+        updates = {repr(op.dests[0]): (1 if _value(state, op.srcs[0]) else 0)}
+        route = op.attrs.get("slot_route", {})
+        for name, value in updates.items():
+            for target in route.get(name, []):
+                _drive(bus, target, value)
+        return
+    cond = compare(op.attrs["cmp"],
+                   _value(state, op.srcs[0]), _value(state, op.srcs[1]))
+    route = op.attrs.get("slot_route", {})
+    for dest, ptype in zip(op.dests, op.attrs["ptypes"]):
+        update = pred_update(ptype, guard, cond)
+        if update is None:
+            continue
+        for target in route.get(repr(dest), []):
+            _drive(bus, target, update)
+
+
+def _drive(bus: dict[int, int], slot: int, value: int) -> None:
+    if slot in bus and bus[slot] != value:
+        raise SlotWriteRace(f"slot {slot} driven with both 0 and 1")
+    bus[slot] = value
+
+
+def _execute(state, op, reg_writes, mem_writes) -> None:
+    if op.opcode == Opcode.LD:
+        addr = int(_value(state, op.srcs[0])) + int(_value(state, op.srcs[1]))
+        reg_writes[op.dests[0]] = state.memory.get(addr, 0)
+        return
+    if op.opcode == Opcode.ST:
+        addr = int(_value(state, op.srcs[0])) + int(_value(state, op.srcs[1]))
+        mem_writes[addr] = wrap32(_value(state, op.srcs[2]))
+        return
+    if op.is_branch:
+        raise SimError("slot harness handles straight-line code only")
+    reg_writes[op.dests[0]] = evaluate_op(op, lambda i: _value(state, op.srcs[i]))
+
+
+def run_register_model(
+    block: BasicBlock,
+    initial_regs: dict[VReg, int] | None = None,
+    initial_memory: dict[int, int] | None = None,
+) -> HarnessState:
+    """Sequential execution under classic register-predicate semantics —
+    the reference the slot harness must match."""
+    state = HarnessState(
+        regs=dict(initial_regs or {}),
+        memory=dict(initial_memory or {}),
+    )
+    for op in block.ops:
+        if op.opcode == Opcode.NOP:
+            continue
+        guard_ok = True
+        if op.guard is not None:
+            guard_ok = bool(state.regs.get(op.guard, 0))
+        if op.opcode == Opcode.PRED_DEF:
+            cond = compare(op.attrs["cmp"],
+                           _value(state, op.srcs[0]), _value(state, op.srcs[1]))
+            for dest, ptype in zip(op.dests, op.attrs["ptypes"]):
+                update = pred_update(ptype, 1 if guard_ok else 0, cond)
+                if update is not None:
+                    state.regs[dest] = update
+            continue
+        if op.opcode == Opcode.PRED_SET:
+            if guard_ok:
+                state.regs[op.dests[0]] = 1 if _value(state, op.srcs[0]) else 0
+            continue
+        if not guard_ok:
+            continue
+        if op.opcode == Opcode.LD:
+            addr = int(_value(state, op.srcs[0])) + int(_value(state, op.srcs[1]))
+            state.regs[op.dests[0]] = state.memory.get(addr, 0)
+            continue
+        if op.opcode == Opcode.ST:
+            addr = int(_value(state, op.srcs[0])) + int(_value(state, op.srcs[1]))
+            state.memory[addr] = wrap32(_value(state, op.srcs[2]))
+            continue
+        if op.is_branch:
+            raise SimError("register model handles straight-line code only")
+        state.regs[op.dests[0]] = evaluate_op(
+            op, lambda i, _op=op: _value(state, _op.srcs[i])
+        )
+    return state
+
+
+def states_equivalent(a: HarnessState, b: HarnessState) -> bool:
+    """Same architectural outcome: all non-predicate registers + memory."""
+    regs_a = {r: v for r, v in a.regs.items() if not r.is_predicate}
+    regs_b = {r: v for r, v in b.regs.items() if not r.is_predicate}
+    keys = set(regs_a) | set(regs_b)
+    if any(regs_a.get(k, 0) != regs_b.get(k, 0) for k in keys):
+        return False
+    addrs = set(a.memory) | set(b.memory)
+    return all(a.memory.get(k, 0) == b.memory.get(k, 0) for k in addrs)

@@ -1,0 +1,60 @@
+"""32-bit machine-value arithmetic shared by the simulators."""
+
+from __future__ import annotations
+
+WORD_BITS = 32
+WORD_MASK = (1 << WORD_BITS) - 1
+INT_MIN = -(1 << (WORD_BITS - 1))
+INT_MAX = (1 << (WORD_BITS - 1)) - 1
+
+
+def wrap32(value: int) -> int:
+    """Wrap a Python int to a signed 32-bit machine value."""
+    return ((value - INT_MIN) & WORD_MASK) + INT_MIN
+
+
+def to_unsigned(value: int) -> int:
+    return value & WORD_MASK
+
+
+def saturate(value: int, bits: int) -> int:
+    """Clamp ``value`` to the signed ``bits``-bit range."""
+    lo = -(1 << (bits - 1))
+    hi = (1 << (bits - 1)) - 1
+    if value < lo:
+        return lo
+    if value > hi:
+        return hi
+    return value
+
+
+def compare(test: str, a: int, b: int) -> int:
+    """Evaluate a comparison test; returns 0 or 1."""
+    if test == "eq":
+        return int(a == b)
+    if test == "ne":
+        return int(a != b)
+    if test == "lt":
+        return int(a < b)
+    if test == "le":
+        return int(a <= b)
+    if test == "gt":
+        return int(a > b)
+    if test == "ge":
+        return int(a >= b)
+    if test == "ltu":
+        return int(to_unsigned(a) < to_unsigned(b))
+    if test == "geu":
+        return int(to_unsigned(a) >= to_unsigned(b))
+    raise ValueError(f"unknown comparison test {test!r}")
+
+
+def cdiv(a: int, b: int) -> int:
+    """C-style division: truncation toward zero."""
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def crem(a: int, b: int) -> int:
+    """C-style remainder: sign follows the dividend."""
+    return a - cdiv(a, b) * b

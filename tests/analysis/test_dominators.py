@@ -1,0 +1,102 @@
+"""Unit tests for dominator / postdominator computation."""
+
+from repro.analysis.cfgview import CFGView
+from repro.analysis.dominators import dominator_tree, postdominator_tree
+from repro.ir import Function, IRBuilder, Imm, ireg
+
+from tests.helpers import build_counting_loop, build_if_diamond
+
+
+def _diamond_cfg():
+    func = build_if_diamond().function("main")
+    return func, CFGView(func)
+
+
+class TestCFGView:
+    def test_nodes_and_edges(self):
+        func, cfg = _diamond_cfg()
+        assert cfg.entry == "entry"
+        assert cfg.succs["entry"] == ["else", "then"]
+        assert sorted(cfg.preds["join"]) == ["else", "then"]
+
+    def test_reverse_postorder_starts_at_entry(self):
+        _, cfg = _diamond_cfg()
+        order = cfg.reverse_postorder()
+        assert order[0] == "entry"
+        assert order[-1] == "join"
+        assert set(order) == {"entry", "then", "else", "join"}
+
+    def test_reachable_excludes_orphans(self):
+        func = build_if_diamond().function("main")
+        orphan = func.add_block("orphan")
+        b = IRBuilder(func, orphan)
+        b.ret()
+        cfg = CFGView(func)
+        assert "orphan" not in cfg.reachable()
+
+
+class TestDominators:
+    def test_diamond(self):
+        _, cfg = _diamond_cfg()
+        dom = dominator_tree(cfg)
+        assert dom.dominates("entry", "join")
+        assert dom.dominates("entry", "then")
+        assert not dom.dominates("then", "join")
+        assert not dom.dominates("else", "join")
+        assert dom.idom["join"] == "entry"
+
+    def test_reflexive(self):
+        _, cfg = _diamond_cfg()
+        dom = dominator_tree(cfg)
+        for node in cfg.nodes:
+            assert dom.dominates(node, node)
+
+    def test_strict(self):
+        _, cfg = _diamond_cfg()
+        dom = dominator_tree(cfg)
+        assert dom.strictly_dominates("entry", "then")
+        assert not dom.strictly_dominates("entry", "entry")
+
+    def test_loop(self):
+        func = build_counting_loop(3).function("main")
+        dom = dominator_tree(CFGView(func))
+        assert dom.dominates("entry", "body")
+        assert dom.dominates("body", "done")
+        assert dom.idom["done"] == "body"
+
+    def test_children(self):
+        _, cfg = _diamond_cfg()
+        dom = dominator_tree(cfg)
+        assert sorted(dom.children("entry")) == ["else", "join", "then"]
+
+
+class TestPostdominators:
+    def test_diamond(self):
+        _, cfg = _diamond_cfg()
+        pdom = postdominator_tree(cfg)
+        assert pdom.dominates("join", "entry")
+        assert pdom.dominates("join", "then")
+        assert not pdom.dominates("then", "entry")
+
+    def test_loop_exit_postdominates_body(self):
+        func = build_counting_loop(3).function("main")
+        pdom = postdominator_tree(CFGView(func))
+        assert pdom.dominates("done", "body")
+        assert pdom.dominates("done", "entry")
+
+    def test_multiple_exits(self):
+        # entry -> a (ret) / b (ret): neither postdominates entry
+        func = Function("f")
+        b = IRBuilder(func)
+        entry = func.add_block("entry")
+        blk_a = func.add_block("a")
+        blk_b = func.add_block("b")
+        b.at(entry)
+        b.br("lt", ireg(0), Imm(0), "b")
+        b.at(blk_a)
+        b.ret()
+        b.at(blk_b)
+        b.ret()
+        pdom = postdominator_tree(CFGView(func))
+        assert not pdom.dominates("a", "entry")
+        assert not pdom.dominates("b", "entry")

@@ -1,0 +1,110 @@
+"""Unit tests for predicate-aware liveness."""
+
+from repro.analysis.liveness import (
+    liveness,
+    max_register_pressure,
+    op_unconditional_writes,
+    per_op_live_out,
+)
+from repro.ir import Function, IRBuilder, Imm, Opcode, Operation, ireg, preg
+
+from tests.helpers import build_counting_loop, build_if_diamond
+
+
+class TestUnconditionalWrites:
+    def test_plain_op_kills(self):
+        op = Operation(Opcode.ADD, [ireg(0)], [ireg(1), ireg(2)])
+        assert op_unconditional_writes(op) == [ireg(0)]
+
+    def test_guarded_op_does_not_kill(self):
+        op = Operation(Opcode.ADD, [ireg(0)], [ireg(1), ireg(2)], guard=preg(0))
+        assert op_unconditional_writes(op) == []
+
+    def test_ut_uf_always_kill_even_guarded(self):
+        op = Operation(
+            Opcode.PRED_DEF, [preg(1), preg(2)], [ireg(0), Imm(0)],
+            guard=preg(0), attrs={"cmp": "eq", "ptypes": ["ut", "uf"]},
+        )
+        assert op_unconditional_writes(op) == [preg(1), preg(2)]
+
+    def test_or_type_never_kills(self):
+        op = Operation(
+            Opcode.PRED_DEF, [preg(1)], [ireg(0), Imm(0)],
+            attrs={"cmp": "eq", "ptypes": ["ot"]},
+        )
+        assert op_unconditional_writes(op) == []
+
+
+class TestBlockLiveness:
+    def test_loop_carried_value_live_around_backedge(self):
+        func = build_counting_loop(5).function("main")
+        info = liveness(func)
+        body = func.block("body")
+        s = body.ops[0].dests[0]
+        i = body.ops[1].dests[0]
+        assert s in info.live_in["body"]
+        assert i in info.live_in["body"]
+        assert s in info.live_out["body"]  # needed by done and next iteration
+
+    def test_param_live_on_both_paths(self):
+        func = build_if_diamond().function("main")
+        info = liveness(func)
+        x = func.params[0]
+        assert x in info.live_in["entry"]
+        assert x in info.live_in["then"]
+        assert x in info.live_in["else"]
+        y = func.block("then").ops[0].dests[0]
+        assert y in info.live_in["join"]
+        assert y not in info.live_in["entry"]  # killed on both paths... defined there
+
+    def test_dead_value_not_live(self):
+        func = Function("f")
+        b = IRBuilder(func, func.add_block("entry"))
+        dead = b.movi(1)
+        live = b.movi(2)
+        func.add_block("next")
+        b.at(func.block("next"))
+        b.ret(live)
+        info = liveness(func)
+        assert live in info.live_in["next"]
+        assert dead not in info.live_in["next"]
+
+    def test_guarded_write_keeps_old_value_live(self):
+        # r is set before the branch target and conditionally overwritten;
+        # the original value must stay live across the guarded write.
+        func = Function("f")
+        b = IRBuilder(func, func.add_block("entry"))
+        r = b.movi(1)
+        p = func.new_pred()
+        b.pred_set(p, 0)
+        blk = func.add_block("body")
+        b.at(blk)
+        b.movi(9, dest=r, guard=p)
+        b.ret(r)
+        info = liveness(func)
+        assert r in info.live_in["body"]
+
+
+class TestPerOpLiveness:
+    def test_per_op_live_out(self):
+        func = build_counting_loop(3).function("main")
+        body = func.block("body")
+        info = liveness(func)
+        live_sets = per_op_live_out(body, info.live_out["body"])
+        assert len(live_sets) == len(body.ops)
+        s = body.ops[0].dests[0]
+        assert s in live_sets[0]
+
+    def test_register_pressure(self):
+        func = build_counting_loop(3).function("main")
+        assert max_register_pressure(func, "i") == 2  # s and i
+
+    def test_pressure_counts_only_kind(self):
+        func = Function("f")
+        b = IRBuilder(func, func.add_block("entry"))
+        p = func.new_pred()
+        b.pred_set(p, 1)
+        x = b.movi(3)
+        y = b.add(x, Imm(1), guard=p)
+        b.ret(y)
+        assert max_register_pressure(func, "p") == 1

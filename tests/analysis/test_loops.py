@@ -1,0 +1,195 @@
+"""Unit tests for natural-loop detection and trip-count analysis."""
+
+from repro.analysis.cfgview import CFGView
+from repro.analysis.loops import (
+    analyze_trip_count,
+    find_loops,
+    innermost_loops,
+    is_simple_loop,
+)
+from repro.ir import Function, IRBuilder, Imm, ireg
+from repro.sim.interp import run_module
+
+from tests.helpers import build_counting_loop, build_if_diamond, build_nested_loop
+
+
+class TestLoopDetection:
+    def test_single_loop(self):
+        func = build_counting_loop(5).function("main")
+        loops = find_loops(func)
+        assert len(loops) == 1
+        loop = loops[0]
+        assert loop.header == "body"
+        assert loop.body == {"body"}
+        assert loop.latches == ["body"]
+        assert loop.depth == 1
+
+    def test_no_loops_in_diamond(self):
+        func = build_if_diamond().function("main")
+        assert find_loops(func) == []
+
+    def test_nested_loops(self):
+        func = build_nested_loop().function("main")
+        loops = find_loops(func)
+        assert len(loops) == 2
+        outer = next(lp for lp in loops if lp.header == "outer")
+        inner = next(lp for lp in loops if lp.header == "inner")
+        assert outer.depth == 1
+        assert inner.depth == 2
+        assert inner.parent is outer
+        assert inner in outer.children
+        assert inner.body < outer.body
+        assert innermost_loops(loops) == [inner]
+
+    def test_preheader(self):
+        func = build_nested_loop().function("main")
+        cfg = CFGView(func)
+        loops = find_loops(func, cfg)
+        outer = next(lp for lp in loops if lp.header == "outer")
+        inner = next(lp for lp in loops if lp.header == "inner")
+        assert outer.preheader(cfg) == "entry"
+        assert inner.preheader(cfg) == "outer"
+
+    def test_exit_edges(self):
+        func = build_nested_loop().function("main")
+        cfg = CFGView(func)
+        loops = find_loops(func, cfg)
+        inner = next(lp for lp in loops if lp.header == "inner")
+        assert inner.exit_edges(cfg) == [("inner", "latch")]
+        outer = next(lp for lp in loops if lp.header == "outer")
+        assert outer.exit_edges(cfg) == [("latch", "done")]
+
+
+class TestSimpleLoop:
+    def test_counting_loop_is_simple(self):
+        func = build_counting_loop(5).function("main")
+        loop = find_loops(func)[0]
+        assert is_simple_loop(func, loop)
+
+    def test_multi_block_loop_not_simple(self):
+        func = build_nested_loop().function("main")
+        loops = find_loops(func)
+        outer = next(lp for lp in loops if lp.header == "outer")
+        inner = next(lp for lp in loops if lp.header == "inner")
+        assert not is_simple_loop(func, outer)
+        assert is_simple_loop(func, inner)
+
+    def test_side_exit_still_simple(self):
+        # a simple loop with an infrequent side exit branch remains bufferable
+        func = Function("f")
+        b = IRBuilder(func)
+        entry = func.add_block("entry")
+        body = func.add_block("body")
+        out = func.add_block("out")
+        b.at(entry)
+        i = b.movi(0)
+        b.at(body)
+        b.br("eq", i, Imm(99), "out")  # side exit
+        b.add(i, Imm(1), dest=i)
+        b.br("lt", i, Imm(10), "body")
+        b.at(out)
+        b.ret(i)
+        loop = find_loops(func)[0]
+        assert is_simple_loop(func, loop)
+
+
+class TestTripCount:
+    def _loop_of(self, module, header):
+        func = module.function("main")
+        loops = find_loops(func)
+        return func, next(lp for lp in loops if lp.header == header)
+
+    def test_constant_count(self):
+        func, loop = self._loop_of(build_counting_loop(10), "body")
+        trip = analyze_trip_count(func, loop)
+        assert trip is not None
+        assert trip.count == 10
+        assert trip.step == 1
+        assert trip.cmp == "lt"
+        assert trip.runtime_countable
+
+    def test_inner_loop_count(self):
+        func, loop = self._loop_of(build_nested_loop(inner=6), "inner")
+        trip = analyze_trip_count(func, loop)
+        assert trip is not None
+        assert trip.count == 6
+
+    def test_count_matches_execution(self):
+        for bound in (1, 2, 7, 33):
+            module = build_counting_loop(bound)
+            func, loop = self._loop_of(module, "body")
+            trip = analyze_trip_count(func, loop)
+            assert trip is not None
+            # the loop body executes `count` times; sum 0..bound-1
+            assert run_module(module).value == sum(range(bound))
+            assert trip.count == bound
+
+    def test_register_bound_runtime_countable(self):
+        # for (i = 0; i < n; i++) with n a parameter
+        from repro.ir import Module
+
+        module = Module()
+        n = ireg(0)
+        func = Function("main", [n])
+        module.add_function(func)
+        b = IRBuilder(func)
+        entry = func.add_block("entry")
+        body = func.add_block("body")
+        done = func.add_block("done")
+        b.at(entry)
+        s = b.movi(0)
+        i = b.movi(0)
+        b.at(body)
+        b.add(s, i, dest=s)
+        b.add(i, Imm(1), dest=i)
+        b.br("lt", i, n, "body")
+        b.at(done)
+        b.ret(s)
+        loop = find_loops(func)[0]
+        trip = analyze_trip_count(func, loop)
+        assert trip is not None
+        assert trip.count is None
+        assert trip.bound == n
+        assert trip.runtime_countable
+
+    def test_step_two(self):
+        func = Function("main")
+        from repro.ir import Module
+
+        module = Module()
+        module.add_function(func)
+        b = IRBuilder(func)
+        entry = func.add_block("entry")
+        body = func.add_block("body")
+        done = func.add_block("done")
+        b.at(entry)
+        i = b.movi(0)
+        b.at(body)
+        b.add(i, Imm(2), dest=i)
+        b.br("lt", i, Imm(10), "body")
+        b.at(done)
+        b.ret(i)
+        loop = find_loops(func)[0]
+        trip = analyze_trip_count(func, loop)
+        assert trip is not None
+        assert trip.count == 5
+        assert trip.step == 2
+
+    def test_guarded_increment_rejected(self):
+        module = build_counting_loop(10)
+        func = module.function("main")
+        pred = func.new_pred()
+        inc = func.block("body").ops[1]
+        inc.guard = pred
+        loop = find_loops(func)[0]
+        assert analyze_trip_count(func, loop) is None
+
+    def test_non_invariant_bound_rejected(self):
+        module = build_counting_loop(10)
+        func = module.function("main")
+        body = func.block("body")
+        # make the branch compare i against s (redefined in the loop)
+        s = body.ops[0].dests[0]
+        body.ops[-1].srcs[1] = s
+        loop = find_loops(func)[0]
+        assert analyze_trip_count(func, loop) is None

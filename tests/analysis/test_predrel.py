@@ -1,0 +1,107 @@
+"""Unit tests for predicate relation analysis."""
+
+from repro.analysis.predrel import PredicateRelations
+from repro.ir import BasicBlock, Imm, Opcode, Operation, ireg, preg
+
+
+def _pred_def(dests, ptypes, guard=None, cmp="lt"):
+    return Operation(Opcode.PRED_DEF, dests, [ireg(0), Imm(4)],
+                     guard=guard, attrs={"cmp": cmp, "ptypes": ptypes})
+
+
+class TestDisjointness:
+    def test_ut_uf_pair_disjoint(self):
+        block = BasicBlock("b", [_pred_def([preg(1), preg(2)], ["ut", "uf"])])
+        rel = PredicateRelations(block)
+        assert rel.disjoint(preg(1), preg(2))
+        assert rel.disjoint(preg(2), preg(1))
+
+    def test_same_register_not_disjoint(self):
+        block = BasicBlock("b", [_pred_def([preg(1), preg(2)], ["ut", "uf"])])
+        rel = PredicateRelations(block)
+        assert not rel.disjoint(preg(1), preg(1))
+
+    def test_none_guard_not_disjoint(self):
+        block = BasicBlock("b", [_pred_def([preg(1), preg(2)], ["ut", "uf"])])
+        rel = PredicateRelations(block)
+        assert not rel.disjoint(None, preg(1))
+        assert not rel.disjoint(preg(1), None)
+
+    def test_unrelated_predicates_not_disjoint(self):
+        block = BasicBlock("b", [
+            _pred_def([preg(1)], ["ut"]),
+            _pred_def([preg(2)], ["ut"]),
+        ])
+        rel = PredicateRelations(block)
+        assert not rel.disjoint(preg(1), preg(2))
+
+    def test_redefinition_invalidates(self):
+        block = BasicBlock("b", [
+            _pred_def([preg(1), preg(2)], ["ut", "uf"]),
+            _pred_def([preg(1)], ["ut"], cmp="gt"),
+        ])
+        rel = PredicateRelations(block)
+        assert not rel.disjoint(preg(1), preg(2))
+
+    def test_pred_set_invalidates(self):
+        block = BasicBlock("b", [
+            _pred_def([preg(1), preg(2)], ["ut", "uf"]),
+            Operation(Opcode.PRED_SET, [preg(1)], [Imm(1)]),
+        ])
+        rel = PredicateRelations(block)
+        assert not rel.disjoint(preg(1), preg(2))
+
+    def test_ct_cf_pair_disjoint(self):
+        block = BasicBlock("b", [_pred_def([preg(1), preg(2)], ["ct", "cf"])])
+        rel = PredicateRelations(block)
+        assert rel.disjoint(preg(1), preg(2))
+
+    def test_or_types_not_inferred_disjoint(self):
+        block = BasicBlock("b", [_pred_def([preg(1), preg(2)], ["ot", "of"])])
+        rel = PredicateRelations(block)
+        assert not rel.disjoint(preg(1), preg(2))
+
+
+class TestSubset:
+    def test_guarded_ut_subset_of_guard(self):
+        block = BasicBlock("b", [
+            _pred_def([preg(1), preg(2)], ["ut", "uf"]),
+            _pred_def([preg(3)], ["ut"], guard=preg(1)),
+        ])
+        rel = PredicateRelations(block)
+        assert rel.subset(preg(3), preg(1))
+        assert not rel.subset(preg(1), preg(3))
+
+    def test_subset_reflexive(self):
+        block = BasicBlock("b", [])
+        rel = PredicateRelations(block)
+        assert rel.subset(preg(1), preg(1))
+
+    def test_subset_transitive(self):
+        block = BasicBlock("b", [
+            _pred_def([preg(1)], ["ut"]),
+            _pred_def([preg(2)], ["ut"], guard=preg(1)),
+            _pred_def([preg(3)], ["ut"], guard=preg(2)),
+        ])
+        rel = PredicateRelations(block)
+        assert rel.subset(preg(3), preg(1))
+
+    def test_nested_disjointness_via_subset(self):
+        # p1, p2 complementary; p3 ⊆ p1 implies p3 disjoint from p2
+        block = BasicBlock("b", [
+            _pred_def([preg(1), preg(2)], ["ut", "uf"]),
+            _pred_def([preg(3)], ["ut"], guard=preg(1)),
+        ])
+        rel = PredicateRelations(block)
+        assert rel.disjoint(preg(3), preg(2))
+
+    def test_implies_execution(self):
+        block = BasicBlock("b", [
+            _pred_def([preg(1)], ["ut"]),
+            _pred_def([preg(2)], ["ut"], guard=preg(1)),
+        ])
+        rel = PredicateRelations(block)
+        assert rel.implies_execution(preg(2), preg(1))
+        assert rel.implies_execution(None, None)
+        assert rel.implies_execution(preg(1), None)
+        assert not rel.implies_execution(None, preg(1))

@@ -1,0 +1,77 @@
+"""Light unit tests for the experiments infrastructure (no heavy sims)."""
+
+import pytest
+
+from repro.experiments.common import RunSummary, format_table
+from repro.experiments.fig7 import Fig7Result
+from repro.experiments.fig8 import Fig8Result, Fig8Row
+
+
+class TestFormatTable:
+    def test_alignment_and_floats(self):
+        text = format_table(["name", "x"], [["a", 1.23456], ["bb", 2]], "T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "1.235" in text
+        assert "bb" in text
+
+    def test_empty_rows(self):
+        text = format_table(["h"], [])
+        assert "h" in text
+
+
+class TestRunSummary:
+    def _summary(self, buf, mem):
+        return RunSummary("b", "p", 256, cycles=10, bundles=10,
+                          ops_issued=buf + mem, ops_from_buffer=buf,
+                          ops_from_memory=mem, static_ops=5,
+                          branch_bubbles=0)
+
+    def test_buffer_fraction(self):
+        assert self._summary(75, 25).buffer_fraction == pytest.approx(0.75)
+
+    def test_zero_ops(self):
+        assert self._summary(0, 0).buffer_fraction == 0.0
+
+
+class TestFig7Result:
+    def _result(self):
+        r = Fig7Result(sizes=(16, 256))
+        r.series["traditional"] = {"a": [0.1, 0.4], "b": [0.0, 0.2]}
+        r.series["aggressive"] = {"a": [0.2, 0.9], "b": [0.1, 0.8]}
+        return r
+
+    def test_fraction_at(self):
+        r = self._result()
+        assert r.fraction_at("aggressive", "a", 256) == 0.9
+
+    def test_average_with_exclusions(self):
+        r = self._result()
+        assert r.average_at("traditional", 256) == pytest.approx(0.3)
+        assert r.average_at("traditional", 256, exclude=("b",)) == pytest.approx(0.4)
+
+    def test_empty_average(self):
+        r = self._result()
+        assert r.average_at("traditional", 256, exclude=("a", "b")) == 0.0
+
+
+class TestFig8Result:
+    def _row(self, name, speedup, pb, pt):
+        return Fig8Row(name, speedup, 1.1, 1.0, 1.2, pb, pt)
+
+    def test_geometric_mean_speedup(self):
+        r = Fig8Result(rows=[self._row("a", 2.0, 1, 1),
+                             self._row("b", 0.5, 1, 1)])
+        assert r.average_speedup() == pytest.approx(1.0)
+
+    def test_power_reduction(self):
+        r = Fig8Result(rows=[self._row("a", 1, 0.6, 0.2),
+                             self._row("b", 1, 0.8, 0.4)])
+        base, trans = r.average_power_reduction()
+        assert base == pytest.approx(0.3)
+        assert trans == pytest.approx(0.7)
+
+    def test_exclusions(self):
+        r = Fig8Result(rows=[self._row("a", 4.0, 1, 1),
+                             self._row("b", 1.0, 1, 1)])
+        assert r.average_speedup(exclude=("b",)) == pytest.approx(4.0)

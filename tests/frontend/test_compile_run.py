@@ -1,0 +1,225 @@
+"""Frontend semantics: MKC programs compiled and run against C oracles."""
+
+import pytest
+
+from repro.frontend import ParseError, LowerError, compile_source
+from repro.sim.interp import run_module
+
+
+def run_src(src, args=None):
+    return run_module(compile_source(src), args=list(args or [])).value
+
+
+class TestExpressions:
+    def test_arithmetic_precedence(self):
+        assert run_src("int main() { return 2 + 3 * 4 - 10 / 2; }") == 9
+
+    def test_parentheses(self):
+        assert run_src("int main() { return (2 + 3) * 4; }") == 20
+
+    def test_unary_ops(self):
+        assert run_src("int main() { return -5 + ~0 + !0 + !7; }") == -5
+
+    def test_shifts_arithmetic(self):
+        assert run_src("int main() { return (-16 >> 2) + (3 << 4); }") == 44
+
+    def test_bitwise(self):
+        assert run_src("int main() { return (12 & 10) | (1 ^ 3); }") == 10
+
+    def test_comparisons_produce_01(self):
+        assert run_src("int main() { return (3 < 4) + (4 <= 4) + (5 > 9); }") == 2
+
+    def test_division_truncates_toward_zero(self):
+        assert run_src("int main() { return -7 / 2; }") == -3
+        assert run_src("int main() { return -7 % 2; }") == -1
+
+    def test_ternary(self):
+        assert run_src("int main(int x) { return x > 0 ? 10 : 20; }", [5]) == 10
+        assert run_src("int main(int x) { return x > 0 ? 10 : 20; }", [-5]) == 20
+
+    def test_logical_and_or(self):
+        src = "int main(int x) { return (x > 0 && x < 10) + (x < 0 || x > 100); }"
+        assert run_src(src, [5]) == 1
+        assert run_src(src, [-1]) == 1
+        assert run_src(src, [50]) == 0
+
+    def test_short_circuit_skips_side_effect(self):
+        # g() must not run when the left side already decides
+        src = """
+        int calls[1];
+        int g() { calls[0] += 1; return 1; }
+        int main() {
+            int a = 0 && g();
+            int b = 1 || g();
+            return calls[0] * 10 + a + b;
+        }
+        """
+        assert run_src(src) == 1
+
+    def test_ternary_impure_arm_not_evaluated(self):
+        src = """
+        int calls[1];
+        int g() { calls[0] += 1; return 7; }
+        int main() { int v = 1 ? 3 : g(); return calls[0] * 10 + v; }
+        """
+        assert run_src(src) == 3
+
+
+class TestStatements:
+    def test_while_loop(self):
+        assert run_src("""
+        int main() { int s = 0; int i = 0;
+            while (i < 10) { s += i; i++; } return s; }""") == 45
+
+    def test_for_loop(self):
+        assert run_src("""
+        int main() { int s = 0;
+            for (int i = 0; i < 10; i++) s += i; return s; }""") == 45
+
+    def test_do_while(self):
+        assert run_src("""
+        int main() { int i = 0; do { i++; } while (i < 5); return i; }""") == 5
+
+    def test_do_while_runs_once(self):
+        assert run_src("""
+        int main() { int i = 100; do { i++; } while (i < 5); return i; }""") == 101
+
+    def test_break(self):
+        assert run_src("""
+        int main() { int s = 0;
+            for (int i = 0; i < 100; i++) { if (i == 5) break; s += i; }
+            return s; }""") == 10
+
+    def test_continue(self):
+        assert run_src("""
+        int main() { int s = 0;
+            for (int i = 0; i < 10; i++) { if (i % 2) continue; s += i; }
+            return s; }""") == 20
+
+    def test_nested_loops(self):
+        assert run_src("""
+        int main() { int s = 0;
+            for (int i = 0; i < 4; i++)
+                for (int j = 0; j < 4; j++) s += i * j;
+            return s; }""") == 36
+
+    def test_if_else_chain(self):
+        src = """
+        int main(int x) {
+            if (x < 0) return -1;
+            else if (x == 0) return 0;
+            else return 1;
+        }"""
+        assert run_src(src, [-5]) == -1
+        assert run_src(src, [0]) == 0
+        assert run_src(src, [9]) == 1
+
+    def test_compound_assignment(self):
+        assert run_src("""
+        int main() { int x = 10; x += 5; x *= 2; x -= 3; x /= 2; x <<= 1;
+            return x; }""") == 26
+
+    def test_scoped_shadowing(self):
+        assert run_src("""
+        int main() { int x = 1;
+            if (1) { int x = 50; x += 1; }
+            return x; }""") == 1
+
+
+class TestArraysAndPointers:
+    def test_global_array_init(self):
+        assert run_src("""
+        int t[4] = {5, 6, 7, 8};
+        int main() { return t[0] + t[3]; }""") == 13
+
+    def test_global_array_zero_fill(self):
+        assert run_src("""
+        int t[8] = {1};
+        int main() { return t[0] + t[7]; }""") == 1
+
+    def test_local_array(self):
+        assert run_src("""
+        int main() { int a[4];
+            for (int i = 0; i < 4; i++) a[i] = i * i;
+            return a[3]; }""") == 9
+
+    def test_local_array_initializer(self):
+        assert run_src("""
+        int main() { int a[3] = {4, 5, 6}; return a[1]; }""") == 5
+
+    def test_array_element_incdec(self):
+        assert run_src("""
+        int a[2] = {10, 20};
+        int main() { a[0]++; --a[1]; return a[0] * 100 + a[1]; }""") == 1119
+
+    def test_pointer_param(self):
+        assert run_src("""
+        int buf[4] = {1, 2, 3, 4};
+        int sum(int *p, int n) {
+            int s = 0;
+            for (int i = 0; i < n; i++) s += p[i];
+            return s;
+        }
+        int main() { return sum(buf, 4); }""") == 10
+
+    def test_postfix_increment_value(self):
+        assert run_src("""
+        int main() { int i = 5; int j = i++; return j * 10 + i; }""") == 56
+
+    def test_prefix_increment_value(self):
+        assert run_src("""
+        int main() { int i = 5; int j = ++i; return j * 10 + i; }""") == 66
+
+
+class TestFunctionsAndIntrinsics:
+    def test_recursion(self):
+        assert run_src("""
+        int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+        int main() { return fib(10); }""") == 55
+
+    def test_void_function(self):
+        assert run_src("""
+        int state[1];
+        void bump(int v) { state[0] += v; }
+        int main() { bump(3); bump(4); return state[0]; }""") == 7
+
+    def test_intrinsics(self):
+        assert run_src(
+            "int main() { return __sat_add(30000, 10000); }") == 32767
+        assert run_src(
+            "int main() { return __clip(300, 0, 255); }") == 255
+        assert run_src("int main() { return __abs(-9); }") == 9
+        assert run_src("int main() { return __min(3, -2) + __max(3, -2); }") == 1
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(LowerError, match="unknown function"):
+            compile_source("int main() { return missing(); }")
+
+    def test_undefined_variable_rejected(self):
+        with pytest.raises(LowerError, match="undefined"):
+            compile_source("int main() { return ghost; }")
+
+    def test_duplicate_variable_rejected(self):
+        with pytest.raises(LowerError, match="duplicate"):
+            compile_source("int main() { int x = 1; int x = 2; return x; }")
+
+    def test_parse_error_reported(self):
+        with pytest.raises(ParseError):
+            compile_source("int main() { return 1 +; }")
+
+
+class TestLoopShape:
+    def test_for_loop_is_counted(self):
+        """Lowered for-loops match the canonical trip-count pattern."""
+        from repro.analysis.loops import analyze_trip_count, find_loops
+        from repro.opt.simplify_cfg import simplify_cfg
+
+        module = compile_source("""
+        int main() { int s = 0;
+            for (int i = 0; i < 37; i++) s += i; return s; }""")
+        func = module.function("main")
+        simplify_cfg(func)
+        loops = find_loops(func)
+        assert len(loops) == 1
+        trip = analyze_trip_count(func, loops[0])
+        assert trip is not None and trip.count == 37

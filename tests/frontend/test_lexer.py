@@ -1,0 +1,60 @@
+"""Unit tests for the MKC lexer."""
+
+import pytest
+
+from repro.frontend.lexer import LexError, tokenize
+
+
+def kinds(src):
+    return [(t.kind, t.text) for t in tokenize(src) if t.kind != "eof"]
+
+
+class TestTokens:
+    def test_keywords_and_identifiers(self):
+        assert kinds("int x while whilst") == [
+            ("keyword", "int"), ("ident", "x"),
+            ("keyword", "while"), ("ident", "whilst"),
+        ]
+
+    def test_decimal_and_hex_literals(self):
+        assert kinds("42 0x1F 0") == [
+            ("int_lit", "42"), ("int_lit", "0x1F"), ("int_lit", "0"),
+        ]
+
+    def test_char_literal(self):
+        assert kinds("'A'") == [("int_lit", "65")]
+
+    def test_multichar_operators_longest_match(self):
+        assert kinds("a <<= b >> c <= d") == [
+            ("ident", "a"), ("op", "<<="), ("ident", "b"), ("op", ">>"),
+            ("ident", "c"), ("op", "<="), ("ident", "d"),
+        ]
+
+    def test_increment_vs_plus(self):
+        assert kinds("i++ + ++j") == [
+            ("ident", "i"), ("op", "++"), ("op", "+"),
+            ("op", "++"), ("ident", "j"),
+        ]
+
+    def test_line_comments(self):
+        assert kinds("a // comment\n b") == [("ident", "a"), ("ident", "b")]
+
+    def test_block_comments(self):
+        assert kinds("a /* x\ny */ b") == [("ident", "a"), ("ident", "b")]
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\n  b")
+        assert tokens[0].line == 1
+        assert tokens[1].line == 2
+        assert tokens[1].column == 3
+
+    def test_unterminated_comment_rejected(self):
+        with pytest.raises(LexError, match="unterminated"):
+            tokenize("/* oops")
+
+    def test_bad_character_rejected(self):
+        with pytest.raises(LexError):
+            tokenize("a @ b")
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].kind == "eof"

@@ -1,0 +1,114 @@
+"""Unit tests for blocks, functions, layout-aware CFG queries."""
+
+import pytest
+
+from repro.ir import Function, IRBuilder, Imm, Opcode, ireg
+
+from tests.helpers import build_counting_loop, build_if_diamond
+
+
+class TestRegisterAllocation:
+    def test_fresh_registers_do_not_collide_with_params(self):
+        func = Function("f", [ireg(0), ireg(1)])
+        assert func.new_reg().index >= 2
+
+    def test_kinds_tracked_separately(self):
+        func = Function("f")
+        r0 = func.new_reg("i")
+        p0 = func.new_reg("p")
+        assert r0.index == 0
+        assert p0.index == 0
+
+    def test_sync_reg_counters(self):
+        func = Function("f")
+        block = func.add_block("entry")
+        b = IRBuilder(func, block)
+        b.add(ireg(10), Imm(1), dest=ireg(11))
+        func.sync_reg_counters()
+        assert func.new_reg().index >= 12
+
+
+class TestBlockLayout:
+    def test_duplicate_labels_rejected(self):
+        func = Function("f")
+        func.add_block("entry")
+        with pytest.raises(ValueError):
+            func.add_block("entry")
+
+    def test_new_label_unique(self):
+        func = Function("f")
+        func.add_block("bb0")
+        label = func.new_label()
+        assert label != "bb0"
+        assert not func.has_block(label)
+
+    def test_insert_at_index(self):
+        func = Function("f")
+        func.add_block("a")
+        func.add_block("c")
+        func.add_block("b", index=1)
+        assert [blk.label for blk in func.blocks] == ["a", "b", "c"]
+
+    def test_remove_block(self):
+        func = Function("f")
+        func.add_block("a")
+        func.add_block("b")
+        func.remove_block("a")
+        assert not func.has_block("a")
+        assert func.entry.label == "b"
+
+
+class TestCFGQueries:
+    def test_loop_successors(self):
+        func = build_counting_loop(5).function("main")
+        body = func.block("body")
+        assert func.successors(body) == ["body", "done"]
+
+    def test_entry_falls_through(self):
+        func = build_counting_loop(5).function("main")
+        assert func.successors(func.block("entry")) == ["body"]
+
+    def test_ret_has_no_successors(self):
+        func = build_counting_loop(5).function("main")
+        assert func.successors(func.block("done")) == []
+
+    def test_unconditional_jump_kills_fallthrough(self):
+        func = build_if_diamond().function("main")
+        then = func.block("then")
+        assert func.successors(then) == ["join"]
+
+    def test_predecessors(self):
+        func = build_if_diamond().function("main")
+        preds = func.predecessors()
+        assert sorted(preds["join"]) == ["else", "then"]
+        assert preds["entry"] == []
+
+    def test_diamond_branch_successor_order(self):
+        func = build_if_diamond().function("main")
+        # explicit targets first, fallthrough last
+        assert func.successors(func.block("entry")) == ["else", "then"]
+
+
+class TestSideExitBlocks:
+    def test_mid_block_branch_contributes_successor(self):
+        func = Function("f")
+        b = IRBuilder(func)
+        blk = func.add_block("hyper")
+        func.add_block("next")
+        exit_blk = func.add_block("exit")
+        b.at(blk)
+        b.add(ireg(0), Imm(1))
+        b.br("eq", ireg(0), Imm(0), "exit")
+        b.add(ireg(0), Imm(2))
+        b.at(exit_blk)
+        b.ret()
+        assert func.successors(blk) == ["exit", "next"]
+
+    def test_op_count_skips_nops(self):
+        func = Function("f")
+        blk = func.add_block("entry")
+        b = IRBuilder(func, blk)
+        b.add(ireg(0), Imm(1))
+        b.emit_op(Opcode.NOP)
+        b.ret()
+        assert func.op_count() == 2

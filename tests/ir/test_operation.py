@@ -1,0 +1,118 @@
+"""Unit tests for Operation construction and queries."""
+
+import pytest
+
+from repro.ir import Imm, Opcode, Operation, Unit, ireg, preg
+
+
+class TestConstruction:
+    def test_simple_add(self):
+        op = Operation(Opcode.ADD, [ireg(2)], [ireg(0), ireg(1)])
+        assert list(op.writes()) == [ireg(2)]
+        assert list(op.reads()) == [ireg(0), ireg(1)]
+
+    def test_guard_is_read(self):
+        op = Operation(Opcode.ADD, [ireg(2)], [ireg(0), Imm(1)], guard=preg(0))
+        assert preg(0) in list(op.reads())
+
+    def test_non_predicate_guard_rejected(self):
+        with pytest.raises(ValueError):
+            Operation(Opcode.ADD, [ireg(2)], [ireg(0), Imm(1)], guard=ireg(0))
+
+    def test_pred_def_requires_ptypes(self):
+        with pytest.raises(ValueError):
+            Operation(Opcode.PRED_DEF, [preg(0)], [ireg(0), Imm(1)],
+                      attrs={"cmp": "eq"})
+
+    def test_pred_def_requires_valid_cmp(self):
+        with pytest.raises(ValueError):
+            Operation(Opcode.PRED_DEF, [preg(0)], [ireg(0), Imm(1)],
+                      attrs={"cmp": "bogus", "ptypes": ["ut"]})
+
+    def test_pred_def_dest_must_be_predicate(self):
+        with pytest.raises(ValueError):
+            Operation(Opcode.PRED_DEF, [ireg(0)], [ireg(0), Imm(1)],
+                      attrs={"cmp": "eq", "ptypes": ["ut"]})
+
+    def test_pred_def_two_dests(self):
+        op = Operation(Opcode.PRED_DEF, [preg(0), preg(1)], [ireg(0), Imm(8)],
+                       attrs={"cmp": "eq", "ptypes": ["ut", "uf"]})
+        assert op.unit == Unit.PRED
+
+    def test_br_requires_cmp(self):
+        with pytest.raises(ValueError):
+            Operation(Opcode.BR, [], [ireg(0), Imm(0)], attrs={"target": "x"})
+
+
+class TestQueries:
+    def test_branch_classification(self):
+        br = Operation(Opcode.BR, [], [ireg(0), Imm(0)],
+                       attrs={"cmp": "eq", "target": "t"})
+        assert br.is_branch
+        assert br.is_conditional_branch
+        assert not br.is_unconditional_jump
+        jump = Operation(Opcode.JUMP, attrs={"target": "t"})
+        assert jump.is_branch
+        assert jump.is_unconditional_jump
+
+    def test_units_and_latencies(self):
+        assert Operation(Opcode.MUL, [ireg(0)], [ireg(1), ireg(2)]).latency == 2
+        assert Operation(Opcode.LD, [ireg(0)], [ireg(1), Imm(0)]).latency == 3
+        assert Operation(Opcode.DIV, [ireg(0)], [ireg(1), ireg(2)]).latency == 8
+        assert Operation(Opcode.ADD, [ireg(0)], [ireg(1), ireg(2)]).latency == 1
+        assert Operation(Opcode.LD, [ireg(0)], [ireg(1), Imm(0)]).unit == Unit.MEM
+
+    def test_side_effects(self):
+        st = Operation(Opcode.ST, [], [ireg(0), Imm(0), ireg(1)])
+        assert st.has_side_effects
+        add = Operation(Opcode.ADD, [ireg(0)], [ireg(1), ireg(2)])
+        assert not add.has_side_effects
+
+
+class TestMutation:
+    def test_copy_gets_fresh_uid(self):
+        op = Operation(Opcode.ADD, [ireg(2)], [ireg(0), ireg(1)])
+        dup = op.copy()
+        assert dup.uid != op.uid
+        assert dup.srcs == op.srcs
+        dup.srcs[0] = Imm(9)
+        assert op.srcs[0] == ireg(0)
+
+    def test_replace_reads(self):
+        op = Operation(Opcode.ADD, [ireg(2)], [ireg(0), ireg(1)], guard=preg(0))
+        op.replace_reads({ireg(0): ireg(5), preg(0): preg(3)})
+        assert op.srcs[0] == ireg(5)
+        assert op.guard == preg(3)
+
+    def test_replace_reads_does_not_touch_dests(self):
+        op = Operation(Opcode.ADD, [ireg(2)], [ireg(2), ireg(1)])
+        op.replace_reads({ireg(2): ireg(9)})
+        assert op.dests == [ireg(2)]
+        assert op.srcs[0] == ireg(9)
+
+    def test_replace_writes(self):
+        op = Operation(Opcode.ADD, [ireg(2)], [ireg(0), ireg(1)])
+        op.replace_writes({ireg(2): ireg(7)})
+        assert op.dests == [ireg(7)]
+
+    def test_guard_must_stay_predicate(self):
+        op = Operation(Opcode.ADD, [ireg(2)], [ireg(0)], guard=preg(0))
+        with pytest.raises(ValueError):
+            op.replace_reads({preg(0): ireg(1)})
+
+
+class TestRepr:
+    def test_repr_mentions_guard_and_cmp(self):
+        op = Operation(Opcode.BR, [], [ireg(0), Imm(3)], guard=preg(1),
+                       attrs={"cmp": "lt", "target": "loop"})
+        text = repr(op)
+        assert "(p1)" in text
+        assert "br.lt" in text
+        assert "loop" in text
+
+    def test_pred_def_repr_shows_ptypes(self):
+        op = Operation(Opcode.PRED_DEF, [preg(0), preg(1)], [ireg(0), Imm(8)],
+                       attrs={"cmp": "eq", "ptypes": ["ut", "uf"]})
+        text = repr(op)
+        assert "p0<ut>" in text
+        assert "p1<uf>" in text

@@ -1,0 +1,81 @@
+"""Exhaustive check of Table 2: predicate-define update semantics."""
+
+import pytest
+
+from repro.ir import PTYPES
+from repro.ir.preddef import always_writes, may_write_one, may_write_zero, pred_update
+
+# Table 2 of the paper, transcribed: rows are (guard, cond), columns the
+# destination types; entries are the written value or None for "no update".
+TABLE2 = {
+    (0, 0): {"ut": 0, "uf": 0, "ot": None, "of": None, "at": None, "af": None,
+             "ct": None, "cf": None},
+    (0, 1): {"ut": 0, "uf": 0, "ot": None, "of": None, "at": None, "af": None,
+             "ct": None, "cf": None},
+    (1, 0): {"ut": 0, "uf": 1, "ot": None, "of": 1, "at": 0, "af": None,
+             "ct": 0, "cf": 1},
+    (1, 1): {"ut": 1, "uf": 0, "ot": 1, "of": None, "at": None, "af": 0,
+             "ct": 1, "cf": 0},
+}
+
+
+@pytest.mark.parametrize("guard", [0, 1])
+@pytest.mark.parametrize("cond", [0, 1])
+@pytest.mark.parametrize("ptype", PTYPES)
+def test_table2_exhaustive(guard, cond, ptype):
+    assert pred_update(ptype, guard, cond) == TABLE2[(guard, cond)][ptype]
+
+
+def test_unknown_type_rejected():
+    with pytest.raises(ValueError):
+        pred_update("xx", 1, 1)
+
+
+def test_truthy_inputs_normalized():
+    assert pred_update("ut", 5, -3) == 1
+
+
+class TestClassificationHelpers:
+    def test_always_writes_only_unconditional(self):
+        assert {pt for pt in PTYPES if always_writes(pt)} == {"ut", "uf"}
+
+    def test_or_types_never_write_zero(self):
+        assert not may_write_zero("ot")
+        assert not may_write_zero("of")
+        assert may_write_one("ot")
+
+    def test_and_types_never_write_one(self):
+        assert not may_write_one("at")
+        assert not may_write_one("af")
+        assert may_write_zero("at")
+
+    def test_conditional_types_write_both(self):
+        for pt in ("ct", "cf"):
+            assert may_write_one(pt)
+            assert may_write_zero(pt)
+
+
+class TestAlgebraicProperties:
+    """Cross-type identities implied by Table 2."""
+
+    @pytest.mark.parametrize("guard", [0, 1])
+    @pytest.mark.parametrize("cond", [0, 1])
+    def test_ut_uf_complementary_when_guarded(self, guard, cond):
+        ut = pred_update("ut", guard, cond)
+        uf = pred_update("uf", guard, cond)
+        if guard:
+            assert ut ^ uf == 1
+        else:
+            assert ut == uf == 0
+
+    @pytest.mark.parametrize("cond", [0, 1])
+    def test_ot_equals_at_complement_writes(self, cond):
+        # When guarded, ot writes 1 exactly when af writes 0.
+        ot = pred_update("ot", 1, cond)
+        af = pred_update("af", 1, cond)
+        assert (ot == 1) == (af == 0)
+
+    @pytest.mark.parametrize("cond", [0, 1])
+    def test_ct_matches_cond_when_guarded(self, cond):
+        assert pred_update("ct", 1, cond) == cond
+        assert pred_update("cf", 1, cond) == cond ^ 1

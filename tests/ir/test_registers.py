@@ -1,0 +1,54 @@
+"""Unit tests for IR operand types."""
+
+import pytest
+
+from repro.ir import FImm, GlobalRef, Imm, Label, VReg, freg, ireg, preg
+
+
+class TestVReg:
+    def test_shorthand_constructors(self):
+        assert ireg(3) == VReg("i", 3)
+        assert freg(0) == VReg("f", 0)
+        assert preg(7) == VReg("p", 7)
+
+    def test_kind_predicates(self):
+        assert ireg(0).is_int
+        assert freg(0).is_float
+        assert preg(0).is_predicate
+        assert not ireg(0).is_predicate
+
+    def test_hashable_and_equal(self):
+        assert len({ireg(1), ireg(1), ireg(2)}) == 2
+
+    def test_repr(self):
+        assert repr(ireg(5)) == "i5"
+        assert repr(preg(0)) == "p0"
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError):
+            VReg("x", 0)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            VReg("i", -1)
+
+    def test_immutability(self):
+        reg = ireg(0)
+        with pytest.raises(Exception):
+            reg.index = 5
+
+
+class TestOtherOperands:
+    def test_imm_repr(self):
+        assert repr(Imm(42)) == "42"
+        assert repr(Imm(-1)) == "-1"
+
+    def test_fimm_holds_float(self):
+        assert FImm(1.5).value == 1.5
+
+    def test_label_and_global_repr(self):
+        assert repr(Label("loop")) == "@loop"
+        assert repr(GlobalRef("table")) == "$table"
+
+    def test_operands_hashable(self):
+        assert len({Imm(1), Imm(1), Label("a"), GlobalRef("a")}) == 3

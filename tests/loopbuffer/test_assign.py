@@ -1,0 +1,118 @@
+"""Unit tests for compiler-side buffer assignment."""
+
+from repro.analysis.profile import Profile
+from repro.ir import Function, IRBuilder, Imm, Module, Opcode
+from repro.loopbuffer.assign import (
+    LoopCandidate,
+    _cheapest_overlap,
+    _first_fit,
+    assign_buffer,
+    collect_candidates,
+)
+from repro.looptrans.cloop import convert_counted_loops
+from repro.sim.interp import profile_module, run_module
+
+from tests.helpers import build_counting_loop
+
+
+def _profiled_counting(n=100):
+    module = build_counting_loop(n)
+    convert_counted_loops(module.function("main"))
+    profile, _ = profile_module(module)
+    return module, profile
+
+
+class TestCandidates:
+    def test_simple_counted_loop_found(self):
+        module, profile = _profiled_counting()
+        cands = collect_candidates(module, profile, 256)
+        assert len(cands) == 1
+        cand = cands[0]
+        assert cand.counted
+        assert cand.iterations == 100
+        assert cand.entries == 1
+        assert cand.benefit == (100 - 1) * cand.ops
+
+    def test_footprint_override(self):
+        module, profile = _profiled_counting()
+        cands = collect_candidates(module, profile, 256,
+                                   footprint={("main", "body"): 99})
+        assert cands[0].ops == 99
+
+    def test_too_large_excluded(self):
+        module, profile = _profiled_counting()
+        cands = collect_candidates(module, profile, 2,
+                                   footprint={("main", "body"): 50})
+        assert cands == []
+
+    def test_multiblock_loop_not_candidate(self):
+        from tests.helpers import build_nested_loop
+
+        module = build_nested_loop()
+        profile, _ = profile_module(module)
+        cands = collect_candidates(module, profile, 256)
+        headers = {c.header for c in cands}
+        assert "outer" not in headers
+
+
+class TestPlacement:
+    def test_first_fit_basic(self):
+        assert _first_fit([], 10, 64) == 0
+
+    def test_first_fit_gap(self):
+        from repro.loopbuffer.assign import Assignment
+
+        placed = [(Assignment("f", "a", 0, 10, True), None),
+                  (Assignment("f", "b", 30, 10, True), None)]
+        assert _first_fit(placed, 10, 64) == 10
+        assert _first_fit(placed, 25, 100) == 40
+        assert _first_fit(placed, 30, 64) is None
+
+    def test_cheapest_overlap_prefers_low_benefit(self):
+        from repro.loopbuffer.assign import Assignment
+
+        heavy = LoopCandidate("f", "h", 20, 10000, 1, True)
+        light = LoopCandidate("f", "l", 20, 10, 1, True)
+        placed = [(Assignment("f", "h", 0, 20, True), heavy),
+                  (Assignment("f", "l", 20, 20, True), light)]
+        offset = _cheapest_overlap(placed, 20, 40)
+        assert offset == 20  # land on the light loop
+
+
+class TestIRRewrite:
+    def test_rec_cloop_installed(self):
+        module, profile = _profiled_counting()
+        result = assign_buffer(module, profile, 64)
+        assert len(result.assigned) == 1
+        func = module.function("main")
+        recs = [op for op in func.ops() if op.opcode == Opcode.REC_CLOOP]
+        assert len(recs) == 1
+        rec = recs[0]
+        assert rec.attrs["buf_addr"] == 0
+        assert rec.attrs["num"] == result.assigned[0].length
+        # the cloop_set it replaced is gone
+        assert not any(op.opcode == Opcode.CLOOP_SET for op in func.ops())
+        # semantics unchanged (rec_cloop still loads the loop counter)
+        assert run_module(module).value == sum(range(100))
+
+    def test_rec_wloop_for_uncounted_loop(self):
+        module = build_counting_loop(50)  # keep the plain br loop-back
+        profile, _ = profile_module(module)
+        result = assign_buffer(module, profile, 64)
+        assert len(result.assigned) == 1
+        func = module.function("main")
+        recs = [op for op in func.ops() if op.opcode == Opcode.REC_WLOOP]
+        assert len(recs) == 1
+        assert run_module(module).value == sum(range(50))
+
+    def test_zero_benefit_loops_unassigned(self):
+        module = build_counting_loop(50)
+        result = assign_buffer(module, Profile(), 64)  # no profile weight
+        assert result.assigned == []
+        assert result.unassigned == ["main/body"]
+
+    def test_lookup(self):
+        module, profile = _profiled_counting()
+        result = assign_buffer(module, profile, 64)
+        assert result.lookup("main", "body") is not None
+        assert result.lookup("main", "ghost") is None

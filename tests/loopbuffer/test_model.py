@@ -1,0 +1,99 @@
+"""Unit tests for the loop-buffer hardware model (Table 3 semantics)."""
+
+import pytest
+
+from repro.loopbuffer.model import LoopBuffer, LoopState
+
+
+class TestRecording:
+    def test_first_rec_records(self):
+        buf = LoopBuffer(64)
+        assert buf.rec("A", 0, 16, counted=True) is LoopState.RECORDING
+        assert buf.state_of("A") is LoopState.RECORDING
+
+    def test_finish_recording_makes_resident(self):
+        buf = LoopBuffer(64)
+        buf.rec("A", 0, 16, counted=True)
+        buf.finish_recording("A")
+        assert buf.state_of("A") is LoopState.RESIDENT
+
+    def test_residency_table_skips_rerecord(self):
+        buf = LoopBuffer(64)
+        buf.rec("A", 0, 16, counted=True)
+        buf.finish_recording("A")
+        assert buf.rec("A", 0, 16, counted=True) is LoopState.RESIDENT
+        assert buf.stats.records_skipped == 1
+        assert buf.stats.records_started == 1
+
+    def test_rerecord_after_eviction(self):
+        buf = LoopBuffer(64)
+        buf.rec("A", 0, 16, counted=True)
+        buf.finish_recording("A")
+        buf.rec("B", 8, 16, counted=True)   # overlaps A
+        assert buf.state_of("A") is LoopState.ABSENT
+        assert buf.stats.invalidations == 1
+        assert buf.rec("A", 0, 16, counted=True) is LoopState.RECORDING
+
+    def test_disjoint_loops_cohabit(self):
+        buf = LoopBuffer(64)
+        buf.rec("A", 0, 16, counted=True)
+        buf.finish_recording("A")
+        buf.rec("B", 16, 16, counted=False)
+        buf.finish_recording("B")
+        assert buf.state_of("A") is LoopState.RESIDENT
+        assert buf.state_of("B") is LoopState.RESIDENT
+        assert buf.occupancy() == 32
+
+    def test_capacity_enforced(self):
+        buf = LoopBuffer(32)
+        with pytest.raises(ValueError):
+            buf.rec("A", 0, 33, counted=True)
+        with pytest.raises(ValueError):
+            buf.rec("A", 20, 16, counted=True)
+
+    def test_moved_loop_rerecords(self):
+        # same loop recorded at a different offset must re-record
+        buf = LoopBuffer(64)
+        buf.rec("A", 0, 16, counted=True)
+        buf.finish_recording("A")
+        assert buf.rec("A", 16, 16, counted=True) is LoopState.RECORDING
+
+
+class TestExec:
+    def test_exec_resident(self):
+        buf = LoopBuffer(64)
+        buf.rec("A", 0, 16, counted=True)
+        buf.finish_recording("A")
+        assert buf.exec_loop("A") is LoopState.RESIDENT
+
+    def test_exec_absent_raises(self):
+        buf = LoopBuffer(64)
+        with pytest.raises(LookupError):
+            buf.exec_loop("ghost")
+
+    def test_exec_still_recording_raises(self):
+        buf = LoopBuffer(64)
+        buf.rec("A", 0, 16, counted=True)
+        with pytest.raises(LookupError):
+            buf.exec_loop("A")
+
+
+class TestInvalidation:
+    def test_figure5_displacement_chain(self):
+        # three loops that all want the same 16-op buffer: each rec of the
+        # next evicts the previous (the Figure 5(b) 16-op buffer scenario)
+        buf = LoopBuffer(16)
+        for name in ("E", "F", "I"):
+            buf.rec(name, 0, 14, counted=True)
+            buf.finish_recording(name)
+        assert buf.state_of("I") is LoopState.RESIDENT
+        assert buf.state_of("E") is LoopState.ABSENT
+        assert buf.state_of("F") is LoopState.ABSENT
+        assert buf.stats.invalidations == 2
+
+    def test_partial_overlap_evicts(self):
+        buf = LoopBuffer(64)
+        buf.rec("A", 0, 20, counted=True)
+        buf.finish_recording("A")
+        buf.rec("B", 19, 10, counted=True)
+        assert buf.state_of("A") is LoopState.ABSENT

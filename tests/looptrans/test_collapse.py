@@ -1,0 +1,176 @@
+"""Unit + integration tests for predicated loop collapsing."""
+
+from repro.analysis.cfgview import CFGView
+from repro.analysis.loops import find_loops, is_simple_loop
+from repro.ir import (
+    Function,
+    GlobalRef,
+    IRBuilder,
+    Imm,
+    Module,
+    Opcode,
+    verify_module,
+)
+from repro.looptrans.cloop import convert_counted_loops
+from repro.looptrans.collapse import collapse_nested_loops
+from repro.sim.interp import run_module
+
+from tests.helpers import build_nested_loop
+
+
+def build_add_block(rows=8, cols=8, incr=8):
+    """The mpeg2dec Add_Block loop of Figure 2:
+
+    for (i = 0; i < rows; i++) { for (j = 0; j < cols; j++)
+        *rfp++ = clip(*bp++ + 128); rfp += incr; }
+    """
+    module = Module()
+    module.add_global("bp", rows * cols, [(k * 7) % 256 - 128 for k in range(rows * cols)])
+    module.add_global("rfp", rows * (cols + incr))
+    func = Function("main")
+    module.add_function(func)
+    b = IRBuilder(func)
+
+    entry = func.add_block("entry")
+    outer = func.add_block("outer")
+    inner = func.add_block("inner")
+    tail = func.add_block("tail")
+    done = func.add_block("done")
+
+    b.at(entry)
+    r3 = b.mov(GlobalRef("bp"))      # source pointer
+    r4 = b.mov(GlobalRef("rfp"))     # dest pointer
+    r1 = b.movi(0)                   # outer induction
+    r6 = b.movi(incr)
+
+    b.at(outer)
+    r2 = b.movi(0)                   # inner induction
+
+    b.at(inner)
+    r5 = b.load(r3, 0)
+    v = b.add(r5, Imm(128))
+    c = b.emit(Opcode.CLIP, [v, Imm(0), Imm(255)])
+    b.store(r4, 0, c)
+    b.add(r3, Imm(1), dest=r3)
+    b.add(r4, Imm(1), dest=r4)
+    b.add(r2, Imm(1), dest=r2)
+    b.br("lt", r2, Imm(cols), "inner")
+
+    b.at(tail)
+    b.add(r4, r6, dest=r4)
+    b.add(r1, Imm(1), dest=r1)
+    b.br("lt", r1, Imm(rows), "outer")
+
+    b.at(done)
+    b.ret(Imm(0))
+    return module
+
+
+def _rfp_contents(result, rows=8, cols=8, incr=8):
+    base = result.loader.global_addr("rfp")
+    return result.memory.read_block(base, rows * (cols + incr))
+
+
+class TestCollapseAddBlock:
+    def test_collapsed_to_single_simple_loop(self):
+        module = build_add_block()
+        func = module.function("main")
+        stats = collapse_nested_loops(func)
+        assert stats.loops_collapsed == 1
+        verify_module(module)
+        loops = find_loops(func)
+        assert len(loops) == 1
+        assert is_simple_loop(func, loops[0])
+        assert func.block(loops[0].header).hyperblock
+
+    def test_semantics_preserved(self):
+        baseline = run_module(build_add_block())
+        expected = _rfp_contents(baseline)
+        module = build_add_block()
+        collapse_nested_loops(module.function("main"))
+        result = run_module(module)
+        assert _rfp_contents(result) == expected
+
+    def test_non_square_shapes(self):
+        for rows, cols in ((1, 8), (8, 1), (3, 5), (2, 2)):
+            baseline = run_module(build_add_block(rows, cols))
+            expected = _rfp_contents(baseline, rows, cols)
+            module = build_add_block(rows, cols)
+            stats = collapse_nested_loops(module.function("main"))
+            assert stats.loops_collapsed == 1
+            result = run_module(module)
+            assert _rfp_contents(result, rows, cols) == expected
+
+    def test_total_count_annotation(self):
+        module = build_add_block(8, 8)
+        func = module.function("main")
+        collapse_nested_loops(func)
+        loop = find_loops(func)[0]
+        term = func.block(loop.header).terminator
+        assert term.attrs.get("collapse_total") == 64
+
+    def test_outer_code_guarded(self):
+        module = build_add_block()
+        func = module.function("main")
+        collapse_nested_loops(func)
+        loop_blk = func.block(find_loops(func)[0].header)
+        guarded = [op for op in loop_blk.ops if op.guard is not None]
+        # inner-induction reset, rfp += incr, outer increment, outer exit
+        assert len(guarded) >= 3
+
+
+class TestCollapsePlusCloop:
+    def test_figure_2d_form(self):
+        module = build_add_block(8, 8)
+        baseline = _rfp_contents(run_module(build_add_block(8, 8)))
+        func = module.function("main")
+        collapse_nested_loops(func)
+        stats = convert_counted_loops(func)
+        assert stats.loops_converted == 1
+        verify_module(module)
+        loop = find_loops(func)[0]
+        block = func.block(loop.header)
+        assert block.terminator.opcode == Opcode.BR_CLOOP
+        # the outer-exit branch is gone: fetch falls out of the loop
+        assert not any(op.attrs.get("outer_exit") for op in block.ops)
+        result = run_module(module)
+        assert _rfp_contents(result) == baseline
+
+    def test_cloop_on_plain_counting_loop(self):
+        from tests.helpers import build_counting_loop
+
+        module = build_counting_loop(10)
+        func = module.function("main")
+        stats = convert_counted_loops(func)
+        assert stats.loops_converted == 1
+        assert run_module(module).value == 45
+        body = func.block("body")
+        assert body.terminator.opcode == Opcode.BR_CLOOP
+        pre = func.block("entry")
+        assert any(op.opcode == Opcode.CLOOP_SET for op in pre.ops)
+
+
+class TestCollapseHeuristics:
+    def test_large_outer_code_rejected(self):
+        module = build_add_block()
+        func = module.function("main")
+        stats = collapse_nested_loops(func, max_outer_ops=1)
+        assert stats.loops_collapsed == 0
+        assert "too large" in stats.rejected["outer"]
+
+    def test_excessive_inner_trips_rejected(self):
+        module = build_add_block(rows=2, cols=100)
+        func = module.function("main")
+        stats = collapse_nested_loops(func, max_inner_trips=64)
+        assert stats.loops_collapsed == 0
+        assert "too large" in stats.rejected["outer"]
+
+    def test_triple_nest_collapses_iteratively(self):
+        # nested_loop has latch code after the inner loop: the canonical
+        # H/B/T shape; collapsing then leaves a single loop
+        module = build_nested_loop(outer=4, inner=4)
+        expected = run_module(module).value
+        func = module.function("main")
+        stats = collapse_nested_loops(func)
+        assert stats.loops_collapsed == 1
+        assert run_module(module).value == expected

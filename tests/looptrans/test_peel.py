@@ -1,0 +1,75 @@
+"""Unit tests for complete loop peeling."""
+
+from repro.analysis.loops import find_loops
+from repro.ir import Imm, Opcode, verify_module
+from repro.looptrans.peel import peel_short_loops
+from repro.sim.interp import run_module
+
+from tests.helpers import build_counting_loop, build_nested_loop
+
+
+class TestPeeling:
+    def test_short_loop_peeled(self):
+        module = build_counting_loop(4)
+        func = module.function("main")
+        stats = peel_short_loops(func)
+        assert stats.loops_peeled == 1
+        assert find_loops(func) == []
+        verify_module(module)
+        assert run_module(module).value == 6
+
+    def test_long_loop_not_peeled(self):
+        module = build_counting_loop(10)
+        func = module.function("main")
+        stats = peel_short_loops(func)
+        assert stats.loops_peeled == 0
+        assert "too many" in stats.rejected["body"]
+        assert run_module(module).value == 45
+
+    def test_inner_loop_of_nest_peeled(self):
+        module = build_nested_loop(outer=8, inner=4)
+        expected = run_module(module).value
+        func = module.function("main")
+        stats = peel_short_loops(func)
+        assert stats.loops_peeled == 1
+        verify_module(module)
+        # only the outer loop remains
+        loops = find_loops(func)
+        assert len(loops) == 1
+        assert loops[0].header == "outer"
+        assert run_module(module).value == expected
+
+    def test_op_budget_respected(self):
+        module = build_counting_loop(5)
+        func = module.function("main")
+        stats = peel_short_loops(func, max_new_ops=4)
+        assert stats.loops_peeled == 0
+        assert "new ops" in stats.rejected["body"]
+
+    def test_branch_removed_from_copies(self):
+        module = build_counting_loop(3)
+        func = module.function("main")
+        peel_short_loops(func)
+        body = func.block("body")
+        assert not any(op.opcode == Opcode.BR for op in body.ops)
+        # 3 copies of the 2 non-branch ops
+        assert len(body.ops) == 6
+
+    def test_unknown_trip_count_rejected(self):
+        module = build_counting_loop(4)
+        func = module.function("main")
+        # replace the constant bound with an unanalyzable register
+        body = func.block("body")
+        bound_reg = func.new_reg()
+        body.ops[-1].srcs[1] = bound_reg
+        body.ops.insert(0, body.ops[0].copy())
+        body.ops[0].dests = [bound_reg]
+        stats = peel_short_loops(func)
+        assert stats.loops_peeled == 0
+
+    def test_iteration_one_loop(self):
+        module = build_counting_loop(1)
+        func = module.function("main")
+        stats = peel_short_loops(func)
+        assert stats.loops_peeled == 1
+        assert run_module(module).value == 0

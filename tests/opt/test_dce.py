@@ -1,0 +1,141 @@
+"""Unit tests for dead-code elimination and partial-dead-code sinking."""
+
+from repro.ir import Imm, Module, Opcode, verify_function
+from repro.opt.dce import eliminate_dead_code, sink_partially_dead
+from repro.sim.interp import run_module
+
+from tests.helpers import build_counting_loop, single_block_function
+
+
+def _finish(func, b, result):
+    b.ret(result)
+    module = Module()
+    module.add_function(func)
+    return module
+
+
+class TestDCE:
+    def test_unused_computation_removed(self):
+        func, b = single_block_function(nparams=1)
+        x = func.params[0]
+        b.mul(x, Imm(100))  # dead
+        live = b.add(x, Imm(1))
+        module = _finish(func, b, live)
+        assert eliminate_dead_code(func) == 1
+        assert not any(op.opcode == Opcode.MUL for op in func.entry.ops)
+        assert run_module(module, args=[2]).value == 3
+
+    def test_transitively_dead_chain_removed(self):
+        func, b = single_block_function(nparams=1)
+        x = func.params[0]
+        t1 = b.add(x, Imm(1))
+        t2 = b.mul(t1, Imm(3))
+        b.sub(t2, Imm(4))  # dead; kills t2 then t1
+        module = _finish(func, b, x)
+        removed = eliminate_dead_code(func)
+        assert removed == 3
+        assert run_module(module, args=[7]).value == 7
+
+    def test_store_never_removed(self):
+        func, b = single_block_function(nparams=1)
+        b.store(func.params[0], 0, Imm(9))
+        module = _finish(func, b, Imm(0))
+        assert eliminate_dead_code(func) == 0
+        assert any(op.opcode == Opcode.ST for op in func.entry.ops)
+
+    def test_loop_carried_value_kept(self):
+        module = build_counting_loop(5)
+        func = module.function("main")
+        assert eliminate_dead_code(func) == 0
+        assert run_module(module).value == 10
+
+    def test_dead_guarded_op_removed(self):
+        func, b = single_block_function(nparams=1)
+        p = func.new_pred()
+        b.pred_def("lt", func.params[0], Imm(0), [p], ["ut"])
+        b.movi(3, guard=p)  # dest unread -> dead despite guard
+        module = _finish(func, b, func.params[0])
+        removed = eliminate_dead_code(func)
+        # the mov dies, then the pred_def feeding only it dies too
+        assert removed == 2
+        assert run_module(module, args=[1]).value == 1
+
+    def test_nops_removed(self):
+        func, b = single_block_function()
+        b.emit_op(Opcode.NOP)
+        module = _finish(func, b, Imm(4))
+        assert eliminate_dead_code(func) == 1
+        assert run_module(module).value == 4
+
+
+class TestPartialDeadCode:
+    def test_def_guarded_when_all_uses_guarded(self):
+        func, b = single_block_function(nparams=1)
+        x = func.params[0]
+        p = func.new_pred()
+        b.pred_def("lt", x, Imm(0), [p], ["ut"])
+        t = b.mul(x, Imm(3))          # only used under p
+        y = b.movi(0)
+        b.add(t, Imm(1), dest=y, guard=p)
+        module = _finish(func, b, y)
+        assert sink_partially_dead(func) == 1
+        mul = next(op for op in func.entry.ops if op.opcode == Opcode.MUL)
+        assert mul.guard == p
+        verify_function(func)
+        assert run_module(module, args=[-2]).value == -5
+        assert run_module(module, args=[2]).value == 0
+
+    def test_mixed_guards_not_sunk(self):
+        func, b = single_block_function(nparams=1)
+        x = func.params[0]
+        p = func.new_pred()
+        q = func.new_pred()
+        b.pred_def("lt", x, Imm(0), [p], ["ut"])
+        b.pred_def("gt", x, Imm(5), [q], ["ut"])
+        t = b.mul(x, Imm(3))
+        y = b.movi(0)
+        b.add(t, Imm(1), dest=y, guard=p)
+        b.add(t, Imm(2), dest=y, guard=q)
+        _finish(func, b, y)
+        assert sink_partially_dead(func) == 0
+
+    def test_unguarded_use_not_sunk(self):
+        func, b = single_block_function(nparams=1)
+        x = func.params[0]
+        p = func.new_pred()
+        b.pred_def("lt", x, Imm(0), [p], ["ut"])
+        t = b.mul(x, Imm(3))
+        y = b.movi(0)
+        b.add(t, Imm(1), dest=y, guard=p)
+        z = b.add(t, Imm(5))  # unguarded use
+        _finish(func, b, z)
+        assert sink_partially_dead(func) == 0
+
+    def test_escaping_value_not_sunk(self):
+        # t is live out of the block -> must stay unconditional
+        from repro.ir import Function, IRBuilder
+
+        func = Function("main", [])
+        module = Module()
+        module.add_function(func)
+        b = IRBuilder(func)
+        entry = func.add_block("entry")
+        nxt = func.add_block("next")
+        b.at(entry)
+        p = func.new_pred()
+        b.pred_set(p, 1)
+        t = b.movi(5)
+        y = b.movi(0)
+        b.add(t, Imm(1), dest=y, guard=p)
+        b.at(nxt)
+        out = b.add(t, y)
+        b.ret(out)
+        assert sink_partially_dead(func) == 0
+
+    def test_store_never_sunk(self):
+        func, b = single_block_function(nparams=1)
+        p = func.new_pred()
+        b.pred_def("lt", func.params[0], Imm(0), [p], ["ut"])
+        b.store(func.params[0], 0, Imm(1))
+        _finish(func, b, Imm(0))
+        assert sink_partially_dead(func) == 0

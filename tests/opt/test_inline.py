@@ -1,0 +1,157 @@
+"""Unit tests for profile-guided inlining."""
+
+from repro.ir import (
+    Function,
+    IRBuilder,
+    Imm,
+    Module,
+    Opcode,
+    ireg,
+    verify_module,
+)
+from repro.opt.inline import inline_call, inline_module
+from repro.sim.interp import profile_module, run_module
+
+
+def _make_caller_callee(loop_iters=10):
+    """main: s=0; for i<loop_iters: s += helper(i); return s
+    helper(x): if (x < 5) return x*2; else return x+1"""
+    module = Module()
+
+    x = ireg(0)
+    helper = Function("helper", [x])
+    module.add_function(helper)
+    hb = IRBuilder(helper)
+    h_entry = helper.add_block("entry")
+    h_else = helper.add_block("big")
+    hb.at(h_entry)
+    hb.br("ge", x, Imm(5), "big")
+    t = hb.mul(x, Imm(2))
+    hb.ret(t)
+    hb.at(h_else)
+    t2 = hb.add(x, Imm(1))
+    hb.ret(t2)
+
+    main = Function("main")
+    module.add_function(main)
+    b = IRBuilder(main)
+    entry = main.add_block("entry")
+    body = main.add_block("body")
+    done = main.add_block("done")
+    b.at(entry)
+    s = b.movi(0)
+    i = b.movi(0)
+    b.at(body)
+    r = b.call("helper", [i], dest=main.new_reg())
+    b.add(s, r, dest=s)
+    b.add(i, Imm(1), dest=i)
+    b.br("lt", i, Imm(loop_iters), "body")
+    b.at(done)
+    b.ret(s)
+    return module
+
+
+def _expected(loop_iters=10):
+    return sum(x * 2 if x < 5 else x + 1 for x in range(loop_iters))
+
+
+class TestInlineCall:
+    def test_semantics_preserved(self):
+        module = _make_caller_callee()
+        main = module.function("main")
+        call_op = next(op for op in main.ops() if op.opcode == Opcode.CALL)
+        inline_call(module, main, "body", call_op)
+        verify_module(module)
+        assert run_module(module).value == _expected()
+        assert not any(op.opcode == Opcode.CALL for op in main.ops())
+
+    def test_register_isolation(self):
+        # callee and caller both use low-numbered registers; after inlining
+        # the clone must not clobber caller registers
+        module = _make_caller_callee()
+        main = module.function("main")
+        call_op = next(op for op in main.ops() if op.opcode == Opcode.CALL)
+        before_regs = {r for op in main.ops() for r in op.writes()}
+        inline_call(module, main, "body", call_op)
+        # every op from the clone writes registers fresh to the caller
+        helper = module.function("helper")
+        helper_dests = {r for op in helper.ops() for r in op.writes()}
+        for block in main.blocks:
+            if block.label.startswith("inl_"):
+                for op in block.ops:
+                    for r in op.writes():
+                        assert r not in before_regs or r == call_op.dests[0]
+
+    def test_frame_merging(self):
+        module = Module()
+        callee = Function("callee", [ireg(0)])
+        module.add_function(callee)
+        callee.frame_words = 4
+        callee.frame_base = callee.new_reg()
+        cb = IRBuilder(callee, callee.add_block("entry"))
+        cb.store(callee.frame_base, 0, ireg(0))
+        v = cb.load(callee.frame_base, 0)
+        out = cb.add(v, Imm(1))
+        cb.ret(out)
+
+        main = Function("main")
+        module.add_function(main)
+        b = IRBuilder(main, main.add_block("entry"))
+        r = b.call("callee", [Imm(41)], dest=main.new_reg())
+        b.ret(r)
+
+        call_op = next(op for op in main.ops() if op.opcode == Opcode.CALL)
+        inline_call(module, main, "entry", call_op)
+        verify_module(module)
+        assert main.frame_words == 4
+        assert main.frame_base is not None
+        assert run_module(module).value == 42
+
+
+class TestInlineModule:
+    def test_hot_loop_site_inlined(self):
+        module = _make_caller_callee()
+        profile, _ = profile_module(module)
+        stats = inline_module(module, profile)
+        assert stats.sites_inlined == 1
+        verify_module(module)
+        assert run_module(module).value == _expected()
+
+    def test_budget_respected(self):
+        module = _make_caller_callee()
+        profile, _ = profile_module(module)
+        stats = inline_module(module, profile, expansion_limit=0.01)
+        assert stats.sites_inlined == 0
+
+    def test_recursive_callee_skipped(self):
+        module = Module()
+        f = Function("f", [ireg(0)])
+        module.add_function(f)
+        b = IRBuilder(f)
+        entry = f.add_block("entry")
+        rec = f.add_block("rec")
+        b.at(entry)
+        b.br("gt", ireg(0), Imm(0), "rec")
+        b.ret(Imm(0))
+        b.at(rec)
+        n1 = b.sub(ireg(0), Imm(1))
+        r = b.call("f", [n1], dest=f.new_reg())
+        b.ret(r)
+
+        main = Function("main")
+        module.add_function(main)
+        mb = IRBuilder(main, main.add_block("entry"))
+        out = mb.call("f", [Imm(3)], dest=main.new_reg())
+        mb.ret(out)
+
+        profile, _ = profile_module(module)
+        stats = inline_module(module, profile)
+        assert stats.sites_inlined == 0
+
+    def test_cold_sites_skipped(self):
+        module = _make_caller_callee()
+        # never profiled -> zero weights -> nothing inlined
+        from repro.analysis.profile import Profile
+
+        stats = inline_module(module, Profile())
+        assert stats.sites_inlined == 0

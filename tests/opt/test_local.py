@@ -1,0 +1,190 @@
+"""Unit tests for local folding / copy propagation / CSE."""
+
+from repro.ir import (
+    Function,
+    IRBuilder,
+    Imm,
+    Module,
+    Opcode,
+    ireg,
+    verify_function,
+)
+from repro.opt.local import optimize_block, optimize_function
+from repro.sim.interp import run_module
+
+from tests.helpers import single_block_function
+
+
+def _finish(func, b, result):
+    b.ret(result)
+    module = Module()
+    module.add_function(func)
+    return module
+
+
+class TestConstantFolding:
+    def test_binary_fold(self):
+        func, b = single_block_function()
+        x = b.movi(6)
+        y = b.movi(7)
+        z = b.mul(x, y)
+        module = _finish(func, b, z)
+        optimize_function(func)
+        verify_function(func)
+        ops = func.entry.ops
+        movs = [op for op in ops if op.opcode == Opcode.MOV and op.dests[0] == z]
+        assert movs and movs[0].srcs[0] == Imm(42)
+        assert run_module(module).value == 42
+
+    def test_fold_through_chain(self):
+        func, b = single_block_function()
+        a = b.movi(10)
+        c = b.add(a, Imm(5))
+        d = b.sub(c, Imm(3))
+        module = _finish(func, b, d)
+        optimize_function(func)
+        assert run_module(module).value == 12
+        assert all(op.opcode in (Opcode.MOV, Opcode.RET) for op in func.entry.ops)
+
+    def test_division_by_zero_not_folded(self):
+        func, b = single_block_function()
+        z = b.emit(Opcode.DIV, [Imm(5), Imm(0)])
+        _finish(func, b, z)
+        optimize_function(func)
+        assert any(op.opcode == Opcode.DIV for op in func.entry.ops)
+
+    def test_cmp_folds(self):
+        func, b = single_block_function()
+        c = b.cmp("lt", Imm(3), Imm(5))
+        module = _finish(func, b, c)
+        optimize_function(func)
+        assert run_module(module).value == 1
+
+
+class TestAlgebraicIdentities:
+    def test_add_zero(self):
+        func, b = single_block_function(nparams=1)
+        x = func.params[0]
+        y = b.add(x, Imm(0))
+        module = _finish(func, b, y)
+        optimize_function(func)
+        assert run_module(module, args=[9]).value == 9
+        assert not any(op.opcode == Opcode.ADD for op in func.entry.ops)
+
+    def test_mul_by_power_of_two_becomes_shift(self):
+        func, b = single_block_function(nparams=1)
+        x = func.params[0]
+        y = b.mul(x, Imm(8))
+        module = _finish(func, b, y)
+        optimize_function(func)
+        shls = [op for op in func.entry.ops if op.opcode == Opcode.SHL]
+        assert shls and shls[0].srcs[1] == Imm(3)
+        assert run_module(module, args=[5]).value == 40
+
+    def test_mul_by_zero(self):
+        func, b = single_block_function(nparams=1)
+        y = b.mul(func.params[0], Imm(0))
+        module = _finish(func, b, y)
+        optimize_function(func)
+        assert run_module(module, args=[123]).value == 0
+        assert not any(op.opcode in (Opcode.MUL, Opcode.SHL) for op in func.entry.ops)
+
+
+class TestCopyPropagation:
+    def test_copy_chain_collapses(self):
+        func, b = single_block_function(nparams=1)
+        x = func.params[0]
+        a = b.mov(x)
+        c = b.mov(a)
+        d = b.add(c, Imm(1))
+        module = _finish(func, b, d)
+        optimize_function(func)
+        adds = [op for op in func.entry.ops if op.opcode == Opcode.ADD]
+        assert adds[0].srcs[0] == x
+        assert run_module(module, args=[4]).value == 5
+
+    def test_guarded_write_blocks_propagation(self):
+        func, b = single_block_function(nparams=1)
+        x = func.params[0]
+        p = func.new_pred()
+        b.pred_def("lt", x, Imm(0), [p], ["ut"])
+        a = b.movi(7)
+        b.movi(9, dest=a, guard=p)  # 'a' is no longer known to be 7
+        d = b.add(a, Imm(1))
+        module = _finish(func, b, d)
+        optimize_function(func)
+        adds = [op for op in func.entry.ops if op.opcode == Opcode.ADD]
+        assert adds and adds[0].srcs[0] == a  # not folded to Imm(8)
+        assert run_module(module, args=[-5]).value == 10
+        assert run_module(module, args=[5]).value == 8
+
+
+class TestCSE:
+    def test_duplicate_expression_reused(self):
+        func, b = single_block_function(nparams=2)
+        x, y = func.params
+        a = b.add(x, y)
+        c = b.add(x, y)
+        d = b.emit(Opcode.XOR, [a, c])
+        module = _finish(func, b, d)
+        optimize_function(func)
+        adds = [op for op in func.entry.ops if op.opcode == Opcode.ADD]
+        assert len(adds) == 1
+        assert run_module(module, args=[3, 4]).value == 0
+
+    def test_load_cse_blocked_by_store(self):
+        func, b = single_block_function(nparams=1)
+        base = func.params[0]
+        v1 = b.load(base, 0)
+        b.store(base, 0, Imm(5))
+        v2 = b.load(base, 0)
+        d = b.add(v1, v2)
+        _finish(func, b, d)
+        optimize_function(func)
+        loads = [op for op in func.entry.ops if op.opcode == Opcode.LD]
+        assert len(loads) == 2
+
+    def test_load_cse_without_store(self):
+        func, b = single_block_function(nparams=1)
+        base = func.params[0]
+        v1 = b.load(base, 0)
+        v2 = b.load(base, 0)
+        d = b.add(v1, v2)
+        _finish(func, b, d)
+        optimize_function(func)
+        loads = [op for op in func.entry.ops if op.opcode == Opcode.LD]
+        assert len(loads) == 1
+
+
+class TestBranchFolding:
+    def test_never_taken_branch_removed(self):
+        func = Function("main")
+        module = Module()
+        module.add_function(func)
+        b = IRBuilder(func)
+        entry = func.add_block("entry")
+        other = func.add_block("other")
+        b.at(entry)
+        b.br("lt", Imm(5), Imm(3), "other")
+        b.ret(Imm(1))
+        b.at(other)
+        b.ret(Imm(2))
+        optimize_function(func)
+        assert not any(op.opcode == Opcode.BR for op in func.entry.ops)
+        assert run_module(module).value == 1
+
+    def test_always_taken_branch_becomes_jump(self):
+        func = Function("main")
+        module = Module()
+        module.add_function(func)
+        b = IRBuilder(func)
+        entry = func.add_block("entry")
+        other = func.add_block("other")
+        b.at(entry)
+        b.br("lt", Imm(1), Imm(3), "other")
+        b.ret(Imm(1))
+        b.at(other)
+        b.ret(Imm(2))
+        optimize_function(func)
+        assert func.entry.ops[-1].opcode == Opcode.JUMP
+        assert run_module(module).value == 2

@@ -1,0 +1,100 @@
+"""Unit tests for expression reassociation."""
+
+from repro.analysis.dependence import build_dependence_graph
+from repro.ir import Imm, Module, Opcode, verify_function
+from repro.opt.reassoc import reassociate_function
+from repro.sim.interp import run_module
+
+from tests.helpers import single_block_function
+
+
+def _finish(func, b, result):
+    b.ret(result)
+    module = Module()
+    module.add_function(func)
+    return module
+
+
+def _sum_chain(func, b, regs):
+    acc = regs[0]
+    for reg in regs[1:]:
+        acc = b.add(acc, reg)
+    return acc
+
+
+def test_chain_of_four_rebalanced():
+    func, b = single_block_function(nparams=4)
+    total = _sum_chain(func, b, list(func.params))
+    module = _finish(func, b, total)
+    before = build_dependence_graph(func.entry.ops).critical_path_length()
+    assert reassociate_function(func) == 1
+    verify_function(func)
+    after = build_dependence_graph(func.entry.ops).critical_path_length()
+    assert after < before
+    assert run_module(module, args=[1, 2, 3, 4]).value == 10
+
+
+def test_chain_of_eight_height_logarithmic():
+    func, b = single_block_function(nparams=8)
+    total = _sum_chain(func, b, list(func.params))
+    module = _finish(func, b, total)
+    assert reassociate_function(func) == 1
+    adds = [op for op in func.entry.ops if op.opcode == Opcode.ADD]
+    assert len(adds) == 7  # same op count
+    height = build_dependence_graph(func.entry.ops).critical_path_length()
+    assert height <= 5  # log2(8)=3 adds + ret
+    assert run_module(module, args=list(range(8))).value == 28
+
+
+def test_short_chain_untouched():
+    func, b = single_block_function(nparams=3)
+    total = _sum_chain(func, b, list(func.params))
+    _finish(func, b, total)
+    assert reassociate_function(func) == 0
+
+
+def test_multi_use_intermediate_blocks_chain():
+    func, b = single_block_function(nparams=4)
+    p0, p1, p2, p3 = func.params
+    t1 = b.add(p0, p1)
+    t2 = b.add(t1, p2)
+    t3 = b.add(t2, p3)
+    out = b.add(t1, t3)  # t1 used twice
+    module = _finish(func, b, out)
+    reassociate_function(func)
+    verify_function(func)
+    assert run_module(module, args=[1, 2, 3, 4]).value == 13
+
+
+def test_guarded_ops_not_chained():
+    func, b = single_block_function(nparams=4)
+    p = func.new_pred()
+    b.pred_set(p, 1)
+    p0, p1, p2, p3 = func.params
+    t1 = b.add(p0, p1)
+    t2 = b.add(t1, p2, guard=p)
+    t3 = b.add(t2, p3)
+    _finish(func, b, t3)
+    assert reassociate_function(func) == 0
+
+
+def test_mul_chain_rebalanced():
+    func, b = single_block_function(nparams=4)
+    acc = func.params[0]
+    for reg in func.params[1:]:
+        acc = b.mul(acc, reg)
+    module = _finish(func, b, acc)
+    assert reassociate_function(func) == 1
+    assert run_module(module, args=[2, 3, 5, 7]).value == 210
+
+
+def test_wraparound_preserved():
+    # reassociation must respect mod-2^32 arithmetic
+    func, b = single_block_function()
+    big = b.movi(2**31 - 1)
+    x1 = b.add(big, Imm(100))
+    x2 = b.add(x1, Imm(-100))
+    x3 = b.add(x2, Imm(7))
+    module = _finish(func, b, x3)
+    reassociate_function(func)
+    assert run_module(module).value == 2**31 - 1 + 7 - 2**32

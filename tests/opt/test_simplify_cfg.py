@@ -1,0 +1,118 @@
+"""Unit tests for CFG simplification."""
+
+from repro.ir import Function, IRBuilder, Imm, Opcode, ireg, verify_function
+from repro.opt.simplify_cfg import (
+    drop_redundant_jumps,
+    merge_straightline,
+    remove_unreachable,
+    simplify_cfg,
+    thread_jumps,
+)
+from repro.sim.interp import run_module
+
+from tests.helpers import build_counting_loop, build_if_diamond
+
+
+def test_remove_unreachable():
+    module = build_if_diamond()
+    func = module.function("main")
+    dead = func.add_block("dead")
+    b = IRBuilder(func, dead)
+    b.ret()
+    assert remove_unreachable(func) == 1
+    assert not func.has_block("dead")
+    verify_function(func)
+
+
+def test_thread_jump_chain():
+    func = Function("f")
+    b = IRBuilder(func)
+    entry = func.add_block("entry")
+    hop = func.add_block("hop")
+    land = func.add_block("land")
+    b.at(entry)
+    b.br("lt", ireg(0), Imm(0), "hop")
+    b.jump("land")
+    b.at(hop)
+    b.jump("land")
+    b.at(land)
+    b.ret()
+    assert thread_jumps(func) == 1
+    branch = func.block("entry").ops[0]
+    assert branch.target == "land"
+
+
+def test_merge_straightline_preserves_semantics():
+    module = build_if_diamond()
+    func = module.function("main")
+    # split "join" artificially by inserting a forwarding block
+    simplify_cfg(func)
+    verify_function(func)
+    assert run_module(module, args=[5]).value == 6
+    assert run_module(module, args=[50]).value == 49
+
+
+def test_merge_straightline_merges_chain():
+    func = Function("f")
+    b = IRBuilder(func)
+    a = func.add_block("a")
+    c = func.add_block("c")
+    b.at(a)
+    b.add(ireg(0), Imm(1), dest=ireg(1))
+    b.jump("c")
+    b.at(c)
+    b.add(ireg(1), Imm(2), dest=ireg(2))
+    b.ret(ireg(2))
+    assert merge_straightline(func) == 1
+    assert len(func.blocks) == 1
+    verify_function(func)
+
+
+def test_merge_respects_fallthrough_of_merged_block():
+    # a jumps to c; c falls through to d; merging c into a must keep d next
+    func = Function("main")
+    b = IRBuilder(func)
+    a = func.add_block("a")
+    x = func.add_block("x")
+    c = func.add_block("c")
+    d = func.add_block("d")
+    b.at(a)
+    b.jump("c")
+    b.at(x)
+    b.ret(Imm(1))
+    b.at(c)
+    b.add(ireg(0), Imm(1), dest=ireg(1))
+    b.at(d)
+    b.ret(ireg(1))
+    # c's only pred is a; merge must add an explicit jump to d
+    count = merge_straightline(func)
+    assert count >= 1
+    verify_function(func)
+    from repro.ir import Module
+
+    module = Module()
+    module.add_function(func)
+    assert run_module(module).value == 1  # via a -> c-code -> d
+
+
+def test_drop_redundant_jump():
+    func = Function("f")
+    b = IRBuilder(func)
+    a = func.add_block("a")
+    c = func.add_block("c")
+    b.at(a)
+    b.jump("c")
+    b.at(c)
+    b.ret()
+    assert drop_redundant_jumps(func) == 1
+    assert func.block("a").ops == []
+
+
+def test_simplify_cfg_idempotent_on_loop():
+    module = build_counting_loop(5)
+    func = module.function("main")
+    simplify_cfg(func)
+    verify_function(func)
+    assert run_module(module).value == 10
+    # running again changes nothing
+    assert simplify_cfg(func) == 0

@@ -1,0 +1,87 @@
+"""Unit tests for block re-normalization (split_at_branches)."""
+
+from repro.ir import Function, IRBuilder, Imm, Module, Opcode, ireg, verify_function
+from repro.opt.simplify_cfg import merge_straightline, simplify_cfg, split_at_branches
+from repro.sim.interp import run_module
+
+
+def _module_with_midblock_branch():
+    """A block with a side exit in the middle (as merging produces)."""
+    module = Module()
+    func = Function("main", [ireg(0)])
+    module.add_function(func)
+    b = IRBuilder(func)
+    big = func.add_block("big")
+    tail = func.add_block("tailpart")
+    exit_blk = func.add_block("exitpart")
+    b.at(big)
+    t = b.add(ireg(0), Imm(1))
+    b.br("gt", t, Imm(100), "exitpart")
+    b.at(big)
+    u = b.mul(t, Imm(2))
+    b.jump("tailpart")
+    b.at(tail)
+    b.ret(u)
+    b.at(exit_blk)
+    b.ret(Imm(-1))
+    # collapse the mid-block branch into 'big' manually
+    func.block("big").ops  # [add, br, mul, jump]
+    return module
+
+
+class TestSplit:
+    def test_splits_after_interior_branch(self):
+        module = _module_with_midblock_branch()
+        func = module.function("main")
+        assert split_at_branches(func) == 1
+        verify_function(func)
+        # every branch now ends a block (modulo the BR+JUMP pair)
+        for block in func.blocks:
+            for i, op in enumerate(block.ops[:-1]):
+                if op.is_branch:
+                    assert (i == len(block.ops) - 2
+                            and op.opcode == Opcode.BR
+                            and block.ops[-1].opcode == Opcode.JUMP)
+
+    def test_semantics_preserved(self):
+        baseline = _module_with_midblock_branch()
+        split = _module_with_midblock_branch()
+        split_at_branches(split.function("main"))
+        for x in (1, 99, 100, 5000):
+            assert (run_module(split, args=[x]).value
+                    == run_module(baseline, args=[x]).value)
+
+    def test_br_jump_pair_not_split(self):
+        module = Module()
+        func = Function("main", [ireg(0)])
+        module.add_function(func)
+        b = IRBuilder(func)
+        entry = func.add_block("entry")
+        a = func.add_block("a")
+        c = func.add_block("c")
+        b.at(entry)
+        b.br("lt", ireg(0), Imm(0), "a")
+        b.jump("c")
+        b.at(a)
+        b.ret(Imm(1))
+        b.at(c)
+        b.ret(Imm(2))
+        assert split_at_branches(func) == 0
+
+    def test_idempotent(self):
+        module = _module_with_midblock_branch()
+        func = module.function("main")
+        split_at_branches(func)
+        assert split_at_branches(func) == 0
+
+    def test_round_trip_with_merging(self):
+        # merge then split then merge again: semantics stable throughout
+        module = _module_with_midblock_branch()
+        func = module.function("main")
+        expected = run_module(_module_with_midblock_branch(), args=[7]).value
+        simplify_cfg(func)
+        split_at_branches(func)
+        verify_function(func)
+        merge_straightline(func)
+        verify_function(func)
+        assert run_module(module, args=[7]).value == expected

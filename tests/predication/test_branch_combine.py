@@ -1,0 +1,146 @@
+"""Unit + integration tests for branch combining."""
+
+from repro.ir import GlobalRef, Imm, Module, Opcode, verify_module
+from repro.predication.branch_combine import combine_branches
+from repro.predication.hyperblock import form_loop_hyperblocks
+from repro.sim.interp import profile_module, run_module
+
+from tests.predication.test_ifconvert import build_loop_with_diamond
+
+
+def build_loop_with_two_exits(n=50, stop_a=-1, stop_b=-1):
+    """A loop with two rarely-taken exit conditions (values from a table)."""
+    from repro.ir import Function, IRBuilder
+
+    module = Module()
+    module.add_global("tab", 64, [(3 * k) % 251 for k in range(64)])
+    func = Function("main")
+    module.add_function(func)
+    b = IRBuilder(func)
+
+    entry = func.add_block("entry")
+    head = func.add_block("head")
+    mid = func.add_block("mid")
+    cont = func.add_block("cont")
+    exit_a = func.add_block("exit_a")
+    exit_b = func.add_block("exit_b")
+    done = func.add_block("done")
+
+    b.at(entry)
+    s = b.movi(0)
+    i = b.movi(0)
+    base = b.mov(GlobalRef("tab"))
+
+    b.at(head)
+    addr = b.add(base, i)
+    v = b.load(addr, 0)
+    b.br("eq", v, Imm(stop_a), "exit_a")
+
+    b.at(mid)
+    b.br("eq", v, Imm(stop_b), "exit_b")
+
+    b.at(cont)
+    b.add(s, v, dest=s)
+    b.add(i, Imm(1), dest=i)
+    b.br("lt", i, Imm(n), "head")
+    b.jump("done")
+
+    b.at(exit_a)
+    b.ret(Imm(-100))
+    b.at(exit_b)
+    b.ret(Imm(-200))
+    b.at(done)
+    b.ret(s)
+    return module
+
+
+def _expected(n=50, stop_a=-1, stop_b=-1):
+    tab = [(3 * k) % 251 for k in range(64)]
+    s = 0
+    for i in range(n):
+        v = tab[i]
+        if v == stop_a:
+            return -100
+        if v == stop_b:
+            return -200
+        s += v
+    return s
+
+
+class TestBranchCombining:
+    def _converted(self, **kw):
+        module = build_loop_with_two_exits(**kw)
+        func = module.function("main")
+        stats = form_loop_hyperblocks(func)
+        assert stats.loops_converted == 1
+        return module, func
+
+    def test_combines_two_cold_exits(self):
+        module, func = self._converted()
+        profile, _ = profile_module(module)
+        stats = combine_branches(func, profile)
+        assert stats.hyperblocks == 1
+        assert stats.branches_combined == 2
+        verify_module(module)
+
+    def test_semantics_exits_not_taken(self):
+        module, func = self._converted()
+        profile, _ = profile_module(module)
+        combine_branches(func, profile)
+        assert run_module(module).value == _expected()
+
+    def test_semantics_exit_taken(self):
+        # stop value 9 appears in the table: (3*3)%251
+        module, func = self._converted(stop_a=9)
+        combine_branches(func, profile=None)
+        assert run_module(module).value == _expected(stop_a=9) == -100
+
+    def test_second_exit_taken(self):
+        module, func = self._converted(stop_b=12)
+        combine_branches(func, profile=None)
+        assert run_module(module).value == _expected(stop_b=12) == -200
+
+    def test_decode_block_created(self):
+        module, func = self._converted()
+        combine_branches(func)
+        decode = [blk for blk in func.blocks if "_decode" in blk.label]
+        assert len(decode) == 1
+        brs = [op for op in decode[0].ops if op.opcode == Opcode.BR]
+        assert len(brs) == 2
+
+    def test_summary_predicate_structure(self):
+        module, func = self._converted()
+        combine_branches(func)
+        hyper = next(blk for blk in func.blocks if blk.hyperblock)
+        # or-type contributions into one summary predicate
+        ors = [op for op in hyper.ops
+               if op.opcode == Opcode.PRED_DEF and op.attrs["ptypes"] == ["ot"]]
+        assert len(ors) >= 2
+        summary = ors[0].dests[0]
+        assert all(op.dests[0] == summary for op in ors)
+        # summary jump placed before the trailing loop-back branch
+        jump_idx = next(i for i, op in enumerate(hyper.ops)
+                        if op.opcode == Opcode.JUMP and op.guard == summary)
+        assert any(op.is_branch for op in hyper.ops[jump_idx + 1:])
+
+    def test_hot_exits_left_alone(self):
+        module, func = self._converted()
+        profile, _ = profile_module(module)
+        stats = combine_branches(func, profile, taken_threshold=-1.0)
+        # with an impossible threshold every exit is 'too hot'
+        assert stats.branches_combined == 0
+
+    def test_single_exit_not_combined(self):
+        module = build_loop_with_diamond()
+        func = module.function("main")
+        form_loop_hyperblocks(func)
+        stats = combine_branches(func)
+        assert stats.branches_combined == 0
+
+    def test_branch_resource_reduced(self):
+        module, func = self._converted()
+        hyper = next(blk for blk in func.blocks if blk.hyperblock)
+        before = sum(1 for op in hyper.ops if op.opcode == Opcode.BR)
+        combine_branches(func)
+        after = sum(1 for op in hyper.ops if op.opcode == Opcode.BR)
+        assert after == before - 2

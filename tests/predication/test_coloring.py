@@ -1,0 +1,122 @@
+"""Unit tests for predicate live ranges and coloring."""
+
+import pytest
+
+from repro.ir import BasicBlock, Imm, Opcode, Operation, ireg, preg
+from repro.predication.coloring import (
+    PredicateSpillRequired,
+    apply_coloring,
+    color_predicates,
+    max_live_predicates,
+    predicate_live_ranges,
+)
+
+
+def _pdef(dest, cmp="lt", guard=None, src=0):
+    return Operation(Opcode.PRED_DEF, [dest], [ireg(src), Imm(4)],
+                     guard=guard, attrs={"cmp": cmp, "ptypes": ["ut"]})
+
+
+def _use(guard, dest=9):
+    return Operation(Opcode.ADD, [ireg(dest)], [ireg(0), Imm(1)], guard=guard)
+
+
+class TestLiveRanges:
+    def test_simple_range(self):
+        block = BasicBlock("b", [_pdef(preg(0)), _use(preg(0)), _use(preg(0))])
+        ranges = predicate_live_ranges(block)
+        assert len(ranges) == 1
+        rng = ranges[0]
+        assert rng.start == 0
+        assert rng.end == 2
+        assert rng.consumers == [1, 2]
+        assert rng.duration == 2
+
+    def test_disjoint_ranges(self):
+        block = BasicBlock("b", [
+            _pdef(preg(0)), _use(preg(0)),
+            _pdef(preg(1)), _use(preg(1)),
+        ])
+        ranges = predicate_live_ranges(block)
+        assert not ranges[0].overlaps(ranges[1])
+
+    def test_upward_exposed_is_whole_block(self):
+        # predicate read before being defined: live across the back edge
+        block = BasicBlock("b", [_use(preg(0)), _pdef(preg(0))])
+        rng = predicate_live_ranges(block)[0]
+        assert rng.start == 0
+        assert rng.end == len(block.ops)
+
+
+class TestMaxLive:
+    def test_non_overlapping_max_one(self):
+        block = BasicBlock("b", [
+            _pdef(preg(0)), _use(preg(0)),
+            _pdef(preg(1)), _use(preg(1)),
+        ])
+        assert max_live_predicates(block) == 1
+
+    def test_overlapping_counted(self):
+        block = BasicBlock("b", [
+            _pdef(preg(0)),
+            _pdef(preg(1)),
+            _use(preg(0)),
+            _use(preg(1)),
+        ])
+        assert max_live_predicates(block) == 2
+
+    def test_empty_block(self):
+        assert max_live_predicates(BasicBlock("b", [])) == 0
+
+
+class TestColoring:
+    def test_disjoint_share_color(self):
+        block = BasicBlock("b", [
+            _pdef(preg(0)), _use(preg(0)),
+            _pdef(preg(1)), _use(preg(1)),
+        ])
+        colors = color_predicates(block)
+        assert colors[preg(0)] == colors[preg(1)] == 0
+
+    def test_overlapping_distinct_colors(self):
+        block = BasicBlock("b", [
+            _pdef(preg(0)), _pdef(preg(1)),
+            _use(preg(0)), _use(preg(1)),
+        ])
+        colors = color_predicates(block)
+        assert colors[preg(0)] != colors[preg(1)]
+
+    def test_spill_raises(self):
+        ops = [_pdef(preg(i)) for i in range(9)]
+        ops += [_use(preg(i)) for i in range(9)]
+        block = BasicBlock("b", ops)
+        with pytest.raises(PredicateSpillRequired):
+            color_predicates(block, physical=8)
+        # nine physical predicates suffice
+        colors = color_predicates(block, physical=9)
+        assert len(set(colors.values())) == 9
+
+    def test_apply_coloring_rewrites(self):
+        block = BasicBlock("b", [
+            _pdef(preg(5)), _use(preg(5)),
+            _pdef(preg(7)), _use(preg(7)),
+        ])
+        colors = color_predicates(block)
+        apply_coloring(block, colors)
+        used = {op.guard for op in block.ops if op.guard is not None}
+        assert used == {preg(0)}
+
+    def test_coloring_valid_on_ifconverted_loop(self):
+        from repro.predication.hyperblock import form_loop_hyperblocks
+        from tests.predication.test_ifconvert import build_loop_with_diamond
+
+        module = build_loop_with_diamond()
+        func = module.function("main")
+        form_loop_hyperblocks(func)
+        hyper = next(blk for blk in func.blocks if blk.hyperblock)
+        colors = color_predicates(hyper, physical=8)
+        ranges = {r.reg: r for r in predicate_live_ranges(hyper)}
+        for a in colors:
+            for b in colors:
+                if a != b and colors[a] == colors[b]:
+                    assert not ranges[a].overlaps(ranges[b])

@@ -1,0 +1,258 @@
+"""Unit + integration tests for if-conversion / hyperblock formation."""
+
+import pytest
+
+from repro.analysis.cfgview import CFGView
+from repro.analysis.loops import find_loops, is_simple_loop
+from repro.ir import (
+    Function,
+    IRBuilder,
+    Imm,
+    Module,
+    Opcode,
+    ireg,
+    verify_function,
+    verify_module,
+)
+from repro.predication.hyperblock import (
+    form_hammock_hyperblocks,
+    form_loop_hyperblocks,
+)
+from repro.predication.ifconvert import (
+    IfConversionError,
+    check_region_convertible,
+    if_convert_region,
+)
+from repro.sim.interp import run_module
+
+
+def build_loop_with_diamond(n=10):
+    """main(): s=0; for i in 0..n-1: if (i & 1) s += 3*i; else s -= i; return s"""
+    module = Module()
+    func = Function("main")
+    module.add_function(func)
+    b = IRBuilder(func)
+    entry = func.add_block("entry")
+    head = func.add_block("head")
+    odd = func.add_block("odd")
+    even = func.add_block("even")
+    latch = func.add_block("latch")
+    done = func.add_block("done")
+
+    b.at(entry)
+    s = b.movi(0)
+    i = b.movi(0)
+
+    b.at(head)
+    bit = b.emit(Opcode.AND, [i, Imm(1)])
+    b.br("eq", bit, Imm(0), "even")
+
+    b.at(odd)
+    t = b.mul(i, Imm(3))
+    b.add(s, t, dest=s)
+    b.jump("latch")
+
+    b.at(even)
+    b.sub(s, i, dest=s)
+
+    b.at(latch)
+    b.add(i, Imm(1), dest=i)
+    b.br("lt", i, Imm(n), "head")
+
+    b.at(done)
+    b.ret(s)
+    return module
+
+
+def expected_diamond(n=10):
+    s = 0
+    for i in range(n):
+        if i & 1:
+            s += 3 * i
+        else:
+            s -= i
+    return s
+
+
+def build_loop_with_side_exit(n=20, stop=7):
+    """s=0; for i<n: if a[i]==stop break; s+=i  -- with a[i]=i"""
+    module = Module()
+    module.add_global("a", 32, list(range(32)))
+    func = Function("main")
+    module.add_function(func)
+    b = IRBuilder(func)
+    from repro.ir import GlobalRef
+
+    entry = func.add_block("entry")
+    head = func.add_block("head")
+    cont = func.add_block("cont")
+    done = func.add_block("done")
+
+    b.at(entry)
+    s = b.movi(0)
+    i = b.movi(0)
+    base = b.mov(GlobalRef("a"))
+
+    b.at(head)
+    addr = b.add(base, i)
+    v = b.load(addr, 0)
+    b.br("eq", v, Imm(stop), "done")
+
+    b.at(cont)
+    b.add(s, i, dest=s)
+    b.add(i, Imm(1), dest=i)
+    b.br("lt", i, Imm(n), "head")
+
+    b.at(done)
+    b.ret(s)
+    return module
+
+
+class TestLoopIfConversion:
+    def test_diamond_loop_becomes_simple(self):
+        module = build_loop_with_diamond()
+        func = module.function("main")
+        stats = form_loop_hyperblocks(func)
+        assert stats.loops_converted == 1
+        verify_module(module)
+        loops = find_loops(func)
+        assert len(loops) == 1
+        assert is_simple_loop(func, loops[0])
+        assert func.block(loops[0].header).hyperblock
+
+    def test_diamond_loop_semantics(self):
+        for n in (1, 2, 9, 10):
+            module = build_loop_with_diamond(n)
+            expected = run_module(module).value
+            assert expected == expected_diamond(n)
+            form_loop_hyperblocks(module.function("main"))
+            assert run_module(module).value == expected
+
+    def test_side_exit_loop_semantics(self):
+        module = build_loop_with_side_exit()
+        expected = run_module(module).value
+        assert expected == sum(range(7))
+        func = module.function("main")
+        stats = form_loop_hyperblocks(func)
+        assert stats.loops_converted == 1
+        verify_module(module)
+        assert run_module(module).value == expected
+        loop = find_loops(func)[0]
+        assert is_simple_loop(func, loop)
+
+    def test_side_exit_not_taken(self):
+        module = build_loop_with_side_exit(n=5, stop=99)
+        expected = run_module(module).value
+        form_loop_hyperblocks(module.function("main"))
+        assert run_module(module).value == expected == sum(range(5))
+
+    def test_nested_loop_rejected_until_inner_handled(self):
+        from tests.helpers import build_nested_loop
+
+        module = build_nested_loop()
+        func = module.function("main")
+        stats = form_loop_hyperblocks(func)
+        # the inner loop is already simple (single block); the outer loop
+        # contains it and must be rejected
+        assert stats.loops_converted == 0
+        assert any("inner loop" in r for r in stats.rejected.values())
+
+    def test_call_in_body_rejected(self):
+        module = build_loop_with_diamond()
+        func = module.function("main")
+        helper = Function("helper")
+        module.add_function(helper)
+        hb = IRBuilder(helper, helper.add_block("entry"))
+        hb.ret(Imm(0))
+        # plant a call inside the loop
+        odd = func.block("odd")
+        b = IRBuilder(func, odd)
+        odd.insert(0, b.emit_op(Opcode.CALL, [], [], callee="helper"))
+        odd.ops.pop()  # emit_op appended; we want it at 0 only
+        stats = form_loop_hyperblocks(func)
+        assert stats.loops_converted == 0
+        assert "call" in list(stats.rejected.values())[0]
+
+    def test_region_size_cap(self):
+        module = build_loop_with_diamond()
+        func = module.function("main")
+        stats = form_loop_hyperblocks(func, max_region_ops=3)
+        assert stats.loops_converted == 0
+        assert "too large" in list(stats.rejected.values())[0]
+
+
+class TestRegionChecks:
+    def test_side_entry_rejected(self):
+        module = build_loop_with_diamond()
+        func = module.function("main")
+        # entry block jumps straight into 'odd', bypassing the header
+        b = IRBuilder(func, func.block("entry"))
+        b.br("eq", ireg(0), Imm(0), "odd")
+        cfg = CFGView(func)
+        body = {"head", "odd", "even", "latch"}
+        reason = check_region_convertible(func, "head", body, cfg)
+        assert reason is not None and "side entry" in reason
+
+    def test_preguarded_op_rejected(self):
+        module = build_loop_with_diamond()
+        func = module.function("main")
+        p = func.new_pred()
+        func.block("odd").ops[0].guard = p
+        cfg = CFGView(func)
+        loop = find_loops(func, cfg)[0]
+        reason = check_region_convertible(func, loop.header, loop.body, cfg)
+        assert reason is not None and "guarded" in reason
+
+    def test_convert_raises_on_bad_region(self):
+        module = build_loop_with_diamond()
+        func = module.function("main")
+        cfg = CFGView(func)
+        with pytest.raises(IfConversionError):
+            if_convert_region(func, "head", {"head", "entry"}, cfg)
+
+
+class TestPredicateStructure:
+    def test_join_uses_or_type(self):
+        # A diamond whose join block has two in-edges -> or-type predicate
+        module = build_loop_with_diamond()
+        func = module.function("main")
+        form_loop_hyperblocks(func)
+        hyper = next(blk for blk in func.blocks if blk.hyperblock)
+        defines = [op for op in hyper.ops if op.opcode == Opcode.PRED_DEF]
+        assert defines, "if-conversion must create predicate defines"
+        types = {pt for op in defines for pt in op.attrs["ptypes"]}
+        assert types & {"ut", "uf"}
+        # 'latch' has two in-edges (odd, even) -> needs or-type contributions
+        assert types & {"ot", "of"}
+        inits = [op for op in hyper.ops if op.opcode == Opcode.PRED_SET]
+        assert inits, "or-type predicates must be cleared at block top"
+
+    def test_guard_counts(self):
+        module = build_loop_with_diamond()
+        func = module.function("main")
+        stats = form_loop_hyperblocks(func)
+        info = stats.converted[0]
+        assert info.blocks_merged == 4
+        assert info.guarded_ops > 0
+        assert info.predicates_used >= 2
+
+
+class TestHammockConversion:
+    def test_plain_diamond_converted(self):
+        from tests.helpers import build_if_diamond
+
+        module = build_if_diamond()
+        func = module.function("main")
+        stats = form_hammock_hyperblocks(func)
+        assert stats.loops_converted == 1
+        verify_module(module)
+        assert run_module(module, args=[5]).value == 6
+        assert run_module(module, args=[15]).value == 14
+
+    def test_loops_untouched_by_hammock_pass(self):
+        module = build_loop_with_diamond()
+        func = module.function("main")
+        before = len(func.blocks)
+        stats = form_hammock_hyperblocks(func)
+        assert stats.loops_converted == 0
+        assert len(func.blocks) == before

@@ -1,0 +1,149 @@
+"""Unit tests for predicate promotion."""
+
+from repro.ir import Imm, Module, Opcode, verify_function
+from repro.predication.promotion import (
+    promote_block,
+    promote_function,
+    sensitivity_stats,
+)
+from repro.sim.interp import run_module
+
+from tests.helpers import single_block_function
+
+
+def _finish(func, b, result):
+    b.ret(result)
+    module = Module()
+    module.add_function(func)
+    return module
+
+
+def _mark_hyper(func):
+    func.entry.hyperblock = True
+
+
+class TestPromotion:
+    def test_local_temp_promoted(self):
+        # (p) t = x*3 ; (p) y = t+1 : the mul can be promoted (t is only
+        # consumed under p)
+        func, b = single_block_function(nparams=1)
+        x = func.params[0]
+        p = func.new_pred()
+        b.pred_def("lt", x, Imm(0), [p], ["ut"])
+        t = b.mul(x, Imm(3), guard=p)
+        y = b.movi(0)
+        b.add(t, Imm(1), dest=y, guard=p)
+        module = _finish(func, b, y)
+        _mark_hyper(func)
+        stats = promote_function(func)
+        assert stats.promoted == 1
+        mul = next(op for op in func.entry.ops if op.opcode == Opcode.MUL)
+        assert mul.guard is None
+        verify_function(func)
+        assert run_module(module, args=[-2]).value == -5
+        assert run_module(module, args=[2]).value == 0
+
+    def test_chain_promotes_iteratively(self):
+        func, b = single_block_function(nparams=1)
+        x = func.params[0]
+        p = func.new_pred()
+        b.pred_def("lt", x, Imm(0), [p], ["ut"])
+        t1 = b.mul(x, Imm(3), guard=p)
+        t2 = b.add(t1, Imm(7), guard=p)
+        y = b.movi(0)
+        b.add(t2, Imm(1), dest=y, guard=p)
+        module = _finish(func, b, y)
+        _mark_hyper(func)
+        stats = promote_function(func)
+        assert stats.promoted == 2
+        assert run_module(module, args=[-1]).value == 5  # (-1*3+7)+1
+
+    def test_store_never_promoted(self):
+        func, b = single_block_function(nparams=1)
+        x = func.params[0]
+        p = func.new_pred()
+        b.pred_def("lt", x, Imm(0), [p], ["ut"])
+        b.store(x, 0, Imm(1), guard=p)
+        _finish(func, b, Imm(0))
+        _mark_hyper(func)
+        assert promote_function(func).promoted == 0
+
+    def test_value_read_unguarded_not_promoted(self):
+        # y starts 0 and is conditionally overwritten; promoting the
+        # overwrite would corrupt the p-false result
+        func, b = single_block_function(nparams=1)
+        x = func.params[0]
+        p = func.new_pred()
+        b.pred_def("lt", x, Imm(0), [p], ["ut"])
+        y = b.movi(0)
+        b.mul(x, Imm(3), dest=y, guard=p)
+        out = b.add(y, Imm(1))  # unguarded read
+        module = _finish(func, b, out)
+        _mark_hyper(func)
+        assert promote_function(func).promoted == 0
+        assert run_module(module, args=[5]).value == 1
+
+    def test_live_out_not_promoted(self):
+        from repro.ir import Function, IRBuilder
+
+        func = Function("main", [])
+        module = Module()
+        module.add_function(func)
+        b = IRBuilder(func)
+        entry = func.add_block("entry")
+        entry.hyperblock = True
+        nxt = func.add_block("next")
+        b.at(entry)
+        p = func.new_pred()
+        y = b.movi(0)
+        b.pred_set(p, 0)
+        b.movi(9, dest=y, guard=p)
+        b.at(nxt)
+        b.ret(y)
+        assert promote_function(func).promoted == 0
+        assert run_module(module).value == 0
+
+    def test_speculative_load_marked(self):
+        func, b = single_block_function(nparams=1)
+        x = func.params[0]
+        p = func.new_pred()
+        b.pred_def("gt", x, Imm(0), [p], ["ut"])
+        v = b.load(x, 0, guard=p)
+        y = b.movi(0)
+        b.add(v, Imm(1), dest=y, guard=p)
+        _finish(func, b, y)
+        _mark_hyper(func)
+        stats = promote_function(func)
+        assert stats.promoted == 1
+        assert stats.speculative_forms == 1
+        ld = next(op for op in func.entry.ops if op.opcode == Opcode.LD)
+        assert ld.attrs.get("speculative") is True
+
+    def test_subset_guard_consumers_allow_promotion(self):
+        # consumers guarded by q where q ⊆ p: promoting the p-guarded def is safe
+        func, b = single_block_function(nparams=1)
+        x = func.params[0]
+        p = func.new_pred()
+        q = func.new_pred()
+        b.pred_def("lt", x, Imm(0), [p], ["ut"])
+        b.pred_def("gt", x, Imm(-10), [q], ["ut"], guard=p)
+        t = b.mul(x, Imm(3), guard=p)
+        y = b.movi(0)
+        b.add(t, Imm(1), dest=y, guard=q)
+        module = _finish(func, b, y)
+        _mark_hyper(func)
+        assert promote_function(func).promoted == 1
+        assert run_module(module, args=[-5]).value == -14
+
+    def test_sensitivity_stats(self):
+        func, b = single_block_function(nparams=1)
+        x = func.params[0]
+        p = func.new_pred()
+        b.pred_def("lt", x, Imm(0), [p], ["ut"])
+        b.store(x, 0, Imm(1), guard=p)
+        b.add(x, Imm(1))
+        _finish(func, b, Imm(0))
+        _mark_hyper(func)
+        guarded, total = sensitivity_stats(func)
+        assert guarded == 1
+        assert total == 4  # pred_def, store, add, ret

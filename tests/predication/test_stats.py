@@ -1,0 +1,77 @@
+"""Unit tests for predication-characteristics statistics (Figure 3)."""
+
+import pytest
+
+from repro.predication.hyperblock import form_loop_hyperblocks
+from repro.predication.stats import collect_module_stats
+from repro.sim.interp import profile_module
+
+from tests.predication.test_ifconvert import build_loop_with_diamond
+
+
+def _converted_module():
+    module = build_loop_with_diamond()
+    func = module.function("main")
+    form_loop_hyperblocks(func)
+    return module
+
+
+class TestDefineStats:
+    def test_defines_collected(self):
+        module = _converted_module()
+        stats = collect_module_stats(module)
+        assert stats.defines, "converted loop must yield define stats"
+        for d in stats.defines:
+            assert d.consumers >= 0
+            assert d.duration >= 0
+
+    def test_dynamic_weights(self):
+        module = _converted_module()
+        profile, _ = profile_module(module)
+        stats = collect_module_stats(module, profile)
+        weighted = [d for d in stats.defines if d.weight > 0]
+        assert weighted, "profiled defines must carry dynamic weight"
+        # defines in the loop execute once per iteration (10 iterations)
+        assert max(d.weight for d in weighted) == 10
+
+    def test_consumers_cdf_monotone_and_complete(self):
+        module = _converted_module()
+        profile, _ = profile_module(module)
+        stats = collect_module_stats(module, profile)
+        cdf = stats.consumers_cdf(dynamic=True)
+        values = [cdf[k] for k in sorted(cdf)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+        assert values[-1] == pytest.approx(1.0)
+
+    def test_duration_cdf(self):
+        module = _converted_module()
+        stats = collect_module_stats(module)
+        cdf = stats.duration_cdf()
+        assert cdf
+        assert max(cdf.values()) == pytest.approx(1.0)
+
+
+class TestLoopOverlapStats:
+    def test_loop_recorded_with_iterations(self):
+        module = _converted_module()
+        profile, _ = profile_module(module)
+        stats = collect_module_stats(module, profile)
+        assert len(stats.loops) == 1
+        loop = stats.loops[0]
+        assert loop.iterations == 10
+        assert loop.max_live >= 1
+
+    def test_predicates_covering(self):
+        module = _converted_module()
+        profile, _ = profile_module(module)
+        stats = collect_module_stats(module, profile)
+        needed = stats.predicates_covering(0.99)
+        assert 1 <= needed <= 8
+
+    def test_empty_module(self):
+        from repro.ir import Module
+
+        stats = collect_module_stats(Module())
+        assert stats.defines == []
+        assert stats.consumers_cdf() == {}
+        assert stats.predicates_covering() == 0

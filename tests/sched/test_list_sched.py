@@ -1,0 +1,118 @@
+"""Unit tests for the acyclic list scheduler."""
+
+from repro.analysis.dependence import build_dependence_graph
+from repro.ir import BasicBlock, Imm, Opcode, Operation, ireg, preg
+from repro.sched.list_sched import schedule_block
+from repro.sched.machine import DEFAULT_MACHINE
+
+
+def _block(ops):
+    return BasicBlock("b", ops)
+
+
+def _add(dst, a, b):
+    return Operation(Opcode.ADD, [ireg(dst)], [ireg(a), ireg(b)])
+
+
+class TestBasicScheduling:
+    def test_independent_ops_share_cycle(self):
+        ops = [_add(10 + i, i, i) for i in range(8)]
+        sched = schedule_block(_block(ops))
+        assert sched.length == 1
+        assert sched.bundles[0].op_count == 8
+
+    def test_nine_ialu_ops_need_two_cycles(self):
+        ops = [_add(10 + i, i, i) for i in range(9)]
+        sched = schedule_block(_block(ops))
+        assert sched.length == 2
+
+    def test_flow_dependence_respected(self):
+        ops = [
+            _add(1, 0, 0),
+            Operation(Opcode.ADD, [ireg(2)], [ireg(1), Imm(1)]),
+        ]
+        sched = schedule_block(_block(ops))
+        assert sched.cycle_of(ops[1]) >= sched.cycle_of(ops[0]) + 1
+
+    def test_load_latency_respected(self):
+        ld = Operation(Opcode.LD, [ireg(1)], [ireg(0), Imm(0)])
+        use = Operation(Opcode.ADD, [ireg(2)], [ireg(1), Imm(1)])
+        sched = schedule_block(_block([ld, use]))
+        assert sched.cycle_of(use) >= sched.cycle_of(ld) + 3
+
+    def test_every_op_placed_in_capable_slot(self):
+        ops = [
+            Operation(Opcode.LD, [ireg(1)], [ireg(0), Imm(0)]),
+            Operation(Opcode.MUL, [ireg(2)], [ireg(0), ireg(0)]),
+            Operation(Opcode.PRED_DEF, [preg(0)], [ireg(0), Imm(3)],
+                      attrs={"cmp": "lt", "ptypes": ["ut"]}),
+            _add(3, 0, 0),
+        ]
+        sched = schedule_block(_block(ops))
+        for op in ops:
+            slot = sched.slot_of(op)
+            assert slot in DEFAULT_MACHINE.slots_for_op(op.opcode)
+
+    def test_three_memory_ops_per_cycle_max(self):
+        loads = [
+            Operation(Opcode.LD, [ireg(10 + i)], [ireg(0), Imm(i)])
+            for i in range(6)
+        ]
+        sched = schedule_block(_block(loads))
+        assert sched.length == 2
+        for bundle in sched.bundles:
+            mems = [op for op in bundle.ops.values() if op.opcode == Opcode.LD]
+            assert len(mems) <= 3
+
+    def test_single_branch_slot(self):
+        # two branches cannot share a cycle (and control deps order them)
+        ops = [
+            Operation(Opcode.BR, [], [ireg(0), Imm(0)],
+                      attrs={"cmp": "eq", "target": "x"}),
+            Operation(Opcode.BR, [], [ireg(1), Imm(0)],
+                      attrs={"cmp": "eq", "target": "y"}),
+        ]
+        sched = schedule_block(_block(ops))
+        assert sched.cycle_of(ops[1]) > sched.cycle_of(ops[0])
+
+    def test_branch_order_preserved(self):
+        ops = [
+            _add(1, 0, 0),
+            Operation(Opcode.BR, [], [ireg(1), Imm(0)],
+                      attrs={"cmp": "eq", "target": "x"}),
+            Operation(Opcode.ST, [], [ireg(0), Imm(0), ireg(1)]),
+        ]
+        sched = schedule_block(_block(ops))
+        assert sched.cycle_of(ops[0]) <= sched.cycle_of(ops[1])
+        assert sched.cycle_of(ops[2]) > sched.cycle_of(ops[1])
+
+    def test_nops_dropped(self):
+        ops = [Operation(Opcode.NOP), _add(1, 0, 0)]
+        sched = schedule_block(_block(ops))
+        assert sched.op_count == 1
+
+
+class TestPredicateAwareScheduling:
+    def test_disjoint_guards_schedule_together(self):
+        # the Figure 2(d) effect: mov and add on complementary predicates
+        # may issue in the same cycle
+        pd = Operation(Opcode.PRED_DEF, [preg(1), preg(2)], [ireg(5), Imm(7)],
+                       attrs={"cmp": "eq", "ptypes": ["ut", "uf"]})
+        mov = Operation(Opcode.MOV, [ireg(2)], [Imm(0)], guard=preg(1))
+        add = Operation(Opcode.ADD, [ireg(2)], [ireg(2), Imm(1)], guard=preg(2))
+        sched = schedule_block(_block([pd, mov, add]))
+        assert sched.cycle_of(mov) == sched.cycle_of(add)
+
+    def test_guard_flow_respected(self):
+        pd = Operation(Opcode.PRED_DEF, [preg(1)], [ireg(5), Imm(7)],
+                       attrs={"cmp": "eq", "ptypes": ["ut"]})
+        use = Operation(Opcode.MOV, [ireg(2)], [Imm(0)], guard=preg(1))
+        sched = schedule_block(_block([pd, use]))
+        assert sched.cycle_of(use) > sched.cycle_of(pd)
+
+
+class TestUtilization:
+    def test_utilization_metric(self):
+        ops = [_add(10 + i, i, i) for i in range(4)]
+        sched = schedule_block(_block(ops))
+        assert sched.utilization(8) == 0.5

@@ -1,0 +1,55 @@
+"""Unit tests for the machine description (Figure 6 reconstruction)."""
+
+from repro.ir import Opcode, Unit
+from repro.sched.machine import DEFAULT_MACHINE
+
+
+class TestUnitCounts:
+    """Section 7's prose resource counts."""
+
+    def test_eight_ialus(self):
+        assert DEFAULT_MACHINE.unit_count(Unit.IALU) == 8
+
+    def test_two_integer_multipliers(self):
+        assert DEFAULT_MACHINE.unit_count(Unit.IMUL) == 2
+
+    def test_three_memory_units(self):
+        assert DEFAULT_MACHINE.unit_count(Unit.MEM) == 3
+
+    def test_one_branch_unit(self):
+        assert DEFAULT_MACHINE.unit_count(Unit.BRANCH) == 1
+
+    def test_two_fp_units(self):
+        assert DEFAULT_MACHINE.unit_count(Unit.FPU) == 2
+
+    def test_four_predicate_units(self):
+        assert DEFAULT_MACHINE.unit_count(Unit.PRED) == 4
+
+    def test_width_eight(self):
+        assert DEFAULT_MACHINE.width == 8
+
+
+class TestSlotSelection:
+    def test_branch_only_slot_seven(self):
+        assert DEFAULT_MACHINE.slots_for(Unit.BRANCH) == [7]
+
+    def test_ialu_everywhere(self):
+        assert len(DEFAULT_MACHINE.slots_for(Unit.IALU)) == 8
+
+    def test_scarce_slots_first(self):
+        # IALU list should prefer slots with the fewest other capabilities
+        slots = DEFAULT_MACHINE.slots_for(Unit.IALU)
+        caps = [len(DEFAULT_MACHINE.slot_units[s]) for s in slots]
+        assert caps == sorted(caps)
+
+    def test_slots_for_op(self):
+        assert DEFAULT_MACHINE.slots_for_op(Opcode.BR) == [7]
+        assert set(DEFAULT_MACHINE.slots_for_op(Opcode.LD)) == {4, 5, 6}
+        assert set(DEFAULT_MACHINE.slots_for_op(Opcode.MUL)) == {2, 3}
+        assert set(DEFAULT_MACHINE.slots_for_op(Opcode.PRED_DEF)) == {0, 1, 4, 5}
+
+    def test_parameters(self):
+        assert DEFAULT_MACHINE.int_registers == 64
+        assert DEFAULT_MACHINE.predicate_registers == 8
+        assert DEFAULT_MACHINE.branch_penalty == 3
+        assert DEFAULT_MACHINE.operation_bits == 32

@@ -1,0 +1,262 @@
+"""Unit and integration tests for the functional interpreter."""
+
+import pytest
+
+from repro.ir import (
+    Function,
+    GlobalRef,
+    IRBuilder,
+    Imm,
+    Module,
+    Opcode,
+    ireg,
+)
+from repro.sim.interp import SimError, StepLimitExceeded, profile_module, run_module
+
+from tests.helpers import build_counting_loop, build_if_diamond
+
+
+class TestBasics:
+    def test_counting_loop(self):
+        assert run_module(build_counting_loop(10)).value == 45
+
+    def test_diamond_both_paths(self):
+        module = build_if_diamond()
+        assert run_module(module, args=[5]).value == 6
+        assert run_module(module, args=[20]).value == 19
+
+    def test_arg_count_checked(self):
+        with pytest.raises(SimError, match="args"):
+            run_module(build_if_diamond(), args=[])
+
+    def test_step_limit(self):
+        module = Module()
+        func = Function("main")
+        module.add_function(func)
+        b = IRBuilder(func, func.add_block("spin"))
+        b.jump("spin")
+        with pytest.raises(StepLimitExceeded):
+            run_module(module, max_steps=100)
+
+
+class TestArithmeticOps:
+    def _run_expr(self, emitfn, args=()):
+        module = Module()
+        params = [ireg(i) for i in range(len(args))]
+        func = Function("main", params)
+        module.add_function(func)
+        b = IRBuilder(func, func.add_block("entry"))
+        result = emitfn(b, *params)
+        b.ret(result)
+        return run_module(module, args=list(args)).value
+
+    def test_saturating_add(self):
+        assert self._run_expr(
+            lambda b: b.emit(Opcode.SADD, [Imm(30000), Imm(10000)])) == 32767
+        assert self._run_expr(
+            lambda b: b.emit(Opcode.SSUB, [Imm(-30000), Imm(10000)])) == -32768
+
+    def test_clip(self):
+        assert self._run_expr(
+            lambda b: b.emit(Opcode.CLIP, [Imm(300), Imm(0), Imm(255)])) == 255
+        assert self._run_expr(
+            lambda b: b.emit(Opcode.CLIP, [Imm(-3), Imm(0), Imm(255)])) == 0
+        assert self._run_expr(
+            lambda b: b.emit(Opcode.CLIP, [Imm(77), Imm(0), Imm(255)])) == 77
+
+    def test_select(self):
+        assert self._run_expr(
+            lambda b: b.emit(Opcode.SELECT, [Imm(1), Imm(10), Imm(20)])) == 10
+        assert self._run_expr(
+            lambda b: b.emit(Opcode.SELECT, [Imm(0), Imm(10), Imm(20)])) == 20
+
+    def test_mulh(self):
+        assert self._run_expr(
+            lambda b: b.emit(Opcode.MULH, [Imm(1 << 20), Imm(1 << 20)])) == 256
+
+    def test_shifts(self):
+        assert self._run_expr(lambda b: b.emit(Opcode.SHR, [Imm(-1), Imm(28)])) == 15
+        assert self._run_expr(lambda b: b.emit(Opcode.SAR, [Imm(-16), Imm(2)])) == -4
+        assert self._run_expr(lambda b: b.emit(Opcode.SHL, [Imm(3), Imm(4)])) == 48
+
+    def test_division_semantics(self):
+        assert self._run_expr(lambda b: b.emit(Opcode.DIV, [Imm(-7), Imm(2)])) == -3
+        assert self._run_expr(lambda b: b.emit(Opcode.REM, [Imm(-7), Imm(2)])) == -1
+
+    def test_div_by_zero_traps(self):
+        with pytest.raises(SimError, match="zero"):
+            self._run_expr(lambda b: b.emit(Opcode.DIV, [Imm(1), Imm(0)]))
+
+    def test_abs_min_max(self):
+        assert self._run_expr(lambda b: b.emit(Opcode.ABS, [Imm(-9)])) == 9
+        assert self._run_expr(lambda b: b.emit(Opcode.MIN, [Imm(3), Imm(-2)])) == -2
+        assert self._run_expr(lambda b: b.emit(Opcode.MAX, [Imm(3), Imm(-2)])) == 3
+
+
+class TestMemoryAndGlobals:
+    def test_global_load_store(self):
+        module = Module()
+        module.add_global("table", 4, [10, 20, 30, 40])
+        func = Function("main")
+        module.add_function(func)
+        b = IRBuilder(func, func.add_block("entry"))
+        base = b.mov(GlobalRef("table"))
+        v = b.load(base, 2)
+        b.store(base, 3, v)
+        b.ret(v)
+        result = run_module(module)
+        assert result.value == 30
+        table = result.loader.global_addr("table")
+        assert result.memory.peek(table + 3) == 30
+
+    def test_frame_locals(self):
+        module = Module()
+        func = Function("main")
+        module.add_function(func)
+        func.frame_words = 4
+        func.frame_base = func.new_reg()
+        b = IRBuilder(func, func.add_block("entry"))
+        b.store(func.frame_base, 1, Imm(99))
+        v = b.load(func.frame_base, 1)
+        b.ret(v)
+        assert run_module(module).value == 99
+
+    def test_negative_address_faults(self):
+        module = Module()
+        func = Function("main")
+        module.add_function(func)
+        b = IRBuilder(func, func.add_block("entry"))
+        v = b.load(Imm(-5), 0)
+        b.ret(v)
+        with pytest.raises(Exception, match="negative"):
+            run_module(module)
+
+
+class TestCallsAndRecursion:
+    def _make_factorial(self):
+        module = Module()
+        n = ireg(0)
+        fact = Function("fact", [n])
+        module.add_function(fact)
+        b = IRBuilder(fact)
+        entry = fact.add_block("entry")
+        rec = fact.add_block("rec")
+        b.at(entry)
+        b.br("gt", n, Imm(1), "rec")
+        b.ret(Imm(1))
+        b.at(rec)
+        n1 = b.sub(n, Imm(1))
+        sub = b.call("fact", [n1], dest=fact.new_reg())
+        out = b.mul(n, sub)
+        b.ret(out)
+
+        main = Function("main", [ireg(0)])
+        module.add_function(main)
+        b2 = IRBuilder(main, main.add_block("entry"))
+        result = b2.call("fact", [ireg(0)], dest=main.new_reg())
+        b2.ret(result)
+        return module
+
+    def test_recursive_factorial(self):
+        assert run_module(self._make_factorial(), args=[6]).value == 720
+
+    def test_call_counts_profiled(self):
+        profile, _ = profile_module(self._make_factorial(), args=[5])
+        assert profile.call_count("fact") == 5
+        assert profile.call_count("main") == 1
+
+
+class TestPredication:
+    def test_guarded_op_nullified(self):
+        module = Module()
+        x = ireg(0)
+        func = Function("main", [x])
+        module.add_function(func)
+        b = IRBuilder(func, func.add_block("entry"))
+        p_true = func.new_pred()
+        p_false = func.new_pred()
+        b.pred_def("lt", x, Imm(10), [p_true, p_false], ["ut", "uf"])
+        y = b.movi(0)
+        b.add(x, Imm(1), dest=y, guard=p_true)
+        b.sub(x, Imm(1), dest=y, guard=p_false)
+        b.ret(y)
+        assert run_module(module, args=[5]).value == 6
+        assert run_module(module, args=[20]).value == 19
+
+    def test_or_type_accumulation(self):
+        # p = (x < 0) || (x > 3), computed with two or-type defines
+        module = Module()
+        x = ireg(0)
+        func = Function("main", [x])
+        module.add_function(func)
+        b = IRBuilder(func, func.add_block("entry"))
+        p = func.new_pred()
+        b.pred_set(p, 0)
+        b.pred_def("lt", x, Imm(0), [p], ["ot"])
+        b.pred_def("gt", x, Imm(3), [p], ["ot"])
+        y = b.movi(0)
+        b.movi(1, dest=y, guard=p)
+        b.ret(y)
+        assert run_module(module, args=[-1]).value == 1
+        assert run_module(module, args=[5]).value == 1
+        assert run_module(module, args=[2]).value == 0
+
+    def test_pred_def_guard_false_still_clears_u_types(self):
+        module = Module()
+        func = Function("main")
+        module.add_function(func)
+        b = IRBuilder(func, func.add_block("entry"))
+        g = func.new_pred()
+        p = func.new_pred()
+        b.pred_set(g, 0)
+        b.pred_set(p, 1)
+        # guard false: ut must write 0 anyway (Table 2 rows 0x)
+        b.pred_def("eq", Imm(0), Imm(0), [p], ["ut"], guard=g)
+        y = b.movi(7)
+        b.movi(3, dest=y, guard=p)
+        b.ret(y)
+        assert run_module(module).value == 7
+
+
+class TestCountedLoops:
+    def test_cloop(self):
+        module = Module()
+        func = Function("main")
+        module.add_function(func)
+        b = IRBuilder(func)
+        entry = func.add_block("entry")
+        body = func.add_block("body")
+        done = func.add_block("done")
+        b.at(entry)
+        s = b.movi(0)
+        b.emit_op(Opcode.CLOOP_SET, [], [Imm(8)], lc="lc0")
+        b.at(body)
+        b.add(s, Imm(2), dest=s)
+        b.emit_op(Opcode.BR_CLOOP, [], [], target="body", lc="lc0")
+        b.at(done)
+        b.ret(s)
+        assert run_module(module).value == 16
+
+
+class TestProfiles:
+    def test_block_and_edge_counts(self):
+        profile, result = profile_module(build_counting_loop(10))
+        assert result.value == 45
+        assert profile.block_count("main", "body") == 10
+        assert profile.edge_count("main", "body", "body") == 9
+        assert profile.edge_count("main", "body", "done") == 1
+        assert profile.edge_count("main", "entry", "body") == 1
+
+    def test_branch_taken_ratio(self):
+        module = build_counting_loop(10)
+        profile, _ = profile_module(module)
+        func = module.function("main")
+        branch = func.block("body").ops[-1]
+        assert profile.op_count("main", branch.uid) == 10
+        assert profile.taken_count("main", branch.uid) == 9
+        assert profile.taken_ratio("main", branch.uid) == pytest.approx(0.9)
+
+    def test_total_ops_counted(self):
+        profile, _ = profile_module(build_counting_loop(3))
+        # entry: 2 ops, body: 3 ops x 3 iterations, done: 1 op
+        assert profile.total_ops == 2 + 9 + 1

@@ -1,0 +1,83 @@
+"""Unit tests for the memory model and loader."""
+
+import pytest
+
+from repro.ir import Module
+from repro.sim.memory import GLOBAL_BASE, Loader, Memory, MemoryError_
+
+
+class TestMemory:
+    def test_uninitialized_reads_zero(self):
+        assert Memory().read(123) == 0
+
+    def test_write_read_roundtrip(self):
+        mem = Memory()
+        mem.write(10, 42)
+        assert mem.read(10) == 42
+
+    def test_access_counters(self):
+        mem = Memory()
+        mem.write(1, 5)
+        mem.read(1)
+        mem.read(2)
+        assert mem.stores == 1
+        assert mem.loads == 2
+
+    def test_peek_poke_do_not_count(self):
+        mem = Memory()
+        mem.poke(5, 9)
+        assert mem.peek(5) == 9
+        assert mem.loads == 0
+        assert mem.stores == 0
+
+    def test_negative_address_faults(self):
+        mem = Memory()
+        with pytest.raises(MemoryError_):
+            mem.read(-1)
+        with pytest.raises(MemoryError_):
+            mem.write(-5, 0)
+
+    def test_block_helpers(self):
+        mem = Memory()
+        mem.write_block(100, [1, 2, 3])
+        assert mem.read_block(100, 3) == [1, 2, 3]
+        assert mem.read_block(99, 5) == [0, 1, 2, 3, 0]
+
+
+class TestLoader:
+    def _module(self):
+        module = Module()
+        module.add_global("a", 4, [1, 2, 3])
+        module.add_global("b", 2, [9])
+        return module
+
+    def test_globals_laid_out_sequentially(self):
+        loader = Loader(self._module())
+        a = loader.global_addr("a")
+        b = loader.global_addr("b")
+        assert a == GLOBAL_BASE
+        assert b == a + 4
+
+    def test_initializers_zero_padded(self):
+        loader = Loader(self._module())
+        a = loader.global_addr("a")
+        assert loader.memory.read_block(a, 4) == [1, 2, 3, 0]
+
+    def test_frames_stack(self):
+        loader = Loader(self._module())
+        f1 = loader.push_frame(8)
+        f2 = loader.push_frame(4)
+        assert f2 == f1 + 8
+        loader.pop_frame(4)
+        f3 = loader.push_frame(2)
+        assert f3 == f2
+
+    def test_stack_underflow(self):
+        loader = Loader(self._module())
+        with pytest.raises(MemoryError_):
+            loader.pop_frame(1)
+
+    def test_unknown_global(self):
+        loader = Loader(self._module())
+        with pytest.raises(KeyError):
+            loader.global_addr("ghost")

@@ -1,0 +1,66 @@
+"""Unit tests for the fetch-energy model (Section 7.2 calibration)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.power import (
+    CALIBRATION_CAPACITY,
+    MEMORY_ENERGY,
+    FetchEnergy,
+    buffer_energy_per_op,
+    unbuffered_baseline,
+)
+
+
+class TestCalibration:
+    def test_paper_ratio_at_256(self):
+        """The Cacti 2.0 calibration point: 41.8x at a 256-op buffer."""
+        assert MEMORY_ENERGY / buffer_energy_per_op(256) == pytest.approx(41.8)
+
+    def test_linear_size_scaling(self):
+        assert buffer_energy_per_op(512) == pytest.approx(2.0)
+        assert buffer_energy_per_op(128) == pytest.approx(0.5)
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            buffer_energy_per_op(0)
+
+
+class TestRollup:
+    def test_all_memory(self):
+        e = FetchEnergy(1000, 0, 256)
+        assert e.total == pytest.approx(1000 * MEMORY_ENERGY)
+
+    def test_all_buffer(self):
+        e = FetchEnergy(0, 1000, 256)
+        assert e.total == pytest.approx(1000.0)
+
+    def test_normalization(self):
+        baseline = unbuffered_baseline(1000)
+        buffered = FetchEnergy(0, 1000, 256)
+        assert buffered.normalized_to(baseline) == pytest.approx(1 / 41.8)
+
+    def test_zero_baseline(self):
+        assert FetchEnergy(1, 0, 256).normalized_to(unbuffered_baseline(0)) == 0.0
+
+    @given(st.integers(0, 10**6), st.integers(0, 10**6))
+    def test_buffering_never_increases_energy_at_fixed_ops(self, mem, buf):
+        """Moving fetch from memory to a <=256-op buffer always helps."""
+        mixed = FetchEnergy(mem, buf, 256)
+        all_memory = FetchEnergy(mem + buf, 0, 256)
+        assert mixed.total <= all_memory.total + 1e-9
+
+    @given(st.integers(1, 4096))
+    def test_energy_positive_and_monotone_in_capacity(self, cap):
+        assert buffer_energy_per_op(cap) > 0
+        assert buffer_energy_per_op(cap) <= buffer_energy_per_op(cap + 64)
+
+
+class TestBreakEven:
+    def test_large_buffer_break_even_point(self):
+        """A buffer bigger than 41.8 * 256 ops would cost more per access
+        than memory — the model's implied design limit."""
+        limit = int(41.8 * CALIBRATION_CAPACITY)
+        assert buffer_energy_per_op(limit) <= MEMORY_ENERGY + 1e-6
+        assert buffer_energy_per_op(limit + 256) > MEMORY_ENERGY

@@ -1,0 +1,114 @@
+"""Unit tests for the slot-based predication hardware harness (Figure 4)."""
+
+import pytest
+
+from repro.ir import BasicBlock, Imm, Opcode, Operation, ireg, preg
+from repro.predication.slots import allocate_slot_predication
+from repro.sched.bundle import Schedule
+from repro.sim.slotpred import (
+    SlotWriteRace,
+    run_register_model,
+    run_slot_model,
+    states_equivalent,
+)
+
+
+def _diamond_kernel():
+    """if (r0 < 0) r1 = -r0 else r1 = r0; r2 = r1 + 100"""
+    pd = Operation(Opcode.PRED_DEF, [preg(0), preg(1)], [ireg(0), Imm(0)],
+                   attrs={"cmp": "lt", "ptypes": ["ut", "uf"]})
+    neg = Operation(Opcode.NEG, [ireg(1)], [ireg(0)], guard=preg(0))
+    keep = Operation(Opcode.MOV, [ireg(1)], [ireg(0)], guard=preg(1))
+    add = Operation(Opcode.ADD, [ireg(2)], [ireg(1), Imm(100)])
+    kernel = BasicBlock("k", [pd, neg, keep, add])
+    schedule = Schedule()
+    schedule.place(pd, 0, 0)
+    schedule.place(neg, 1, 2)
+    schedule.place(keep, 1, 3)
+    schedule.place(add, 2, 0)
+    alloc = allocate_slot_predication(kernel, schedule)
+    assert alloc.ok
+    return kernel, schedule
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("x", [-9, -1, 0, 1, 42])
+    def test_diamond_matches_register_model(self, x):
+        kernel, schedule = _diamond_kernel()
+        regs = {ireg(0): x}
+        ref = run_register_model(kernel, dict(regs))
+        got = run_slot_model(kernel, schedule, dict(regs))
+        assert states_equivalent(ref, got)
+        assert got.regs[ireg(2)] == abs(x) + 100
+
+    def test_memory_ops(self):
+        ld = Operation(Opcode.LD, [ireg(1)], [ireg(0), Imm(0)])
+        st = Operation(Opcode.ST, [], [ireg(0), Imm(1), ireg(1)])
+        kernel = BasicBlock("k", [ld, st])
+        schedule = Schedule()
+        schedule.place(ld, 0, 4)
+        schedule.place(st, 4, 5)
+        regs = {ireg(0): 100}
+        mem = {100: 77}
+        ref = run_register_model(kernel, dict(regs), dict(mem))
+        got = run_slot_model(kernel, schedule, dict(regs), dict(mem))
+        assert states_equivalent(ref, got)
+        assert got.memory[101] == 77
+
+
+class TestHarnessSemantics:
+    def test_update_visible_next_cycle_only(self):
+        # consumer co-scheduled with its define sees the OLD standing value
+        pd = Operation(Opcode.PRED_DEF, [preg(0)], [ireg(0), Imm(0)],
+                       attrs={"cmp": "eq", "ptypes": ["ut"]})
+        use = Operation(Opcode.MOV, [ireg(1)], [Imm(5)], guard=preg(0))
+        kernel = BasicBlock("k", [pd, use])
+        schedule = Schedule()
+        schedule.place(pd, 0, 0)
+        schedule.place(use, 0, 1)  # same cycle: sees standing=0
+        allocate_slot_predication(kernel, schedule)
+        got = run_slot_model(kernel, schedule, {ireg(0): 0})
+        assert ireg(1) not in got.regs  # nullified despite cond true
+
+    def test_write_race_detected(self):
+        pd = Operation(Opcode.PRED_DEF, [preg(0), preg(1)], [ireg(0), Imm(0)],
+                       attrs={"cmp": "lt", "ptypes": ["ut", "uf"]})
+        # force both complementary values onto one slot
+        pd.attrs["slot_route"] = {"p0": [2], "p1": [2]}
+        kernel = BasicBlock("k", [pd])
+        schedule = Schedule()
+        schedule.place(pd, 0, 0)
+        with pytest.raises(SlotWriteRace):
+            run_slot_model(kernel, schedule, {ireg(0): -1})
+
+    def test_or_contributions_share_slot(self):
+        init = Operation(Opcode.PRED_SET, [preg(0)], [Imm(0)])
+        init.attrs["slot_route"] = {"p0": [3]}
+        d1 = Operation(Opcode.PRED_DEF, [preg(0)], [ireg(0), Imm(0)],
+                       attrs={"cmp": "lt", "ptypes": ["ot"],
+                              "slot_route": {"p0": [3]}})
+        d2 = Operation(Opcode.PRED_DEF, [preg(0)], [ireg(0), Imm(10)],
+                       attrs={"cmp": "gt", "ptypes": ["ot"],
+                              "slot_route": {"p0": [3]}})
+        use = Operation(Opcode.MOV, [ireg(1)], [Imm(1)], guard=preg(0))
+        use.attrs["psens"] = True
+        kernel = BasicBlock("k", [init, d1, d2, use])
+        schedule = Schedule()
+        schedule.place(init, 0, 0)
+        schedule.place(d1, 1, 0)
+        schedule.place(d2, 1, 1)  # same cycle, both may write 1 or nothing
+        schedule.place(use, 2, 3)
+        for x, expect in ((-5, 1), (20, 1), (5, None)):
+            got = run_slot_model(kernel, schedule, {ireg(0): x})
+            if expect is None:
+                assert ireg(1) not in got.regs
+            else:
+                assert got.regs[ireg(1)] == expect
+
+    def test_insensitive_op_ignores_standing(self):
+        op = Operation(Opcode.MOV, [ireg(1)], [Imm(9)])
+        kernel = BasicBlock("k", [op])
+        schedule = Schedule()
+        schedule.place(op, 0, 0)
+        got = run_slot_model(kernel, schedule, {})
+        assert got.regs[ireg(1)] == 9

@@ -1,0 +1,112 @@
+"""Unit and property tests for 32-bit machine arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.values import (
+    INT_MAX,
+    INT_MIN,
+    cdiv,
+    compare,
+    crem,
+    saturate,
+    to_unsigned,
+    wrap32,
+)
+
+i32 = st.integers(min_value=INT_MIN, max_value=INT_MAX)
+anyint = st.integers(min_value=-(2**40), max_value=2**40)
+
+
+class TestWrap32:
+    def test_identity_in_range(self):
+        assert wrap32(123) == 123
+        assert wrap32(INT_MIN) == INT_MIN
+        assert wrap32(INT_MAX) == INT_MAX
+
+    def test_overflow_wraps(self):
+        assert wrap32(INT_MAX + 1) == INT_MIN
+        assert wrap32(INT_MIN - 1) == INT_MAX
+        assert wrap32(2**32) == 0
+
+    @given(anyint)
+    def test_always_in_range(self, x):
+        assert INT_MIN <= wrap32(x) <= INT_MAX
+
+    @given(anyint)
+    def test_congruent_mod_2_32(self, x):
+        assert (wrap32(x) - x) % (2**32) == 0
+
+    @given(i32)
+    def test_unsigned_roundtrip(self, x):
+        assert wrap32(to_unsigned(x)) == x
+
+
+class TestSaturate:
+    def test_16_bit_bounds(self):
+        assert saturate(40000, 16) == 32767
+        assert saturate(-40000, 16) == -32768
+        assert saturate(100, 16) == 100
+
+    @given(anyint, st.integers(min_value=2, max_value=32))
+    def test_in_bounds(self, x, bits):
+        result = saturate(x, bits)
+        assert -(1 << (bits - 1)) <= result <= (1 << (bits - 1)) - 1
+
+    @given(anyint)
+    def test_idempotent(self, x):
+        assert saturate(saturate(x, 16), 16) == saturate(x, 16)
+
+
+class TestCompare:
+    def test_signed_tests(self):
+        assert compare("lt", -1, 0) == 1
+        assert compare("ge", -1, 0) == 0
+        assert compare("eq", 3, 3) == 1
+        assert compare("ne", 3, 3) == 0
+        assert compare("le", 3, 3) == 1
+        assert compare("gt", 4, 3) == 1
+
+    def test_unsigned_tests(self):
+        # -1 is 0xFFFFFFFF unsigned, the largest 32-bit value
+        assert compare("ltu", -1, 0) == 0
+        assert compare("geu", -1, 0) == 1
+        assert compare("ltu", 1, 2) == 1
+
+    def test_unknown_test_rejected(self):
+        with pytest.raises(ValueError):
+            compare("spaceship", 1, 2)
+
+    @given(i32, i32)
+    def test_lt_ge_complementary(self, a, b):
+        assert compare("lt", a, b) ^ compare("ge", a, b) == 1
+
+    @given(i32, i32)
+    def test_eq_ne_complementary(self, a, b):
+        assert compare("eq", a, b) ^ compare("ne", a, b) == 1
+
+    @given(i32, i32)
+    def test_ltu_geu_complementary(self, a, b):
+        assert compare("ltu", a, b) ^ compare("geu", a, b) == 1
+
+
+class TestCDivision:
+    def test_truncates_toward_zero(self):
+        assert cdiv(7, 2) == 3
+        assert cdiv(-7, 2) == -3
+        assert cdiv(7, -2) == -3
+        assert cdiv(-7, -2) == 3
+
+    def test_remainder_sign_follows_dividend(self):
+        assert crem(7, 2) == 1
+        assert crem(-7, 2) == -1
+        assert crem(7, -2) == 1
+
+    @given(i32, i32.filter(lambda x: x != 0))
+    def test_div_rem_identity(self, a, b):
+        assert cdiv(a, b) * b + crem(a, b) == a
+
+    @given(i32, i32.filter(lambda x: x != 0))
+    def test_rem_magnitude_bounded(self, a, b):
+        assert abs(crem(a, b)) < abs(b)
