@@ -8,10 +8,19 @@ representative unit of work under pytest-benchmark.
 Run with::
 
     pytest benchmarks/ --benchmark-only -s
+
+The harness executes through :mod:`repro.runner`, so compile/simulate
+artifacts persist in the on-disk cache between invocations — a warm
+re-run only re-times the (cheap) cache path.  Set ``REPRO_NO_CACHE=1``
+to force every figure to recompute, or ``REPRO_CACHE_DIR`` to relocate
+the cache away from the default ``.repro_cache``.
 """
 
+import os
 import sys
 from pathlib import Path
+
+import pytest
 
 # allow `from benchmarks...` style helpers and keep tests/ helpers importable
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
@@ -24,3 +33,17 @@ QUICK_SIZES = (16, 64, 256, 1024)
 #: cover the paper's extremes (adpcm ~99%, mpeg2_enc worst, g724_dec the
 #: Figure 5/6 case study).
 QUICK_NAMES = ["adpcm_enc", "g724_dec", "mpeg2_enc", "pgp_enc"]
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _runner_cache_report():
+    """Report the runner's cache traffic once the harness finishes."""
+    yield
+    from repro.experiments.common import runner_metrics
+
+    metrics = runner_metrics()
+    if metrics.cells and os.environ.get("PYTEST_XDIST_WORKER") is None:
+        metrics.finish()
+        print(f"\n[repro.runner] {len(metrics.cells)} cells, cache "
+              f"{metrics.cache.hits} hits / {metrics.cache.misses} misses "
+              f"({metrics.run_cache_hits} whole-cell hits)")

@@ -20,7 +20,6 @@ derived syntactically from define patterns:
 
 from __future__ import annotations
 
-from itertools import combinations
 
 from repro.ir.block import BasicBlock
 from repro.ir.opcodes import Opcode

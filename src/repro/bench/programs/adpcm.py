@@ -11,8 +11,6 @@ issue."
 
 from __future__ import annotations
 
-from repro.sim.values import wrap32
-
 from ..inputs import checksum, speech_samples
 from ..suite import Benchmark, register
 from ._util import mkc_array

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from repro.sim.values import cdiv, saturate, wrap32
 
-from ..inputs import checksum, lcg_stream, speech_samples
+from ..inputs import checksum, speech_samples
 from ..suite import Benchmark, register
 from ._util import mkc_array
 

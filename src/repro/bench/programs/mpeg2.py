@@ -15,7 +15,7 @@ from __future__ import annotations
 from ..inputs import checksum, image_block, lcg_stream
 from ..suite import Benchmark, register
 from ._util import mkc_array
-from .jpeg import COS_TABLE, SCALE_BITS, _fdct_block_py, _idct_block_py
+from .jpeg import COS_TABLE, SCALE_BITS, _fdct_block_py
 
 N_DEC_BLOCKS = 6
 STRIDE = 16            # decoded frame is 16 pixels wide: 2x3 blocks

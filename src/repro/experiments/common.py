@@ -1,19 +1,34 @@
-"""Shared infrastructure for the table/figure regeneration harness."""
+"""Shared infrastructure for the table/figure regeneration harness.
+
+This module is now a thin facade over :mod:`repro.runner`: compiled bases
+and run summaries come out of the runner's content-addressed on-disk
+cache (shared across processes and invocations) fronted by a per-process
+memo, and grid-shaped experiments can prewarm many cells at once through
+the process-pool executor via :func:`prewarm`.  The historical entry
+points — ``compiled_base(name, pipeline)`` and
+``run_at_capacity(name, pipeline, capacity)`` — keep their signatures and
+semantics, so callers and tests are unaffected.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from functools import lru_cache
+from repro.pipeline import Compiled
+from repro.runner import metrics as _metrics_mod
+from repro.runner.cache import ArtifactCache, default_cache
+from repro.runner.parallel import compile_base, expand_grid, run_cell, run_grid
+from repro.runner.summary import RunSummary, format_table
 
-from repro.bench import benchmark
-from repro.pipeline import (
-    Compiled,
-    SimulationOutcome,
-    compile_aggressive,
-    compile_traditional,
-    run_compiled,
-    with_buffer,
-)
+__all__ = [
+    "FIG7_SIZES",
+    "HEADLINE_CAPACITY",
+    "RunSummary",
+    "compiled_base",
+    "format_table",
+    "prewarm",
+    "reset",
+    "run_at_capacity",
+    "runner_metrics",
+]
 
 #: buffer sizes swept in Figure 7 (operations)
 FIG7_SIZES = (16, 32, 64, 128, 256, 512, 1024, 2048)
@@ -21,83 +36,77 @@ FIG7_SIZES = (16, 32, 64, 128, 256, 512, 1024, 2048)
 #: the headline configuration (Sections 1 and 7)
 HEADLINE_CAPACITY = 256
 
+#: process-wide runner state shared by every experiment module
+_CACHE: ArtifactCache | None = None
+_METRICS = _metrics_mod.MetricsRecorder()
+_BASE_MEMO: dict[tuple[str, str], Compiled] = {}
+_RUN_MEMO: dict[tuple[str, str, int | None], RunSummary] = {}
 
-@lru_cache(maxsize=None)
+
+def _cache() -> ArtifactCache:
+    global _CACHE
+    if _CACHE is None:
+        _CACHE = default_cache()
+    return _CACHE
+
+
+def runner_metrics() -> _metrics_mod.MetricsRecorder:
+    """Accumulated cache/wall-time accounting for this process's runs."""
+    return _METRICS
+
+
+def reset(cache: ArtifactCache | None = None) -> None:
+    """Drop the in-process memos (and optionally swap the disk cache)."""
+    global _CACHE, _METRICS
+    _BASE_MEMO.clear()
+    _RUN_MEMO.clear()
+    _METRICS = _metrics_mod.MetricsRecorder()
+    _CACHE = cache
+
+
 def compiled_base(name: str, pipeline: str) -> Compiled:
     """Compile a benchmark once per pipeline, without buffer assignment
     (``with_buffer`` retargets it per capacity)."""
-    bench = benchmark(name)
-    module = bench.build()
-    if pipeline == "aggressive":
-        return compile_aggressive(module, buffer_capacity=None)
-    if pipeline == "traditional":
-        return compile_traditional(module, buffer_capacity=None)
-    raise ValueError(f"unknown pipeline {pipeline!r}")
+    key = (name, pipeline)
+    if key not in _BASE_MEMO:
+        _BASE_MEMO[key] = compile_base(name, pipeline, cache=_cache())
+    return _BASE_MEMO[key]
 
 
-@lru_cache(maxsize=None)
-def run_at_capacity(name: str, pipeline: str, capacity: int | None) -> "RunSummary":
+def run_at_capacity(name: str, pipeline: str, capacity: int | None) -> RunSummary:
     """Compile (cached), retarget at ``capacity``, simulate, summarize."""
-    base = compiled_base(name, pipeline)
-    compiled = with_buffer(base, capacity)
-    outcome = run_compiled(compiled)
-    expected = benchmark(name).expected()
-    if outcome.result.value != expected:
-        raise AssertionError(
-            f"{name}/{pipeline}@{capacity}: checksum "
-            f"{outcome.result.value} != expected {expected}"
+    key = (name, pipeline, capacity)
+    if key not in _RUN_MEMO:
+        _RUN_MEMO[key] = run_cell(
+            name, pipeline, capacity,
+            cache=_cache(),
+            base=_BASE_MEMO.get((name, pipeline)),
+            metrics=_METRICS,
         )
-    return RunSummary(
-        name=name,
-        pipeline=pipeline,
-        capacity=capacity,
-        cycles=outcome.counters.cycles,
-        bundles=outcome.counters.bundles,
-        ops_issued=outcome.counters.ops_issued,
-        ops_from_buffer=outcome.counters.ops_from_buffer,
-        ops_from_memory=outcome.counters.ops_from_memory,
-        static_ops=compiled.static_ops,
-        branch_bubbles=outcome.counters.branch_bubbles,
-    )
+    return _RUN_MEMO[key]
 
 
-@dataclass(frozen=True)
-class RunSummary:
-    name: str
-    pipeline: str
-    capacity: int | None
-    cycles: int
-    bundles: int
-    ops_issued: int
-    ops_from_buffer: int
-    ops_from_memory: int
-    static_ops: int
-    branch_bubbles: int
+def prewarm(
+    names,
+    pipelines=("traditional", "aggressive"),
+    capacities=(HEADLINE_CAPACITY,),
+    workers: int | None = None,
+) -> list[RunSummary]:
+    """Fan a (benchmark × pipeline × capacity) grid out over the runner.
 
-    @property
-    def buffer_fraction(self) -> float:
-        if self.ops_issued == 0:
-            return 0.0
-        return self.ops_from_buffer / self.ops_issued
-
-
-def format_table(headers: list[str], rows: list[list], title: str = "") -> str:
-    widths = [len(h) for h in headers]
-    rendered = [[_fmt(cell) for cell in row] for row in rows]
-    for row in rendered:
-        for i, cell in enumerate(row):
-            widths[i] = max(widths[i], len(cell))
-    lines = []
-    if title:
-        lines.append(title)
-    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
-    lines.append("  ".join("-" * w for w in widths))
-    for row in rendered:
-        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
-    return "\n".join(lines)
-
-
-def _fmt(cell) -> str:
-    if isinstance(cell, float):
-        return f"{cell:.3f}"
-    return str(cell)
+    Results land in the same memo ``run_at_capacity`` reads, so an
+    experiment that prewarms its grid first gets every subsequent lookup
+    for free — from the pool when cold, from disk when warm.  Cells
+    already memoized are skipped.
+    """
+    cells = [
+        cell for cell in expand_grid(names, pipelines, capacities)
+        if (cell.name, cell.pipeline, cell.capacity) not in _RUN_MEMO
+    ]
+    if not cells:
+        return []
+    summaries = run_grid(cells, workers=workers, cache=_cache(),
+                         metrics=_METRICS)
+    for cell, summary in zip(cells, summaries):
+        _RUN_MEMO[(cell.name, cell.pipeline, cell.capacity)] = summary
+    return summaries

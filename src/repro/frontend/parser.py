@@ -257,7 +257,6 @@ class Parser:
 
     def _parse_simple_statement(self) -> ast.Stmt:
         """Assignment, increment/decrement, or expression statement."""
-        start = self.pos
         expr = self.parse_expression()
         token = self.peek()
         if token.kind == "op" and token.text in _ASSIGN_OPS:

@@ -23,7 +23,7 @@ from .opcodes import (
     latency_of,
     unit_of,
 )
-from .registers import FImm, GlobalRef, Imm, Label, Operand, VReg
+from .registers import Operand, VReg
 
 _op_ids = itertools.count()
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 from .function import Function
 from .module import Module
 from .opcodes import Opcode
-from .registers import FImm, GlobalRef, Imm, Label, VReg
+from .registers import GlobalRef, Label, VReg
 
 
 class VerificationError(Exception):

@@ -34,7 +34,6 @@ from dataclasses import dataclass, field
 from repro.analysis.cfgview import CFGView
 from repro.analysis.loops import find_loops, is_simple_loop
 from repro.analysis.profile import Profile
-from repro.ir.function import Function
 from repro.ir.module import Module
 from repro.ir.opcodes import Opcode
 from repro.ir.operation import Operation

@@ -17,7 +17,7 @@ lives in the VLIW simulator, and offset selection in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 
 

@@ -164,7 +164,6 @@ def collapse_loop(func: Function, outer: Loop, cfg: CFGView,
     if inner_trip.count is not None and inner_trip.count > max_inner_trips:
         return f"inner trip count {inner_trip.count} too large"
 
-    outer_trip = analyze_trip_count(func, outer, cfg)  # usually None (multi-block)
     inner_term = body_blk.terminator
     outer_term = tail_blk.terminator
     assert inner_term is not None and outer_term is not None

@@ -10,7 +10,6 @@ disjoint-predicate code.
 
 from __future__ import annotations
 
-from repro.analysis.cfgview import CFGView
 from repro.analysis.liveness import liveness, op_unconditional_writes
 from repro.ir.function import Function
 from repro.ir.opcodes import NON_SPECULABLE, Opcode

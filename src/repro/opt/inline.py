@@ -14,7 +14,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.analysis.cfgview import CFGView
 from repro.analysis.loops import find_loops
 from repro.analysis.profile import Profile
 from repro.ir.function import Function

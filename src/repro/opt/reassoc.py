@@ -17,7 +17,7 @@ from repro.ir.block import BasicBlock
 from repro.ir.function import Function
 from repro.ir.opcodes import Opcode
 from repro.ir.operation import Operation
-from repro.ir.registers import Imm, Operand, VReg
+from repro.ir.registers import Operand, VReg
 
 _ASSOCIATIVE = {Opcode.ADD, Opcode.MUL, Opcode.AND, Opcode.OR, Opcode.XOR,
                 Opcode.MIN, Opcode.MAX}

@@ -51,6 +51,7 @@ __all__ = [
     "LoopOverlapStat",
     "PredicateSpillRequired",
     "PredicationStats",
+    "PromotionStats",
     "always_writes",
     "apply_coloring",
     "check_region_convertible",

@@ -18,7 +18,6 @@ from dataclasses import dataclass, field
 
 from repro.analysis.liveness import op_unconditional_writes
 from repro.ir.block import BasicBlock
-from repro.ir.opcodes import Opcode
 from repro.ir.registers import VReg
 
 

@@ -1,0 +1,159 @@
+"""Content-addressed on-disk artifact cache.
+
+Entries are keyed by a SHA-256 over everything that determines the
+artifact: the benchmark's MKC source text, the pipeline name, the full
+compiler-flag dictionary and the ``repro`` package version.  Values are
+pickles wrapped in a small envelope carrying the cache format revision;
+anything that fails to load — truncated pickle, foreign object, stale
+format, wrong key — is *evicted*, never raised, so a corrupt or outdated
+cache can only cost a recompute.
+
+Writes are atomic (``os.replace`` of a same-directory temp file), which
+also makes concurrent writers from a process pool safe: both produce the
+same content-addressed bytes and the last rename wins.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import repro
+
+#: bump to invalidate every existing cache entry on format changes
+CACHE_FORMAT = 1
+
+#: default cache location, relative to the working directory (gitignored)
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+ENV_NO_CACHE = "REPRO_NO_CACHE"
+
+
+def cache_key(source: str, pipeline: str, flags: dict | None = None,
+              version: str | None = None) -> str:
+    """Content hash of everything that determines a compiled artifact.
+
+    ``flags`` is canonicalized (sorted keys, JSON) so dict ordering never
+    perturbs the key; ``version`` defaults to the package version so a
+    release invalidates old artifacts wholesale.
+    """
+    payload = json.dumps(
+        {
+            "source": source,
+            "pipeline": pipeline,
+            "flags": flags or {},
+            "version": version if version is not None else repro.__version__,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "stores": self.stores, "evictions": self.evictions}
+
+
+@dataclass
+class ArtifactCache:
+    """Pickle store under ``root`` with hit/miss/eviction accounting.
+
+    ``kind`` namespaces the two artifact classes sharing one key space:
+    ``"base"`` (a capacity-independent :class:`~repro.pipeline.Compiled`)
+    and ``"run"`` (a :class:`~repro.runner.summary.RunSummary`).
+    """
+
+    root: Path
+    enabled: bool = True
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+
+    def path_for(self, key: str, kind: str) -> Path:
+        return self.root / key[:2] / f"{key}.{kind}.pkl"
+
+    def load(self, key: str, kind: str):
+        """Return the cached object, or ``None`` on miss.
+
+        A present-but-unusable entry (corrupt pickle, stale format, key
+        mismatch) counts as a miss *and* is deleted so it cannot keep
+        costing a read.
+        """
+        if not self.enabled:
+            self.stats.misses += 1
+            return None
+        path = self.path_for(key, kind)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            self.stats.misses += 1
+            return None
+        try:
+            envelope = pickle.loads(blob)
+            if (not isinstance(envelope, dict)
+                    or envelope.get("format") != CACHE_FORMAT
+                    or envelope.get("key") != key):
+                raise ValueError("stale or foreign cache entry")
+            value = envelope["payload"]
+        except Exception:
+            # bad entry: evict, never crash
+            self.evict(key, kind)
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return value
+
+    def store(self, key: str, kind: str, value) -> Path | None:
+        if not self.enabled:
+            return None
+        path = self.path_for(key, kind)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        blob = pickle.dumps(
+            {"format": CACHE_FORMAT, "key": key, "payload": value},
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.name + ".")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(blob)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+        return path
+
+    def evict(self, key: str, kind: str) -> None:
+        try:
+            self.path_for(key, kind).unlink()
+            self.stats.evictions += 1
+        except OSError:
+            pass
+
+
+def default_cache(cache_dir: str | os.PathLike | None = None,
+                  enabled: bool | None = None) -> ArtifactCache:
+    """Cache configured from arguments, falling back to the environment."""
+    if cache_dir is None:
+        cache_dir = os.environ.get(ENV_CACHE_DIR) or DEFAULT_CACHE_DIR
+    if enabled is None:
+        enabled = not os.environ.get(ENV_NO_CACHE)
+    return ArtifactCache(Path(cache_dir), enabled=enabled)

@@ -1,0 +1,127 @@
+"""``python -m repro.runner`` — run an experiment grid from the shell.
+
+Examples::
+
+    # one smoke cell, reporting cache traffic as JSON
+    python -m repro.runner --benchmarks adpcm_enc --pipelines aggressive \\
+        --capacities 64 --json metrics.json
+
+    # the full Figure 7 grid, 4 workers, fresh cache
+    python -m repro.runner --capacities 16,32,64,128,256,512,1024,2048 \\
+        --workers 4 --cache-dir /tmp/repro-cache
+
+Exit status is non-zero on any checksum mismatch.  ``--json`` writes the
+:class:`~repro.runner.metrics.MetricsRecorder` payload (wall time,
+per-cell stage timings, cache hits/misses/evictions) for machine
+consumption; the human table always prints unless ``--quiet``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.bench import benchmark_names
+from repro.runner.cache import default_cache
+from repro.runner.metrics import MetricsRecorder
+from repro.runner.parallel import PIPELINES, expand_grid, run_grid
+from repro.runner.summary import format_table
+
+
+def _csv(value: str) -> list[str]:
+    return [item.strip() for item in value.split(",") if item.strip()]
+
+
+def _capacities(value: str) -> list[int | None]:
+    out: list[int | None] = []
+    for item in _csv(value):
+        out.append(None if item.lower() in ("none", "off", "0") else int(item))
+    return out
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runner",
+        description="Parallel, disk-cached (benchmark x pipeline x "
+                    "capacity) experiment grid runner.",
+    )
+    parser.add_argument("--benchmarks", type=_csv, default=None,
+                        metavar="NAME[,NAME...]",
+                        help="benchmark subset (default: the whole Table 1 "
+                             "suite)")
+    parser.add_argument("--pipelines", type=_csv, default=list(PIPELINES),
+                        metavar="PIPE[,PIPE...]",
+                        help="traditional, aggressive or both (default both)")
+    parser.add_argument("--capacities", type=_capacities, default=[256],
+                        metavar="N[,N...]",
+                        help="buffer capacities in ops; 'none' disables the "
+                             "buffer (default 256)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="process-pool width (default: REPRO_WORKERS or "
+                             "the core count; 0/1 = serial)")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="per-cell timeout in seconds (pool mode only)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="artifact cache directory (default: "
+                             "REPRO_CACHE_DIR or .repro_cache)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the on-disk cache entirely")
+    parser.add_argument("--json", dest="json_path", default=None,
+                        metavar="FILE",
+                        help="write runner metrics JSON here ('-' = stdout)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the human-readable tables")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    names = args.benchmarks or benchmark_names()
+    for pipeline in args.pipelines:
+        if pipeline not in PIPELINES:
+            print(f"unknown pipeline {pipeline!r} (choose from "
+                  f"{', '.join(PIPELINES)})", file=sys.stderr)
+            return 2
+    known = set(benchmark_names())
+    for name in names:
+        if name not in known:
+            print(f"unknown benchmark {name!r} (choose from "
+                  f"{', '.join(sorted(known))})", file=sys.stderr)
+            return 2
+
+    cache = default_cache(args.cache_dir, enabled=not args.no_cache)
+    metrics = MetricsRecorder()
+    cells = expand_grid(names, args.pipelines, args.capacities)
+    try:
+        summaries = run_grid(cells, workers=args.workers,
+                             timeout=args.timeout, cache=cache,
+                             metrics=metrics)
+    except AssertionError as exc:
+        print(f"CHECKSUM MISMATCH: {exc}", file=sys.stderr)
+        return 1
+
+    if not args.quiet:
+        rows = [
+            [s.name, s.pipeline,
+             s.capacity if s.capacity is not None else "-",
+             s.cycles, s.ops_issued, f"{s.buffer_fraction:.1%}"]
+            for s in summaries
+        ]
+        print(format_table(
+            ["benchmark", "pipeline", "cap", "cycles", "ops", "buffer%"],
+            rows, "grid results"))
+        print()
+        print(metrics.to_table())
+
+    if args.json_path:
+        payload = metrics.to_json()
+        if args.json_path == "-":
+            print(payload)
+        else:
+            Path(args.json_path).write_text(payload + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

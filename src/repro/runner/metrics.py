@@ -1,0 +1,119 @@
+"""Wall-time, cache-traffic and per-stage timing accounting for runs.
+
+A :class:`MetricsRecorder` is threaded through cell execution; each cell
+contributes one :class:`CellMetrics` (which of its stages ran vs. hit the
+cache, and how long each took).  Pool workers run in other processes, so
+they return their ``CellMetrics`` alongside the result and the parent
+merges them — the recorder itself never crosses a process boundary.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+
+from repro.runner.cache import CacheStats
+from repro.runner.summary import format_table
+
+__all__ = ["CellMetrics", "MetricsRecorder", "format_table"]
+
+
+@dataclass
+class CellMetrics:
+    """Timings for one (benchmark, pipeline, capacity) cell."""
+
+    name: str
+    pipeline: str
+    capacity: int | None
+    #: stage name -> seconds; stages: "compile", "retarget", "simulate"
+    stages: dict[str, float] = field(default_factory=dict)
+    base_cache_hit: bool = False
+    run_cache_hit: bool = False
+    attempts: int = 1
+    worker: str = "serial"
+
+    @property
+    def seconds(self) -> float:
+        return sum(self.stages.values())
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "pipeline": self.pipeline,
+            "capacity": self.capacity,
+            "stages": {k: round(v, 6) for k, v in self.stages.items()},
+            "seconds": round(self.seconds, 6),
+            "base_cache_hit": self.base_cache_hit,
+            "run_cache_hit": self.run_cache_hit,
+            "attempts": self.attempts,
+            "worker": self.worker,
+        }
+
+
+class MetricsRecorder:
+    """Collects cell metrics plus whole-run wall time and cache traffic."""
+
+    def __init__(self) -> None:
+        self.cells: list[CellMetrics] = []
+        self.cache = CacheStats()
+        self._t0 = time.perf_counter()
+        self.wall_time_s = 0.0
+        self.workers = 1
+
+    def add_cell(self, cell: CellMetrics) -> None:
+        self.cells.append(cell)
+
+    def merge_cache_stats(self, stats: CacheStats) -> None:
+        self.cache.hits += stats.hits
+        self.cache.misses += stats.misses
+        self.cache.stores += stats.stores
+        self.cache.evictions += stats.evictions
+
+    def finish(self) -> None:
+        self.wall_time_s = time.perf_counter() - self._t0
+
+    # -- reporting ---------------------------------------------------------
+
+    @property
+    def run_cache_hits(self) -> int:
+        return sum(1 for c in self.cells if c.run_cache_hit)
+
+    def as_dict(self) -> dict:
+        return {
+            "wall_time_s": round(self.wall_time_s, 6),
+            "workers": self.workers,
+            "cells": [c.as_dict() for c in self.cells],
+            "cache": self.cache.as_dict(),
+            "cell_count": len(self.cells),
+            "run_cache_hits": self.run_cache_hits,
+            "compute_seconds": round(sum(c.seconds for c in self.cells), 6),
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+    def to_table(self) -> str:
+        rows = [
+            [
+                f"{c.name}/{c.pipeline}",
+                c.capacity if c.capacity is not None else "-",
+                c.stages.get("compile", 0.0),
+                c.stages.get("retarget", 0.0) + c.stages.get("simulate", 0.0),
+                "hit" if c.run_cache_hit else
+                ("base-hit" if c.base_cache_hit else "miss"),
+                c.worker,
+            ]
+            for c in self.cells
+        ]
+        table = format_table(
+            ["cell", "cap", "compile s", "run s", "cache", "worker"], rows,
+            "per-cell runner metrics",
+        )
+        summary = (
+            f"{len(self.cells)} cells in {self.wall_time_s:.2f}s wall "
+            f"({self.workers} worker{'s' if self.workers != 1 else ''}); "
+            f"cache: {self.cache.hits} hits / {self.cache.misses} misses / "
+            f"{self.cache.evictions} evicted"
+        )
+        return table + "\n\n" + summary

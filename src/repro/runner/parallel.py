@@ -1,0 +1,384 @@
+"""Cell execution and process-pool fan-out over experiment grids.
+
+One *cell* is a ``(benchmark, pipeline, capacity)`` triple.  Executing it
+means: obtain the capacity-independent compiled base (disk cache or
+compile), retarget it at the capacity (:func:`repro.pipeline.with_buffer`),
+simulate, check the checksum against the pure-Python oracle and summarize.
+
+:func:`run_grid` maps a list of cells over a
+:class:`~concurrent.futures.ProcessPoolExecutor` in two phases — first the
+distinct compiled bases (one task per (benchmark, pipeline) group, so a
+capacity sweep never compiles the same program twice), then the per-cell
+retarget+simulate tasks.  Results always come back in input-cell order,
+whatever the completion order; a cell that times out or fails with
+anything other than a checksum mismatch is retried once in the parent
+process before the failure is allowed to propagate.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.bench import benchmark
+from repro.pipeline import (
+    Compiled,
+    compile_aggressive,
+    compile_traditional,
+    run_compiled,
+    with_buffer,
+)
+from repro.runner.cache import ArtifactCache, cache_key, default_cache
+from repro.runner.metrics import CellMetrics, MetricsRecorder
+from repro.runner.summary import RunSummary
+
+ENV_WORKERS = "REPRO_WORKERS"
+
+PIPELINES = ("traditional", "aggressive")
+
+_COMPILERS = {
+    "traditional": compile_traditional,
+    "aggressive": compile_aggressive,
+}
+
+
+@dataclass(frozen=True, order=True)
+class Cell:
+    """One grid point: a benchmark compiled one way, run at one capacity."""
+
+    name: str
+    pipeline: str
+    capacity: int | None
+
+    @property
+    def group(self) -> tuple[str, str]:
+        """The (benchmark, pipeline) pair sharing one compiled base."""
+        return (self.name, self.pipeline)
+
+
+def expand_grid(
+    names: Iterable[str],
+    pipelines: Iterable[str] = PIPELINES,
+    capacities: Iterable[int | None] = (256,),
+) -> list[Cell]:
+    """Cartesian (pipeline × benchmark × capacity) grid, pipeline-major to
+    match the historical serial sweep order."""
+    return [
+        Cell(name, pipeline, capacity)
+        for pipeline in pipelines
+        for name in names
+        for capacity in capacities
+    ]
+
+
+def resolve_workers(workers: int | None = None) -> int:
+    """``workers`` argument, else ``REPRO_WORKERS``, else the core count."""
+    if workers is None:
+        env = os.environ.get(ENV_WORKERS)
+        if env:
+            try:
+                workers = int(env)
+            except ValueError:
+                workers = None
+    if workers is None:
+        workers = os.cpu_count() or 1
+    return max(0, workers)
+
+
+# --------------------------------------------------------------------------
+# cache keys
+
+
+def _machine_fingerprint(machine) -> str:
+    slots = ";".join(
+        ",".join(sorted(unit.name for unit in units))
+        for units in machine.slot_units
+    )
+    return (f"slots[{slots}] bp={machine.branch_penalty} "
+            f"ir={machine.int_registers} pr={machine.predicate_registers} "
+            f"ob={machine.operation_bits}")
+
+
+def _base_flags(bench) -> dict:
+    from repro.sched.machine import DEFAULT_MACHINE
+
+    return {
+        "entry": bench.entry,
+        "args": list(bench.args),
+        "machine": _machine_fingerprint(DEFAULT_MACHINE),
+        "buffer_capacity": None,
+    }
+
+
+def base_key(name: str, pipeline: str) -> str:
+    bench = benchmark(name)
+    return cache_key(bench.source, pipeline, _base_flags(bench))
+
+
+def run_key(name: str, pipeline: str, capacity: int | None) -> str:
+    bench = benchmark(name)
+    flags = _base_flags(bench)
+    flags["capacity"] = capacity
+    return cache_key(bench.source, pipeline, flags)
+
+
+# --------------------------------------------------------------------------
+# single-cell execution (runs in the parent or in a pool worker)
+
+
+def compile_base(name: str, pipeline: str,
+                 cache: ArtifactCache | None = None) -> Compiled:
+    """Compiled-but-unassigned base for a (benchmark, pipeline) group."""
+    compiled, _seconds, _hit = _compile_base_timed(name, pipeline, cache)
+    return compiled
+
+
+def _compile_base_timed(
+    name: str, pipeline: str, cache: ArtifactCache | None
+) -> tuple[Compiled, float, bool]:
+    if pipeline not in _COMPILERS:
+        raise ValueError(f"unknown pipeline {pipeline!r}")
+    key = base_key(name, pipeline)
+    if cache is not None:
+        cached = cache.load(key, "base")
+        if cached is not None:
+            return cached, 0.0, True
+    bench = benchmark(name)
+    t0 = time.perf_counter()
+    compiled = _COMPILERS[pipeline](bench.build(), entry=bench.entry,
+                                    args=bench.args, buffer_capacity=None)
+    seconds = time.perf_counter() - t0
+    if cache is not None:
+        cache.store(key, "base", compiled)
+    return compiled, seconds, False
+
+
+def _execute_cell(
+    cell: Cell,
+    cache: ArtifactCache | None,
+    base: Compiled | None = None,
+) -> tuple[RunSummary, CellMetrics, Compiled | None]:
+    """Run one cell end to end; raises AssertionError on checksum mismatch.
+
+    Returns the compiled base actually used (``None`` on a run-cache hit)
+    so callers sweeping several capacities can reuse it.
+    """
+    cm = CellMetrics(cell.name, cell.pipeline, cell.capacity)
+    key = run_key(cell.name, cell.pipeline, cell.capacity)
+    if cache is not None:
+        cached = cache.load(key, "run")
+        if isinstance(cached, RunSummary):
+            cm.run_cache_hit = True
+            return cached, cm, None
+
+    if base is None:
+        base, seconds, hit = _compile_base_timed(cell.name, cell.pipeline,
+                                                 cache)
+        cm.stages["compile"] = seconds
+        cm.base_cache_hit = hit
+    else:
+        cm.base_cache_hit = True
+
+    t0 = time.perf_counter()
+    compiled = with_buffer(base, cell.capacity)
+    t1 = time.perf_counter()
+    outcome = run_compiled(compiled)
+    cm.stages["retarget"] = t1 - t0
+    cm.stages["simulate"] = time.perf_counter() - t1
+
+    expected = benchmark(cell.name).expected()
+    if outcome.result.value != expected:
+        raise AssertionError(
+            f"{cell.name}/{cell.pipeline}@{cell.capacity}: checksum "
+            f"{outcome.result.value} != expected {expected}"
+        )
+    summary = RunSummary(
+        name=cell.name,
+        pipeline=cell.pipeline,
+        capacity=cell.capacity,
+        cycles=outcome.counters.cycles,
+        bundles=outcome.counters.bundles,
+        ops_issued=outcome.counters.ops_issued,
+        ops_from_buffer=outcome.counters.ops_from_buffer,
+        ops_from_memory=outcome.counters.ops_from_memory,
+        static_ops=compiled.static_ops,
+        branch_bubbles=outcome.counters.branch_bubbles,
+    )
+    if cache is not None:
+        cache.store(key, "run", summary)
+    return summary, cm, base
+
+
+def run_cell(
+    name: str,
+    pipeline: str,
+    capacity: int | None,
+    cache: ArtifactCache | None = None,
+    base: Compiled | None = None,
+    metrics: MetricsRecorder | None = None,
+) -> RunSummary:
+    """The single-cell entry point the experiments facade builds on."""
+    summary, cm, _ = _execute_cell(Cell(name, pipeline, capacity), cache, base)
+    if metrics is not None:
+        metrics.add_cell(cm)
+        if cache is not None:
+            metrics.merge_cache_stats(cache.stats)
+            cache.stats = type(cache.stats)()
+    return summary
+
+
+# --------------------------------------------------------------------------
+# pool workers (module-level so they pickle under every start method)
+
+
+def _worker_base(name: str, pipeline: str, cache_dir: str,
+                 cache_enabled: bool) -> bytes:
+    cache = ArtifactCache(cache_dir, enabled=cache_enabled)
+    compiled, seconds, hit = _compile_base_timed(name, pipeline, cache)
+    return pickle.dumps((compiled, seconds, hit, cache.stats))
+
+
+def _worker_cell(cell: Cell, base_blob: bytes | None, cache_dir: str,
+                 cache_enabled: bool) -> bytes:
+    cache = ArtifactCache(cache_dir, enabled=cache_enabled)
+    base = pickle.loads(base_blob) if base_blob is not None else None
+    summary, cm, _ = _execute_cell(cell, cache, base)
+    cm.worker = f"pid{os.getpid()}"
+    return pickle.dumps((summary, cm, cache.stats))
+
+
+# --------------------------------------------------------------------------
+# the grid executor
+
+
+def run_grid(
+    cells: Sequence[Cell],
+    workers: int | None = None,
+    timeout: float | None = None,
+    cache: ArtifactCache | None | str = "default",
+    metrics: MetricsRecorder | None = None,
+) -> list[RunSummary]:
+    """Execute every cell, returning summaries in input-cell order.
+
+    ``workers`` ``<= 1`` (or a one-cell grid) runs serially in-process.
+    Otherwise compiled bases fan out first (one task per distinct
+    (benchmark, pipeline) group), then the per-cell simulations, each with
+    ``timeout`` seconds to produce a result once collection reaches it.
+    Timeouts and transient errors are retried once in the parent; checksum
+    mismatches (``AssertionError``) fail immediately — they are
+    deterministic.
+    """
+    if cache == "default":
+        cache = default_cache()
+    metrics = metrics if metrics is not None else MetricsRecorder()
+    workers = resolve_workers(workers)
+    metrics.workers = max(1, workers)
+    cells = list(cells)
+
+    try:
+        if workers <= 1 or len(cells) <= 1:
+            results = _run_serial(cells, cache, metrics)
+        else:
+            results = _run_pool(cells, workers, timeout, cache, metrics)
+    finally:
+        metrics.finish()
+        if cache is not None:
+            metrics.merge_cache_stats(cache.stats)
+            cache.stats = type(cache.stats)()
+    return results
+
+
+def _run_serial(cells: Sequence[Cell], cache: ArtifactCache | None,
+                metrics: MetricsRecorder,
+                _execute=None) -> list[RunSummary]:
+    execute = _execute or _execute_cell
+    bases: dict[tuple[str, str], Compiled] = {}
+    results: list[RunSummary] = []
+    for cell in cells:
+        base = bases.get(cell.group)
+        try:
+            summary, cm, used = execute(cell, cache, base)
+        except AssertionError:
+            raise
+        except Exception:
+            summary, cm, used = execute(cell, cache, base)  # retry once
+            cm.attempts = 2
+        metrics.add_cell(cm)
+        results.append(summary)
+        if used is not None:
+            bases.setdefault(cell.group, used)
+    return results
+
+
+def _run_pool(cells: Sequence[Cell], workers: int, timeout: float | None,
+              cache: ArtifactCache | None,
+              metrics: MetricsRecorder) -> list[RunSummary]:
+    cache_dir = str(cache.root) if cache is not None else ""
+    cache_enabled = cache is not None and cache.enabled
+    groups = list(dict.fromkeys(cell.group for cell in cells))
+    results: list[RunSummary | None] = [None] * len(cells)
+
+    pool = ProcessPoolExecutor(max_workers=workers)
+    try:
+        # phase 1: one compile task per distinct (benchmark, pipeline)
+        base_futures = {
+            group: pool.submit(_worker_base, group[0], group[1],
+                               cache_dir, cache_enabled)
+            for group in groups
+        }
+        base_blobs: dict[tuple[str, str], bytes] = {}
+        for group, future in base_futures.items():
+            try:
+                compiled, _seconds, _hit, stats = pickle.loads(
+                    future.result(timeout=timeout))
+            except AssertionError:
+                raise
+            except Exception:
+                # timeout / worker death: retry the compile in the parent
+                compiled, _seconds, _hit = _compile_base_timed(
+                    group[0], group[1], cache)
+                stats = None
+            base_blobs[group] = pickle.dumps(compiled)
+            if stats is not None:
+                metrics.merge_cache_stats(stats)
+
+        # phase 2: per-cell retarget + simulate
+        try:
+            cell_futures = [
+                pool.submit(_worker_cell, cell, base_blobs[cell.group],
+                            cache_dir, cache_enabled)
+                for cell in cells
+            ]
+        except BrokenExecutor:
+            # the pool died between phases: finish serially
+            for index, cell in enumerate(cells):
+                base = pickle.loads(base_blobs[cell.group])
+                summary, cm, _ = _execute_cell(cell, cache, base)
+                metrics.add_cell(cm)
+                results[index] = summary
+            return results  # type: ignore[return-value]
+
+        for index, (cell, future) in enumerate(zip(cells, cell_futures)):
+            try:
+                summary, cm, stats = pickle.loads(
+                    future.result(timeout=timeout))
+            except AssertionError:
+                raise
+            except Exception:
+                # transient (worker death, timeout, pickle hiccup):
+                # retry once in the parent, serially
+                base = pickle.loads(base_blobs[cell.group])
+                summary, cm, _ = _execute_cell(cell, cache, base)
+                cm.attempts = 2
+                stats = None
+            metrics.add_cell(cm)
+            if stats is not None:
+                metrics.merge_cache_stats(stats)
+            results[index] = summary
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+    return results  # type: ignore[return-value]

@@ -1,0 +1,53 @@
+"""The per-cell result record and the shared plain-text table renderer.
+
+``RunSummary`` lived in :mod:`repro.experiments.common` originally; it
+moved here so the runner (which produces and caches summaries) does not
+depend on the experiments layer that consumes them.  ``experiments.common``
+re-exports both names, so existing imports keep working.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    name: str
+    pipeline: str
+    capacity: int | None
+    cycles: int
+    bundles: int
+    ops_issued: int
+    ops_from_buffer: int
+    ops_from_memory: int
+    static_ops: int
+    branch_bubbles: int
+
+    @property
+    def buffer_fraction(self) -> float:
+        if self.ops_issued == 0:
+            return 0.0
+        return self.ops_from_buffer / self.ops_issued
+
+
+def format_table(headers: list[str], rows: list[list], title: str = "") -> str:
+    widths = [len(h) for h in headers]
+    rendered = [[_fmt(cell) for cell in row] for row in rows]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)

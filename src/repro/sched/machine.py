@@ -32,7 +32,7 @@ the loop buffer's loop-back prediction removes it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.ir.opcodes import Opcode, Unit, unit_of
 

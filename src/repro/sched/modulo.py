@@ -17,8 +17,8 @@ loop's loop-buffer footprint.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from math import ceil, gcd
+from dataclasses import dataclass
+from math import ceil
 
 from repro.analysis.dependence import DependenceGraph, build_dependence_graph
 from repro.analysis.predrel import PredicateRelations

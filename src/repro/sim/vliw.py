@@ -31,7 +31,7 @@ from repro.ir.module import Module
 from repro.ir.opcodes import Opcode
 from repro.loopbuffer.model import LoopBuffer, LoopState
 from repro.sched.machine import DEFAULT_MACHINE, MachineDescription
-from repro.sim.interp import Interpreter, SimError
+from repro.sim.interp import Interpreter
 
 
 @dataclass

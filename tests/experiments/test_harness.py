@@ -1,10 +1,12 @@
-"""Light unit tests for the experiments infrastructure (no heavy sims)."""
+"""Light unit tests for the experiments infrastructure (one fast sim)."""
 
 import pytest
 
+from repro.experiments import common
 from repro.experiments.common import RunSummary, format_table
 from repro.experiments.fig7 import Fig7Result
 from repro.experiments.fig8 import Fig8Result, Fig8Row
+from repro.runner.cache import ArtifactCache
 
 
 class TestFormatTable:
@@ -53,6 +55,46 @@ class TestFig7Result:
     def test_empty_average(self):
         r = self._result()
         assert r.average_at("traditional", 256, exclude=("a", "b")) == 0.0
+
+
+class TestRunnerFacade:
+    """The historical facade rides on repro.runner but keeps its contract."""
+
+    @pytest.fixture(autouse=True)
+    def _isolated_cache(self, tmp_path):
+        common.reset(ArtifactCache(tmp_path / "cache"))
+        yield
+        common.reset()
+
+    def test_run_at_capacity_memoizes_and_caches(self):
+        first = run_at_capacity = common.run_at_capacity
+        a = first("adpcm_enc", "traditional", 64)
+        assert a.name == "adpcm_enc"
+        assert a.capacity == 64
+        assert a.ops_issued == a.ops_from_buffer + a.ops_from_memory
+        # in-process memo: identical object back
+        assert run_at_capacity("adpcm_enc", "traditional", 64) is a
+        # disk cache: a fresh process-level state still avoids the sim
+        cache = common._cache()
+        common.reset(cache)
+        b = run_at_capacity("adpcm_enc", "traditional", 64)
+        assert b == a
+        assert common.runner_metrics().run_cache_hits == 1
+
+    def test_compiled_base_memoizes(self):
+        base = common.compiled_base("adpcm_enc", "traditional")
+        assert common.compiled_base("adpcm_enc", "traditional") is base
+        assert base.buffer_capacity is None
+
+    def test_prewarm_seeds_run_at_capacity(self):
+        summaries = common.prewarm(["adpcm_enc"], ("traditional",), (64,),
+                                   workers=0)
+        assert len(summaries) == 1
+        assert common.run_at_capacity("adpcm_enc", "traditional", 64) \
+            is summaries[0]
+        # prewarming the same grid again is a no-op
+        assert common.prewarm(["adpcm_enc"], ("traditional",), (64,),
+                              workers=0) == []
 
 
 class TestFig8Result:

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.ir import Function, IRBuilder, Imm, Module, Opcode, VReg, ireg
+from repro.ir import Function, IRBuilder, Imm, Module, ireg
 
 
 def single_block_function(name: str = "main", nparams: int = 0) -> tuple[Function, IRBuilder]:

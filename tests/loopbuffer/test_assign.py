@@ -1,7 +1,7 @@
 """Unit tests for compiler-side buffer assignment."""
 
 from repro.analysis.profile import Profile
-from repro.ir import Function, IRBuilder, Imm, Module, Opcode
+from repro.ir import Opcode
 from repro.loopbuffer.assign import (
     LoopCandidate,
     _cheapest_overlap,

@@ -1,6 +1,5 @@
 """Unit + integration tests for predicated loop collapsing."""
 
-from repro.analysis.cfgview import CFGView
 from repro.analysis.loops import find_loops, is_simple_loop
 from repro.ir import (
     Function,

@@ -1,7 +1,7 @@
 """Unit tests for complete loop peeling."""
 
 from repro.analysis.loops import find_loops
-from repro.ir import Imm, Opcode, verify_module
+from repro.ir import Opcode, verify_module
 from repro.looptrans.peel import peel_short_loops
 from repro.sim.interp import run_module
 

@@ -39,7 +39,7 @@ class TestDCE:
     def test_store_never_removed(self):
         func, b = single_block_function(nparams=1)
         b.store(func.params[0], 0, Imm(9))
-        module = _finish(func, b, Imm(0))
+        _finish(func, b, Imm(0))
         assert eliminate_dead_code(func) == 0
         assert any(op.opcode == Opcode.ST for op in func.entry.ops)
 

@@ -74,8 +74,6 @@ class TestInlineCall:
         before_regs = {r for op in main.ops() for r in op.writes()}
         inline_call(module, main, "body", call_op)
         # every op from the clone writes registers fresh to the caller
-        helper = module.function("helper")
-        helper_dests = {r for op in helper.ops() for r in op.writes()}
         for block in main.blocks:
             if block.label.startswith("inl_"):
                 for op in block.ops:

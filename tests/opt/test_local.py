@@ -6,10 +6,9 @@ from repro.ir import (
     Imm,
     Module,
     Opcode,
-    ireg,
     verify_function,
 )
-from repro.opt.local import optimize_block, optimize_function
+from repro.opt.local import optimize_function
 from repro.sim.interp import run_module
 
 from tests.helpers import single_block_function

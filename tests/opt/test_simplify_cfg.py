@@ -1,6 +1,6 @@
 """Unit tests for CFG simplification."""
 
-from repro.ir import Function, IRBuilder, Imm, Opcode, ireg, verify_function
+from repro.ir import Function, IRBuilder, Imm, ireg, verify_function
 from repro.opt.simplify_cfg import (
     drop_redundant_jumps,
     merge_straightline,

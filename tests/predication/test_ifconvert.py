@@ -11,7 +11,6 @@ from repro.ir import (
     Module,
     Opcode,
     ireg,
-    verify_function,
     verify_module,
 )
 from repro.predication.hyperblock import (

@@ -1,11 +1,7 @@
 """Unit tests for predicate promotion."""
 
 from repro.ir import Imm, Module, Opcode, verify_function
-from repro.predication.promotion import (
-    promote_block,
-    promote_function,
-    sensitivity_stats,
-)
+from repro.predication.promotion import promote_function, sensitivity_stats
 from repro.sim.interp import run_module
 
 from tests.helpers import single_block_function

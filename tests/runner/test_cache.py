@@ -1,0 +1,162 @@
+"""Unit tests for the content-addressed artifact cache."""
+
+import pickle
+
+import pytest
+
+from repro.runner.cache import (
+    CACHE_FORMAT,
+    ArtifactCache,
+    cache_key,
+    default_cache,
+)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ArtifactCache(tmp_path / "cache")
+
+
+SOURCE = "int main() { return 42; }"
+
+
+class Payload:
+    """Module-level so pickle can reference it by import path."""
+
+    def __init__(self, value):
+        self.value = value
+
+
+class TestCacheKey:
+    def test_stable(self):
+        a = cache_key(SOURCE, "aggressive", {"x": 1, "y": 2}, version="1")
+        b = cache_key(SOURCE, "aggressive", {"x": 1, "y": 2}, version="1")
+        assert a == b
+        assert len(a) == 64
+        int(a, 16)  # hex digest
+
+    def test_flag_order_irrelevant(self):
+        a = cache_key(SOURCE, "aggressive", {"x": 1, "y": 2}, version="1")
+        b = cache_key(SOURCE, "aggressive", {"y": 2, "x": 1}, version="1")
+        assert a == b
+
+    def test_every_component_matters(self):
+        base = cache_key(SOURCE, "aggressive", {"x": 1}, version="1")
+        assert cache_key(SOURCE + " ", "aggressive", {"x": 1},
+                         version="1") != base
+        assert cache_key(SOURCE, "traditional", {"x": 1},
+                         version="1") != base
+        assert cache_key(SOURCE, "aggressive", {"x": 2},
+                         version="1") != base
+        assert cache_key(SOURCE, "aggressive", {"x": 1},
+                         version="2") != base
+
+    def test_default_version_is_package_version(self):
+        import repro
+
+        assert cache_key(SOURCE, "aggressive") == cache_key(
+            SOURCE, "aggressive", version=repro.__version__)
+
+
+class TestStoreLoad:
+    def test_roundtrip(self, cache):
+        key = cache_key(SOURCE, "aggressive")
+        cache.store(key, "run", {"cycles": 7})
+        assert cache.load(key, "run") == {"cycles": 7}
+        assert cache.stats.hits == 1
+        assert cache.stats.stores == 1
+
+    def test_miss_on_absent(self, cache):
+        assert cache.load("0" * 64, "run") is None
+        assert cache.stats.misses == 1
+
+    def test_kinds_are_namespaced(self, cache):
+        key = cache_key(SOURCE, "aggressive")
+        cache.store(key, "base", "compiled")
+        assert cache.load(key, "run") is None
+        assert cache.load(key, "base") == "compiled"
+
+    def test_disabled_cache_never_touches_disk(self, tmp_path):
+        cache = ArtifactCache(tmp_path / "c", enabled=False)
+        key = cache_key(SOURCE, "aggressive")
+        assert cache.store(key, "run", 1) is None
+        assert cache.load(key, "run") is None
+        assert not (tmp_path / "c").exists()
+
+    def test_atomic_store_leaves_no_temp_files(self, cache):
+        key = cache_key(SOURCE, "aggressive")
+        path = cache.store(key, "run", list(range(100)))
+        assert path.exists()
+        assert [p.name for p in path.parent.iterdir()] == [path.name]
+
+
+class TestCorruptionTolerance:
+    def _stored(self, cache):
+        key = cache_key(SOURCE, "aggressive")
+        path = cache.store(key, "run", {"cycles": 7})
+        return key, path
+
+    def test_truncated_pickle_evicted(self, cache):
+        key, path = self._stored(cache)
+        path.write_bytes(path.read_bytes()[:10])
+        assert cache.load(key, "run") is None
+        assert not path.exists()
+        assert cache.stats.evictions == 1
+        assert cache.stats.misses == 1
+
+    def test_garbage_bytes_evicted(self, cache):
+        key, path = self._stored(cache)
+        path.write_bytes(b"\x00not a pickle at all")
+        assert cache.load(key, "run") is None
+        assert not path.exists()
+
+    def test_stale_format_evicted(self, cache):
+        key, path = self._stored(cache)
+        path.write_bytes(pickle.dumps(
+            {"format": CACHE_FORMAT + 1, "key": key, "payload": 1}))
+        assert cache.load(key, "run") is None
+        assert not path.exists()
+
+    def test_foreign_envelope_evicted(self, cache):
+        key, path = self._stored(cache)
+        path.write_bytes(pickle.dumps([1, 2, 3]))
+        assert cache.load(key, "run") is None
+        assert not path.exists()
+
+    def test_key_mismatch_evicted(self, cache):
+        # an entry renamed/copied to the wrong key must not be served
+        key, path = self._stored(cache)
+        other = "f" * 64
+        target = cache.path_for(other, "run")
+        target.parent.mkdir(parents=True, exist_ok=True)
+        path.rename(target)
+        assert cache.load(other, "run") is None
+        assert not target.exists()
+
+    def test_unimportable_class_evicted(self, cache):
+        # entries referring to classes that no longer exist must be
+        # evicted, not crash the load; simulate by corrupting the class's
+        # module path inside the pickle stream
+        key, path = self._stored(cache)
+        blob = pickle.dumps({"format": CACHE_FORMAT, "key": key,
+                             "payload": Payload(7)})
+        path.write_bytes(blob.replace(b"test_cache", b"gone_module"))
+        assert cache.load(key, "run") is None
+        assert not path.exists()
+
+
+class TestDefaultCache:
+    def test_env_dir_and_disable(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
+        monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+        cache = default_cache()
+        assert cache.root == tmp_path / "envcache"
+        assert cache.enabled
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        assert not default_cache().enabled
+
+    def test_arguments_beat_environment(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
+        cache = default_cache(tmp_path / "arg", enabled=False)
+        assert cache.root == tmp_path / "arg"
+        assert not cache.enabled

@@ -1,6 +1,5 @@
 """Unit tests for the acyclic list scheduler."""
 
-from repro.analysis.dependence import build_dependence_graph
 from repro.ir import BasicBlock, Imm, Opcode, Operation, ireg, preg
 from repro.sched.list_sched import schedule_block
 from repro.sched.machine import DEFAULT_MACHINE

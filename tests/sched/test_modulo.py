@@ -1,6 +1,5 @@
 """Unit tests for iterative modulo scheduling."""
 
-import pytest
 
 from repro.analysis.dependence import build_dependence_graph
 from repro.ir import BasicBlock, Imm, Opcode, Operation, ireg

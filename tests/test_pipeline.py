@@ -1,6 +1,5 @@
 """End-to-end pipeline integration tests (compile -> simulate)."""
 
-import pytest
 
 from repro.pipeline import (
     compile_aggressive,
@@ -93,6 +92,20 @@ class TestBufferSizeSweep:
             assert outcome.result.value == expected_diamond(300)
             fractions[size] = outcome.buffer_issue_fraction
         assert fractions[256] >= fractions[16]
+
+    def test_with_buffer_reuses_modulo_schedules(self):
+        # the sweep must not re-run modulo scheduling per capacity: the
+        # schedules are capacity-independent and are shared by identity
+        module = build_loop_with_diamond(300)
+        base = compile_aggressive(module, buffer_capacity=None)
+        assert base.modulo  # the diamond loop modulo-schedules
+        retargeted = with_buffer(base, 64)
+        assert set(retargeted.modulo) == set(base.modulo)
+        for key, sched in retargeted.modulo.items():
+            assert sched is base.modulo[key]
+        # and the base object is untouched by the retarget
+        assert base.buffer_capacity is None
+        assert base.assignment is None
 
     def test_no_buffer_all_memory(self):
         module = build_counting_loop(100)
