@@ -12,6 +12,7 @@ allows.
 """
 
 import argparse
+import os
 
 from repro.bench import benchmark_names
 from repro.experiments import common, fig3, fig5, fig7, fig8
@@ -29,7 +30,12 @@ def main() -> None:
     parser.add_argument("--cache-dir", default=None,
                         help="artifact cache directory (default: "
                              "REPRO_CACHE_DIR or .repro_cache)")
+    parser.add_argument("--checked", action="store_true",
+                        help="run the semantic sanitizer after every "
+                             "compiler pass (also: REPRO_CHECKED=1)")
     args = parser.parse_args()
+    if args.checked:
+        os.environ["REPRO_CHECKED"] = "1"
 
     common.reset(default_cache(args.cache_dir, enabled=not args.no_cache))
     names = benchmark_names()

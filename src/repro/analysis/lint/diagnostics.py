@@ -1,0 +1,65 @@
+"""Structured lint diagnostics.
+
+A :class:`Diagnostic` replaces the bare strings of
+:class:`~repro.ir.verify.VerificationError` with a machine-readable record:
+which rule fired, how severe it is, *where* (function/block#index, the same
+coordinate format :func:`repro.ir.printer.op_location` prints and
+``format_function`` annotates), and — in checked mode — which compiler pass
+introduced the violation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from enum import Enum
+
+from repro.ir.printer import op_location
+
+
+class Severity(str, Enum):
+    INFO = "info"
+    WARNING = "warning"
+    ERROR = "error"
+
+    @property
+    def rank(self) -> int:
+        return {"info": 0, "warning": 1, "error": 2}[self.value]
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One lint finding."""
+
+    rule: str
+    severity: Severity
+    message: str
+    function: str | None = None
+    block: str | None = None
+    index: int | None = None
+    passname: str | None = None  # pass provenance (checked mode)
+
+    @property
+    def location(self) -> str:
+        return op_location(self.function, self.block, self.index)
+
+    def format(self) -> str:
+        provenance = f" [pass={self.passname}]" if self.passname else ""
+        return (f"{self.severity.value} {self.rule} "
+                f"{self.location}: {self.message}{provenance}")
+
+    def to_dict(self) -> dict:
+        payload = asdict(self)
+        payload["severity"] = self.severity.value
+        payload["location"] = self.location
+        return payload
+
+
+def max_severity(diagnostics: list[Diagnostic]) -> Severity | None:
+    """The worst severity present, or ``None`` for a clean report."""
+    if not diagnostics:
+        return None
+    return max((d.severity for d in diagnostics), key=lambda s: s.rank)
+
+
+def errors_only(diagnostics: list[Diagnostic]) -> list[Diagnostic]:
+    return [d for d in diagnostics if d.severity is Severity.ERROR]

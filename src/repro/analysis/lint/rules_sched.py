@@ -1,0 +1,271 @@
+"""Schedule-phase lint rules: list- and modulo-schedule legality.
+
+Each rule re-derives the constraint system the scheduler was supposed to
+satisfy — the predicate-aware dependence graph (with the side-exit
+hoisting relaxation), the machine's slot-capability table, the modulo
+reservation table, and the MVE lifetime bound — and checks the *stored*
+schedule against it.  A schedule that passes is a certifiable artifact in
+the spirit of Roorda's SMT-checked pipelining: legality is decidable from
+the schedule alone, independent of how it was constructed.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.dependence import build_dependence_graph
+from repro.analysis.liveness import liveness
+from repro.analysis.predrel import PredicateRelations
+from repro.ir.opcodes import Opcode, unit_of
+from repro.sched.list_sched import exit_live_map
+from repro.sched.modulo import required_mve_factor
+
+from .diagnostics import Severity
+from .engine import LintTarget, rule
+
+#: or-type predicate contributions may co-issue writes to one destination
+#: (they only ever deposit the same value); likewise the and-types.
+_SAME_VALUE_PTYPES = ({"ot", "of"}, {"at", "af"})
+
+
+def _real_ops(block):
+    return [op for op in block.ops if op.opcode != Opcode.NOP]
+
+
+def _scheduled_blocks(target: LintTarget):
+    """Yield (func, block, schedule) for every stored list schedule."""
+    if target.schedules is None:
+        return
+    for func in target.selected_functions():
+        per_func = target.schedules.get(func.name)
+        if per_func is None:
+            continue
+        for block in func.blocks:
+            sched = per_func.get(block.label)
+            if sched is not None:
+                yield func, block, sched
+
+
+def _modulo_loops(target: LintTarget):
+    """Yield (func, block, modulo schedule) for every stored kernel."""
+    if target.modulo is None:
+        return
+    for func in target.selected_functions():
+        for (fname, header), sched in target.modulo.items():
+            if fname == func.name and func.has_block(header):
+                yield func, func.block(header), sched
+
+
+@rule("sched-complete", Severity.ERROR, "sched")
+def check_sched_complete(target: LintTarget, make) -> None:
+    """A block operation is missing from (or duplicated in) its schedule."""
+    for func, block, sched in _scheduled_blocks(target):
+        placed = set(sched.placement)
+        for index, op in enumerate(_real_ops(block)):
+            if op.uid not in placed:
+                make(f"{op!r} has no placement in the block schedule",
+                     function=func.name, block=block.label, index=index)
+        bundled = sum(1 for bundle in sched.bundles
+                      for op in bundle.ops.values()
+                      if op.opcode != Opcode.NOP)
+        if bundled != len(placed):
+            make(f"schedule bundles hold {bundled} ops but the placement "
+                 f"map has {len(placed)}", function=func.name,
+                 block=block.label)
+
+
+@rule("sched-resource", Severity.ERROR, "sched")
+def check_sched_resource(target: LintTarget, make) -> None:
+    """An operation is issued in a slot its unit cannot execute in."""
+    machine = target.machine
+    for func, block, sched in _scheduled_blocks(target):
+        for bundle in sched.bundles:
+            for slot, op in bundle.in_slot_order():
+                if op.opcode == Opcode.NOP:
+                    continue
+                if not 0 <= slot < machine.width:
+                    make(f"{op!r} issues in slot {slot} on a "
+                         f"{machine.width}-wide machine",
+                         function=func.name, block=block.label)
+                elif unit_of(op.opcode) not in machine.slot_units[slot]:
+                    make(f"{op!r} ({unit_of(op.opcode).value}) issues in "
+                         f"slot {slot} which offers "
+                         f"{sorted(u.value for u in machine.slot_units[slot])}",
+                         function=func.name, block=block.label)
+                placement = sched.placement.get(op.uid)
+                if placement is not None and (
+                        placement.cycle != bundle.cycle
+                        or placement.slot != slot):
+                    make(f"{op!r} bundled at cycle {bundle.cycle} slot "
+                         f"{slot} but placed at cycle {placement.cycle} "
+                         f"slot {placement.slot}",
+                         function=func.name, block=block.label)
+
+
+@rule("sched-latency", Severity.ERROR, "sched")
+def check_sched_latency(target: LintTarget, make) -> None:
+    """A scheduled operation issues before a dependence latency has elapsed."""
+    for func in target.selected_functions():
+        per_func = (target.schedules or {}).get(func.name)
+        if not per_func:
+            continue
+        live = liveness(func)
+        for block in func.blocks:
+            sched = per_func.get(block.label)
+            if sched is None:
+                continue
+            ops = _real_ops(block)
+            graph = build_dependence_graph(
+                ops, relations=PredicateRelations(block),
+                exit_live=exit_live_map(func, block, live))
+            for edge in graph.edges:
+                if edge.distance != 0:
+                    continue
+                src, dst = ops[edge.src], ops[edge.dst]
+                if src.uid not in sched.placement or \
+                        dst.uid not in sched.placement:
+                    continue  # sched-complete reports the gap
+                gap = sched.cycle_of(dst) - sched.cycle_of(src)
+                if gap < edge.latency:
+                    make(f"{dst!r} issues {gap} cycle(s) after {src!r}; "
+                         f"the {edge.kind} dependence needs {edge.latency}",
+                         function=func.name, block=block.label,
+                         index=edge.dst)
+
+
+def _same_value_write(op_a, reg_a, op_b, reg_b) -> bool:
+    """Both writes deposit a guaranteed-equal value (or-/and-type pairs)."""
+    if reg_a != reg_b:
+        return False
+    ptypes = set()
+    for op, reg in ((op_a, reg_a), (op_b, reg_b)):
+        if op.opcode != Opcode.PRED_DEF:
+            return False
+        for dst, ptype in zip(op.dests, op.attrs["ptypes"]):
+            if dst == reg:
+                ptypes.add(ptype)
+    return any(ptypes <= allowed for allowed in _SAME_VALUE_PTYPES)
+
+
+@rule("pred-write-overlap", Severity.ERROR, "sched")
+def check_pred_write_overlap(target: LintTarget, make) -> None:
+    """Two co-issued writes hit one register under non-disjoint predicates."""
+    for func, block, sched in _scheduled_blocks(target):
+        relations = PredicateRelations(block)
+        by_op = {op.uid: op for op in block.ops}
+        for bundle in sched.bundles:
+            writers: dict = {}
+            for _slot, op in bundle.in_slot_order():
+                op = by_op.get(op.uid, op)
+                for reg in op.writes():
+                    writers.setdefault(reg, []).append(op)
+            for reg, ops in writers.items():
+                for i in range(len(ops)):
+                    for j in range(i + 1, len(ops)):
+                        a, b = ops[i], ops[j]
+                        if relations.disjoint(a.guard, b.guard):
+                            continue
+                        if _same_value_write(a, reg, b, reg):
+                            continue
+                        make(f"{a!r} and {b!r} both write {reg!r} in cycle "
+                             f"{bundle.cycle} under non-disjoint guards",
+                             function=func.name, block=block.label)
+
+
+@rule("slot-route-coverage", Severity.ERROR, "sched")
+def check_slot_route_coverage(target: LintTarget, make) -> None:
+    """A predicate-sensitive consumer issues in a slot its guard's define
+    does not route to (the standing predicate never reaches it)."""
+    for func, block, sched in _scheduled_blocks(target):
+        routes: dict = {}
+        for op in block.ops:
+            routing = op.attrs.get("slot_route")
+            if routing is not None:
+                for dst in op.dests:
+                    if repr(dst) in routing:
+                        routes[dst] = set(routing[repr(dst)])
+        if not routes:
+            continue
+        for index, op in enumerate(block.ops):
+            if not op.attrs.get("psens") or op.guard is None:
+                continue
+            placement = sched.placement.get(op.uid)
+            routed = routes.get(op.guard)
+            if placement is None or routed is None:
+                continue
+            if placement.slot not in routed:
+                make(f"{op!r} issues in slot {placement.slot} but "
+                     f"{op.guard!r} is routed only to {sorted(routed)}",
+                     function=func.name, block=block.label, index=index)
+
+
+@rule("modulo-stale", Severity.WARNING, "sched")
+def check_modulo_stale(target: LintTarget, make) -> None:
+    """A stored modulo schedule no longer matches its loop body's ops."""
+    for func, block, sched in _modulo_loops(target):
+        body = {op.uid for op in _real_ops(block)}
+        scheduled = set(sched.times)
+        if body != scheduled:
+            make(f"kernel schedule covers {len(scheduled)} ops but the "
+                 f"loop body has {len(body)}; the block changed after "
+                 f"modulo scheduling", function=func.name, block=block.label)
+
+
+def _fresh_modulo_loops(target: LintTarget):
+    """Modulo loops whose stored schedule still matches the IR (the stale
+    ones are reported once by modulo-stale, not re-checked)."""
+    for func, block, sched in _modulo_loops(target):
+        ops = _real_ops(block)
+        if {op.uid for op in ops} == set(sched.times):
+            yield func, block, sched, ops
+
+
+@rule("modulo-resource", Severity.ERROR, "sched")
+def check_modulo_resource(target: LintTarget, make) -> None:
+    """A kernel violates the modulo reservation table or slot capabilities."""
+    machine = target.machine
+    for func, block, sched, ops in _fresh_modulo_loops(target):
+        mrt: dict = {}
+        for op in ops:
+            time, slot = sched.times[op.uid], sched.slots[op.uid]
+            if slot not in machine.slots_for_op(op.opcode):
+                make(f"{op!r} issues in slot {slot} which cannot execute "
+                     f"{unit_of(op.opcode).value}", function=func.name,
+                     block=block.label)
+            key = (slot, time % sched.ii)
+            if key in mrt:
+                make(f"{op!r} and {mrt[key]!r} collide in slot {slot} at "
+                     f"cycle {time % sched.ii} (mod II={sched.ii})",
+                     function=func.name, block=block.label)
+            else:
+                mrt[key] = op
+
+
+@rule("modulo-latency", Severity.ERROR, "sched")
+def check_modulo_latency(target: LintTarget, make) -> None:
+    """A kernel breaks a (possibly loop-carried) dependence latency."""
+    for func, block, sched, ops in _fresh_modulo_loops(target):
+        graph = build_dependence_graph(
+            ops, relations=PredicateRelations(block), loop_carried=True)
+        for edge in graph.edges:
+            src, dst = ops[edge.src], ops[edge.dst]
+            slack = (sched.times[dst.uid] + sched.ii * edge.distance
+                     - sched.times[src.uid])
+            if slack < edge.latency:
+                make(f"{dst!r} issues {slack} cycle(s) after {src!r} "
+                     f"(distance {edge.distance}, II={sched.ii}); the "
+                     f"{edge.kind} dependence needs {edge.latency}",
+                     function=func.name, block=block.label)
+
+
+@rule("modulo-mve", Severity.ERROR, "sched")
+def check_modulo_mve(target: LintTarget, make) -> None:
+    """A kernel's MVE factor understates its register lifetimes — its
+    buffer footprint (and register overlap across iterations) is wrong."""
+    for func, block, sched, ops in _fresh_modulo_loops(target):
+        graph = build_dependence_graph(
+            ops, relations=PredicateRelations(block), loop_carried=True)
+        index_times = {i: sched.times[op.uid] for i, op in enumerate(ops)}
+        needed = required_mve_factor(ops, graph, index_times, sched.ii)
+        if sched.mve_factor < needed:
+            make(f"schedule claims MVE factor {sched.mve_factor} but "
+                 f"register lifetimes need {needed} kernel copies at "
+                 f"II={sched.ii}", function=func.name, block=block.label)

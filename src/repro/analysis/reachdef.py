@@ -1,0 +1,110 @@
+"""Must-defined registers: forward dataflow over the CFG.
+
+The lint rules need "is this register written on *every* path from the
+entry before this read?"  That is the intersection-over-predecessors dual
+of classic reaching definitions: a register is *must-defined* at a point
+when every CFG path from the entry to that point contains a write.
+
+One deliberate approximation: a **guarded** write counts as a definition
+even though the hardware may nullify it.  Predicated code writes both arms
+of an if-converted diamond under complementary predicates, and exactly one
+arm executes; treating either write as defining keeps those (perfectly
+well-defined) webs out of the report.  The resulting analysis therefore
+*under*-reports true use-before-def, which is the right polarity for an
+error-severity rule: anything it flags is undefined along every predicate
+assignment of some path.
+
+Initial definitions at function entry: the parameters and the frame-base
+register (bound by the call/simulation machinery before the first block).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.function import Function
+from repro.ir.operation import Operation
+from repro.ir.registers import VReg
+
+from .cfgview import CFGView
+
+
+@dataclass
+class MustDefinedInfo:
+    """Per-block must-defined register sets (at block entry)."""
+
+    defined_in: dict[str, set[VReg]] = field(default_factory=dict)
+
+    def at_entry(self, label: str) -> set[VReg]:
+        return self.defined_in.get(label, set())
+
+
+def entry_definitions(func: Function) -> set[VReg]:
+    """Registers defined before the entry block executes."""
+    defined = set(func.params)
+    if func.frame_base is not None:
+        defined.add(func.frame_base)
+    return defined
+
+
+def must_defined(func: Function, cfg: CFGView | None = None) -> MustDefinedInfo:
+    """Forward must-defined analysis (intersection over predecessors)."""
+    if cfg is None:
+        cfg = CFGView(func)
+    order = cfg.reverse_postorder()
+    block_defs: dict[str, set[VReg]] = {
+        label: {dst for op in func.block(label).ops for dst in op.writes()}
+        for label in order
+    }
+    # top = "everything defined"; entry starts from params + frame base
+    defined_in: dict[str, set[VReg] | None] = {label: None for label in order}
+    defined_in[cfg.entry] = entry_definitions(func)
+
+    changed = True
+    while changed:
+        changed = False
+        for label in order:
+            if label == cfg.entry:
+                continue
+            incoming: set[VReg] | None = None
+            for pred in cfg.preds[label]:
+                pred_out = defined_in.get(pred)
+                if pred_out is None:
+                    continue  # top: no constraint yet
+                pred_out = pred_out | block_defs[pred]
+                incoming = (set(pred_out) if incoming is None
+                            else incoming & pred_out)
+            if incoming is not None and incoming != defined_in[label]:
+                defined_in[label] = incoming
+                changed = True
+
+    return MustDefinedInfo({
+        label: (defs if defs is not None else set())
+        for label, defs in defined_in.items()
+    })
+
+
+def undefined_reads(
+    func: Function, cfg: CFGView | None = None
+) -> list[tuple[str, int, Operation, VReg]]:
+    """Reads of registers not defined on every path from the entry.
+
+    Returns ``(block label, op index, operation, register)`` tuples in
+    layout order.  Unreachable blocks are not scanned (the verifier rejects
+    them separately).
+    """
+    if cfg is None:
+        cfg = CFGView(func)
+    info = must_defined(func, cfg)
+    reachable = cfg.reachable()
+    found: list[tuple[str, int, Operation, VReg]] = []
+    for block in func.blocks:
+        if block.label not in reachable:
+            continue
+        defined = set(info.at_entry(block.label))
+        for index, op in enumerate(block.ops):
+            for reg in op.reads():
+                if reg not in defined:
+                    found.append((block.label, index, op, reg))
+            defined.update(op.writes())
+    return found

@@ -12,6 +12,9 @@ semantics, so callers and tests are unaffected.
 
 from __future__ import annotations
 
+import argparse
+import os
+
 from repro.pipeline import Compiled
 from repro.runner import metrics as _metrics_mod
 from repro.runner.cache import ArtifactCache, default_cache
@@ -23,6 +26,7 @@ __all__ = [
     "HEADLINE_CAPACITY",
     "RunSummary",
     "compiled_base",
+    "experiment_args",
     "format_table",
     "prewarm",
     "reset",
@@ -41,6 +45,25 @@ _CACHE: ArtifactCache | None = None
 _METRICS = _metrics_mod.MetricsRecorder()
 _BASE_MEMO: dict[tuple[str, str], Compiled] = {}
 _RUN_MEMO: dict[tuple[str, str, int | None], RunSummary] = {}
+
+
+def experiment_args(description: str | None = None,
+                    argv: list[str] | None = None) -> argparse.Namespace:
+    """Shared CLI for the figure-script ``main``s.
+
+    ``--checked`` exports ``REPRO_CHECKED=1`` so every compile under the
+    facade (and in pool workers) runs the per-pass semantic sanitizer;
+    see :mod:`repro.analysis.lint`.  Note checked compiles use distinct
+    cache keys, so the first such run recompiles everything.
+    """
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument("--checked", action="store_true",
+                        help="run the semantic sanitizer after every "
+                             "compiler pass (also: REPRO_CHECKED=1)")
+    args = parser.parse_args(argv)
+    if args.checked:
+        os.environ["REPRO_CHECKED"] = "1"
+    return args
 
 
 def _cache() -> ArtifactCache:

@@ -16,7 +16,7 @@ from repro.bench import benchmark_names
 from repro.ir.opcodes import Opcode
 from repro.predication.stats import PredicationStats, collect_module_stats
 
-from .common import compiled_base, format_table
+from .common import compiled_base, experiment_args, format_table
 
 
 @dataclass
@@ -105,6 +105,7 @@ def report(result: Fig3Result) -> str:
 
 
 def main() -> None:  # pragma: no cover - CLI convenience
+    experiment_args(__doc__)
     print(report(run()))
 
 

@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 
 from repro.pipeline import run_compiled, with_buffer
 
-from .common import compiled_base, format_table
+from .common import compiled_base, experiment_args, format_table
 
 SIZES = (16, 32, 64, 128, 256)
 
@@ -84,6 +84,7 @@ def report(rows: list[Fig5Row]) -> str:
 
 
 def main() -> None:  # pragma: no cover
+    experiment_args(__doc__)
     print(report(run()))
 
 

@@ -17,6 +17,7 @@ from repro.bench import benchmark_names
 from .common import (
     FIG7_SIZES,
     HEADLINE_CAPACITY,
+    experiment_args,
     format_table,
     prewarm,
     run_at_capacity,
@@ -94,6 +95,7 @@ def report(result: Fig7Result) -> str:
 
 
 def main() -> None:  # pragma: no cover
+    experiment_args(__doc__)
     print(report(run()))
 
 

@@ -17,7 +17,13 @@ from dataclasses import dataclass, field
 from repro.bench import benchmark_names
 from repro.sim.power import FetchEnergy, unbuffered_baseline
 
-from .common import HEADLINE_CAPACITY, format_table, prewarm, run_at_capacity
+from .common import (
+    HEADLINE_CAPACITY,
+    experiment_args,
+    format_table,
+    prewarm,
+    run_at_capacity,
+)
 
 
 @dataclass
@@ -119,6 +125,7 @@ def report(result: Fig8Result) -> str:
 
 
 def main() -> None:  # pragma: no cover
+    experiment_args(__doc__)
     print(report(run()))
 
 

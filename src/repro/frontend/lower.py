@@ -111,8 +111,25 @@ class _FunctionLowerer:
         self._lower_statements(self.fdef.body)
         if not self._terminated:
             self.builder.ret(Imm(0) if self.fdef.returns_value else None)
+        self._sweep_unreachable()
         self.module.add_function(self.func)
         return self.func
+
+    def _sweep_unreachable(self) -> None:
+        # joins whose every arm returned (e.g. the endif of an exhaustive
+        # if/else chain) end up with no predecessors; the verifier rejects
+        # unreachable blocks, so drop them before handing the function over
+        seen: set[str] = set()
+        stack = [self.func.entry.label]
+        while stack:
+            label = stack.pop()
+            if label in seen:
+                continue
+            seen.add(label)
+            stack.extend(self.func.successors(self.func.block(label)))
+        doomed = [b.label for b in self.func.blocks if b.label not in seen]
+        for label in doomed:
+            self.func.remove_block(label)
 
     def _lower_statements(self, stmts) -> None:
         for stmt in stmts:

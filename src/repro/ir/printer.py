@@ -6,6 +6,24 @@ from .function import Function
 from .module import Module
 
 
+def op_location(func: str | None, block: str | None = None,
+                index: int | None = None) -> str:
+    """Stable printable coordinate of an operation: ``func/block#index``.
+
+    ``index`` is the operation's position within its block's op list.  The
+    same format is used by :class:`~repro.ir.verify.VerificationError`
+    messages and :mod:`repro.analysis.lint` diagnostics, so a location can
+    be grepped straight back to ``format_function`` output (which prefixes
+    every op with its ``#index``).
+    """
+    where = func if func else "<module>"
+    if block is not None:
+        where += f"/{block}"
+        if index is not None:
+            where += f"#{index}"
+    return where
+
+
 def format_function(func: Function, profile=None) -> str:
     """Render a function as readable text.
 
@@ -20,8 +38,8 @@ def format_function(func: Function, profile=None) -> str:
             weight = f"    ; weight={count}"
         mark = " [hyperblock]" if block.hyperblock else ""
         lines.append(f"  {block.label}:{mark}{weight}")
-        for op in block.ops:
-            lines.append(f"    {op!r}")
+        for index, op in enumerate(block.ops):
+            lines.append(f"    #{index:<3d} {op!r}")
     return "\n".join(lines)
 
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 from .function import Function
 from .module import Module
 from .opcodes import Opcode
+from .printer import op_location
 from .registers import GlobalRef, Label, VReg
 
 
@@ -36,8 +37,14 @@ _SRC_COUNTS = {
 _NEEDS_TARGET = {Opcode.JUMP, Opcode.BR, Opcode.BR_CLOOP, Opcode.BR_WLOOP}
 
 
-def verify_function(func: Function, module: Module | None = None) -> None:
-    """Raise :class:`VerificationError` on any structural violation."""
+def verify_function(func: Function, module: Module | None = None,
+                    allow_unreachable: bool = False) -> None:
+    """Raise :class:`VerificationError` on any structural violation.
+
+    ``allow_unreachable`` skips the unreachable-block check; checked mode
+    verifies after *every* pass, and transforms like peeling legitimately
+    strand remnant blocks that a later ``simplify_cfg`` sweeps away.
+    """
     if not func.blocks:
         raise VerificationError(f"{func.name}: function has no blocks")
     labels = {block.label for block in func.blocks}
@@ -45,8 +52,8 @@ def verify_function(func: Function, module: Module | None = None) -> None:
         raise VerificationError(f"{func.name}: duplicate block labels")
 
     for block in func.blocks:
-        for op in block.ops:
-            where = f"{func.name}/{block.label}: {op!r}"
+        for index, op in enumerate(block.ops):
+            where = f"{op_location(func.name, block.label, index)}: {op!r}"
             expected = _SRC_COUNTS.get(op.opcode)
             if expected is not None and len(op.srcs) != expected:
                 raise VerificationError(
@@ -84,6 +91,12 @@ def verify_function(func: Function, module: Module | None = None) -> None:
                         )
             if op.opcode == Opcode.PRED_SET and not op.dests[0].is_predicate:
                 raise VerificationError(f"{where}: pred_set dest must be predicate")
+            if op.opcode == Opcode.PRED_DEF:
+                for dst in op.dests:
+                    if not dst.is_predicate:
+                        raise VerificationError(
+                            f"{where}: pred_def dests must be predicates"
+                        )
             if op.opcode not in (Opcode.PRED_DEF, Opcode.PRED_SET):
                 for dst in op.dests:
                     if isinstance(dst, VReg) and dst.is_predicate:
@@ -98,7 +111,27 @@ def verify_function(func: Function, module: Module | None = None) -> None:
             f"{func.name}: final block {last.label!r} falls off the function"
         )
 
+    if not allow_unreachable:
+        unreachable = labels - _reachable_labels(func)
+        if unreachable:
+            raise VerificationError(
+                f"{func.name}: blocks unreachable from entry: "
+                f"{', '.join(sorted(unreachable))}"
+            )
 
-def verify_module(module: Module) -> None:
+
+def _reachable_labels(func: Function) -> set[str]:
+    seen: set[str] = set()
+    stack = [func.entry.label]
+    while stack:
+        label = stack.pop()
+        if label in seen:
+            continue
+        seen.add(label)
+        stack.extend(func.successors(func.block(label)))
+    return seen
+
+
+def verify_module(module: Module, allow_unreachable: bool = False) -> None:
     for func in module.functions.values():
-        verify_function(func, module)
+        verify_function(func, module, allow_unreachable=allow_unreachable)

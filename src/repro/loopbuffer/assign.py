@@ -186,7 +186,14 @@ def _cheapest_overlap(placed, length: int, capacity: int) -> int:
 
 
 def _rewrite_ir(module: Module, result: AssignmentResult) -> None:
-    """Install rec_cloop / rec_wloop operations for assigned loops."""
+    """Install rec_cloop / rec_wloop operations for assigned loops.
+
+    A loop that offers no place to record (no preheader, or a counted loop
+    whose ``cloop_set`` cannot be found) is dropped from the assignment
+    table rather than left as an orphan entry the hardware residency table
+    would never match.
+    """
+    orphans: list[Assignment] = []
     for assignment in result.assigned:
         func = module.function(assignment.func)
         cfg = CFGView(func)
@@ -196,6 +203,7 @@ def _rewrite_ir(module: Module, result: AssignmentResult) -> None:
         )
         pre_label = loop.preheader(cfg)
         if pre_label is None:
+            orphans.append(assignment)
             continue
         pre = func.block(pre_label)
         block = func.block(assignment.header)
@@ -214,6 +222,8 @@ def _rewrite_ir(module: Module, result: AssignmentResult) -> None:
                          "loop": assignment.header},
                     )
                     break
+            else:
+                orphans.append(assignment)
         else:
             insert_at = len(pre.ops)
             if pre.terminator is not None:
@@ -225,3 +235,7 @@ def _rewrite_ir(module: Module, result: AssignmentResult) -> None:
                            "num": assignment.length,
                            "loop": assignment.header}),
             )
+
+    for assignment in orphans:
+        result.assigned.remove(assignment)
+        result.unassigned.append(f"{assignment.func}/{assignment.header}")

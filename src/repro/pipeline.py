@@ -17,18 +17,34 @@ Both share the backend: re-profiling, modulo scheduling of simple loops
 (with MVE footprints), buffer assignment (which rewrites ``cloop_set``
 into ``rec_cloop`` / inserts ``rec_wloop``), then list scheduling of every
 block for the cycle simulator.
+
+**Checked mode** (``checked=True``, or the ``REPRO_CHECKED`` environment
+variable) runs the :mod:`repro.analysis.lint` sanitizer after every pass
+and raises :class:`CheckedModeError` naming the first pass that left the
+IR — or a schedule, or the buffer assignment — in an illegal state.
 """
 
 from __future__ import annotations
 
 import copy
-from dataclasses import dataclass, field
+import os
+from dataclasses import dataclass, field, replace
 
 from repro.analysis.cfgview import CFGView
+from repro.analysis.lint import (
+    Diagnostic,
+    LintTarget,
+    Severity,
+    all_rules,
+    errors_only,
+    lint_compiled,
+    lint_module,
+    run_rules,
+)
 from repro.analysis.loops import find_loops, is_simple_loop
 from repro.analysis.profile import Profile
 from repro.ir.module import Module
-from repro.ir.verify import verify_module
+from repro.ir.verify import VerificationError, verify_module
 from repro.loopbuffer.assign import AssignmentResult, assign_buffer
 from repro.looptrans.cloop import convert_counted_loops
 from repro.looptrans.collapse import collapse_nested_loops
@@ -88,20 +104,118 @@ class SimulationOutcome:
         return self.counters.cycles
 
 
-def _scalar_cleanup(module: Module) -> None:
+ENV_CHECKED = "REPRO_CHECKED"
+
+#: transforms legitimately strand remnant blocks between passes (peeling,
+#: hyperblock formation); a later ``simplify_cfg`` sweeps them, so the
+#: per-pass sanitizer must not flag them.
+_PER_PASS_SKIP = frozenset({"unreachable-block"})
+
+
+def checked_enabled(checked: bool | None = None) -> bool:
+    """Resolve the effective checked-mode setting.
+
+    An explicit ``checked`` argument wins; otherwise the ``REPRO_CHECKED``
+    environment variable enables it (any value except ``''``/``0``/
+    ``false``/``no``).
+    """
+    if checked is not None:
+        return checked
+    flag = os.environ.get(ENV_CHECKED, "").strip().lower()
+    return flag not in ("", "0", "false", "no")
+
+
+class CheckedModeError(Exception):
+    """A pass left the program in a state the sanitizer rejects.
+
+    ``pass_name`` names the offending pass; ``diagnostics`` holds the
+    error-severity :class:`~repro.analysis.lint.Diagnostic` objects, each
+    stamped with the pass in its ``passname`` field.
+    """
+
+    def __init__(self, pass_name: str, diagnostics: list[Diagnostic]):
+        self.pass_name = pass_name
+        self.diagnostics = list(diagnostics)
+        lines = "\n".join(f"  {d.format()}" for d in self.diagnostics)
+        super().__init__(
+            f"pass {pass_name!r} left the program in an illegal state:\n"
+            f"{lines}"
+        )
+
+    def __reduce__(self):
+        # survive the pickle round-trip out of pool workers
+        return (type(self), (self.pass_name, self.diagnostics))
+
+
+class _PassChecker:
+    """Runs the sanitizer after every pass, attributing violations.
+
+    When disabled every method is a cheap no-op wrapper, so the pipeline
+    threads one code path for both modes.
+    """
+
+    def __init__(self, module: Module, machine: MachineDescription,
+                 enabled: bool):
+        self.module = module
+        self.machine = machine
+        self.enabled = enabled
+        self._ir_rules = tuple(
+            r.rule_id for r in all_rules()
+            if r.phase == "ir" and r.rule_id not in _PER_PASS_SKIP)
+
+    def run(self, name: str, fn, *args, scope: str | None = None, **kwargs):
+        """Run one pass, then lint the IR it touched (``scope`` narrows the
+        sweep to a single function)."""
+        result = fn(*args, **kwargs)
+        self.check_ir(name, scope=scope)
+        return result
+
+    def check_ir(self, name: str, scope: str | None = None) -> None:
+        if not self.enabled:
+            return
+        diags: list[Diagnostic] = []
+        try:
+            verify_module(self.module, allow_unreachable=True)
+        except VerificationError as exc:
+            diags.append(Diagnostic("verify", Severity.ERROR, str(exc),
+                                    function=scope))
+        diags.extend(lint_module(
+            self.module, self.machine,
+            functions=(scope,) if scope is not None else None,
+            rule_ids=self._ir_rules))
+        self._raise_errors(name, diags)
+
+    def check_target(self, name: str, target: LintTarget,
+                     phases: tuple[str, ...]) -> None:
+        if not self.enabled:
+            return
+        self._raise_errors(name, run_rules(target, phases=phases))
+
+    def _raise_errors(self, name: str, diags: list[Diagnostic]) -> None:
+        errors = errors_only(diags)
+        if errors:
+            raise CheckedModeError(
+                name, [replace(d, passname=name) for d in errors])
+
+
+def _scalar_cleanup(module: Module, checker: _PassChecker) -> None:
     for func in module.functions.values():
-        simplify_cfg(func)
-        optimize_function(func)
-        eliminate_dead_code(func)
-        simplify_cfg(func)
+        checker.run("simplify_cfg", simplify_cfg, func, scope=func.name)
+        checker.run("optimize_function", optimize_function, func,
+                    scope=func.name)
+        checker.run("eliminate_dead_code", eliminate_dead_code, func,
+                    scope=func.name)
+        checker.run("simplify_cfg", simplify_cfg, func, scope=func.name)
 
 
 def _common_frontend(module: Module, entry: str, args: list[int],
-                     inline_budget: float, max_steps: int) -> Profile:
-    _scalar_cleanup(module)
+                     inline_budget: float, max_steps: int,
+                     checker: _PassChecker) -> Profile:
+    _scalar_cleanup(module, checker)
     profile, _ = profile_module(module, entry, args, max_steps=max_steps)
-    inline_module(module, profile, expansion_limit=inline_budget)
-    _scalar_cleanup(module)
+    checker.run("inline_module", inline_module, module, profile,
+                expansion_limit=inline_budget)
+    _scalar_cleanup(module, checker)
     verify_module(module)
     profile, _ = profile_module(module, entry, args, max_steps=max_steps)
     return profile
@@ -115,6 +229,7 @@ def _backend(
     buffer_capacity: int | None,
     max_steps: int,
     stats: dict,
+    checker: _PassChecker,
 ) -> Compiled:
     verify_module(module)
     profile, _ = profile_module(module, entry, args, max_steps=max_steps)
@@ -135,17 +250,34 @@ def _backend(
                 continue
             modulo[(func.name, loop.header)] = sched
             footprint[(func.name, loop.header)] = sched.buffered_op_count
+    checker.check_target(
+        "modulo_schedule",
+        LintTarget(module=module, machine=machine, modulo=modulo),
+        phases=("sched",))
 
     assignment = None
     if buffer_capacity:
         assignment = assign_buffer(module, profile, buffer_capacity,
                                    footprint=footprint)
         verify_module(module)
+        checker.check_ir("assign_buffer")
+        checker.check_target(
+            "assign_buffer",
+            LintTarget(module=module, machine=machine, modulo=modulo,
+                       assignment=assignment,
+                       buffer_capacity=buffer_capacity),
+            phases=("buffer",))
 
     schedules = {
         func.name: schedule_function(func, machine)
         for func in module.functions.values()
     }
+    checker.check_target(
+        "list_schedule",
+        LintTarget(module=module, machine=machine, schedules=schedules,
+                   modulo=modulo, assignment=assignment,
+                   buffer_capacity=buffer_capacity),
+        phases=("sched",))
     stats["modulo_loops"] = len(modulo)
     return Compiled(module, profile, schedules, modulo, assignment,
                     machine, entry, list(args), stats,
@@ -160,17 +292,22 @@ def compile_traditional(
     buffer_capacity: int | None = 256,
     inline_budget: float = 0.5,
     max_steps: int = 200_000_000,
+    checked: bool | None = None,
 ) -> Compiled:
     """The baseline pipeline: no predication, no loop restructuring."""
     module = copy.deepcopy(module)
     args = list(args or [])
+    enabled = checked_enabled(checked)
     stats: dict[str, object] = {"pipeline": "traditional"}
-    _common_frontend(module, entry, args, inline_budget, max_steps)
-    convert_counted_loops_stats = convert_counted_loops_all(module)
-    stats["cloops"] = convert_counted_loops_stats
-    _scalar_cleanup(module)
+    if enabled:
+        stats["checked"] = True
+    checker = _PassChecker(module, machine, enabled)
+    _common_frontend(module, entry, args, inline_budget, max_steps, checker)
+    stats["cloops"] = checker.run("convert_counted_loops",
+                                  convert_counted_loops_all, module)
+    _scalar_cleanup(module, checker)
     return _backend(module, entry, args, machine, buffer_capacity,
-                    max_steps, stats)
+                    max_steps, stats, checker)
 
 
 def compile_aggressive(
@@ -186,43 +323,67 @@ def compile_aggressive(
     peel: bool = True,
     promote: bool = True,
     combine: bool = True,
+    checked: bool | None = None,
 ) -> Compiled:
     """The paper's aggressive pipeline (hyperblock + loop transforms)."""
     module = copy.deepcopy(module)
     args = list(args or [])
+    enabled = checked_enabled(checked)
     stats: dict[str, object] = {"pipeline": "aggressive"}
-    profile = _common_frontend(module, entry, args, inline_budget, max_steps)
+    if enabled:
+        stats["checked"] = True
+    checker = _PassChecker(module, machine, enabled)
+    profile = _common_frontend(module, entry, args, inline_budget, max_steps,
+                               checker)
 
     peel_stats, collapse_stats, form_stats = [], [], []
     for func in module.functions.values():
+        scope = func.name
         # innermost loops first become hyperblocks, dissolving their
         # internal control flow ...
-        form_stats.append(form_loop_hyperblocks(func, profile))
+        form_stats.append(checker.run("form_loop_hyperblocks",
+                                      form_loop_hyperblocks, func, profile,
+                                      scope=scope))
         # ... then short counted inner loops peel away entirely ...
         if peel:
-            peel_stats.append(peel_short_loops(func))
-            simplify_cfg(func)
+            peel_stats.append(checker.run("peel_short_loops",
+                                          peel_short_loops, func,
+                                          scope=scope))
+            checker.run("simplify_cfg", simplify_cfg, func, scope=scope)
         # ... remaining nests collapse into single predicated loops ...
         if collapse:
-            collapse_stats.append(collapse_nested_loops(func))
+            collapse_stats.append(checker.run("collapse_nested_loops",
+                                              collapse_nested_loops, func,
+                                              scope=scope))
         # ... exposing new single-level loops for if-conversion
-        form_stats.append(form_loop_hyperblocks(func, profile))
+        form_stats.append(checker.run("form_loop_hyperblocks",
+                                      form_loop_hyperblocks, func, profile,
+                                      scope=scope))
         if hammocks:
-            form_hammock_hyperblocks(func, profile)
+            checker.run("form_hammock_hyperblocks",
+                        form_hammock_hyperblocks, func, profile, scope=scope)
     verify_module(module)
 
     profile, _ = profile_module(module, entry, args, max_steps=max_steps)
     combine_stats = []
     promote_stats = []
     for func in module.functions.values():
+        scope = func.name
         if combine:
-            combine_stats.append(combine_branches(func, profile))
-        reassociate_function(func)
-        sink_partially_dead(func)
+            combine_stats.append(checker.run("combine_branches",
+                                             combine_branches, func, profile,
+                                             scope=scope))
+        checker.run("reassociate_function", reassociate_function, func,
+                    scope=scope)
+        checker.run("sink_partially_dead", sink_partially_dead, func,
+                    scope=scope)
         if promote:
-            promote_stats.append(promote_function(func))
-        optimize_function(func)
-        eliminate_dead_code(func)
+            promote_stats.append(checker.run("promote_function",
+                                             promote_function, func,
+                                             scope=scope))
+        checker.run("optimize_function", optimize_function, func, scope=scope)
+        checker.run("eliminate_dead_code", eliminate_dead_code, func,
+                    scope=scope)
     verify_module(module)
 
     stats["peel"] = peel_stats
@@ -230,11 +391,13 @@ def compile_aggressive(
     stats["hyperblocks"] = form_stats
     stats["combine"] = combine_stats
     stats["promotion"] = promote_stats
-    stats["cloops"] = convert_counted_loops_all(module)
+    stats["cloops"] = checker.run("convert_counted_loops",
+                                  convert_counted_loops_all, module)
     for func in module.functions.values():
-        eliminate_dead_code(func)
+        checker.run("eliminate_dead_code", eliminate_dead_code, func,
+                    scope=func.name)
     return _backend(module, entry, args, machine, buffer_capacity,
-                    max_steps, stats)
+                    max_steps, stats, checker)
 
 
 def convert_counted_loops_all(module: Module):
@@ -245,14 +408,16 @@ def convert_counted_loops_all(module: Module):
 
 
 def with_buffer(compiled: Compiled, capacity: int | None,
-                overhead_aware: bool = True) -> Compiled:
+                overhead_aware: bool = True,
+                checked: bool | None = None) -> Compiled:
     """Re-target a compiled program at a different buffer capacity.
 
     Buffer assignment is capacity-dependent (offsets, which loops fit), so
     a Figure 7-style size sweep re-runs assignment and scheduling per
     size.  The input should have been compiled with
     ``buffer_capacity=None`` (no ``rec`` ops installed yet); the original
-    ``Compiled`` is left untouched.
+    ``Compiled`` is left untouched.  Checked mode lints the re-targeted
+    artifact across all phases before returning it.
     """
     module = copy.deepcopy(compiled.module)
     # deepcopy preserves op uids and labels, so the existing profile stays
@@ -276,9 +441,16 @@ def with_buffer(compiled: Compiled, capacity: int | None,
         func.name: schedule_function(func, compiled.machine)
         for func in module.functions.values()
     }
-    return Compiled(module, profile, schedules, modulo, assignment,
-                    compiled.machine, compiled.entry, list(compiled.args),
-                    dict(compiled.stats), buffer_capacity=capacity)
+    result = Compiled(module, profile, schedules, modulo, assignment,
+                      compiled.machine, compiled.entry, list(compiled.args),
+                      dict(compiled.stats), buffer_capacity=capacity)
+    if checked_enabled(checked):
+        errors = errors_only(lint_compiled(result))
+        if errors:
+            raise CheckedModeError(
+                "with_buffer",
+                [replace(d, passname="with_buffer") for d in errors])
+    return result
 
 
 def run_compiled(

@@ -23,6 +23,7 @@ import sys
 from pathlib import Path
 
 from repro.bench import benchmark_names
+from repro.pipeline import CheckedModeError
 from repro.runner.cache import default_cache
 from repro.runner.metrics import MetricsRecorder
 from repro.runner.parallel import PIPELINES, expand_grid, run_grid
@@ -67,6 +68,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "REPRO_CACHE_DIR or .repro_cache)")
     parser.add_argument("--no-cache", action="store_true",
                         help="bypass the on-disk cache entirely")
+    parser.add_argument("--checked", action="store_true",
+                        help="compile in checked mode: run the semantic "
+                             "sanitizer after every pass and fail on the "
+                             "first violation (also: REPRO_CHECKED=1)")
     parser.add_argument("--json", dest="json_path", default=None,
                         metavar="FILE",
                         help="write runner metrics JSON here ('-' = stdout)")
@@ -96,9 +101,13 @@ def main(argv: list[str] | None = None) -> int:
     try:
         summaries = run_grid(cells, workers=args.workers,
                              timeout=args.timeout, cache=cache,
-                             metrics=metrics)
+                             metrics=metrics,
+                             checked=args.checked or None)
     except AssertionError as exc:
         print(f"CHECKSUM MISMATCH: {exc}", file=sys.stderr)
+        return 1
+    except CheckedModeError as exc:
+        print(f"CHECKED MODE: {exc}", file=sys.stderr)
         return 1
 
     if not args.quiet:

@@ -27,6 +27,7 @@ from typing import Iterable, Sequence
 from repro.bench import benchmark
 from repro.pipeline import (
     Compiled,
+    checked_enabled,
     compile_aggressive,
     compile_traditional,
     run_compiled,
@@ -103,25 +104,31 @@ def _machine_fingerprint(machine) -> str:
             f"ob={machine.operation_bits}")
 
 
-def _base_flags(bench) -> dict:
+def _base_flags(bench, checked: bool = False) -> dict:
     from repro.sched.machine import DEFAULT_MACHINE
 
+    # ``checked`` is part of the key: a checked compile carries different
+    # stats (and may raise), so it must never be served from — or poison —
+    # the unchecked cache entry.
     return {
         "entry": bench.entry,
         "args": list(bench.args),
         "machine": _machine_fingerprint(DEFAULT_MACHINE),
         "buffer_capacity": None,
+        "checked": checked,
     }
 
 
-def base_key(name: str, pipeline: str) -> str:
+def base_key(name: str, pipeline: str, checked: bool | None = None) -> str:
     bench = benchmark(name)
-    return cache_key(bench.source, pipeline, _base_flags(bench))
+    return cache_key(bench.source, pipeline,
+                     _base_flags(bench, checked_enabled(checked)))
 
 
-def run_key(name: str, pipeline: str, capacity: int | None) -> str:
+def run_key(name: str, pipeline: str, capacity: int | None,
+            checked: bool | None = None) -> str:
     bench = benchmark(name)
-    flags = _base_flags(bench)
+    flags = _base_flags(bench, checked_enabled(checked))
     flags["capacity"] = capacity
     return cache_key(bench.source, pipeline, flags)
 
@@ -131,18 +138,21 @@ def run_key(name: str, pipeline: str, capacity: int | None) -> str:
 
 
 def compile_base(name: str, pipeline: str,
-                 cache: ArtifactCache | None = None) -> Compiled:
+                 cache: ArtifactCache | None = None,
+                 checked: bool | None = None) -> Compiled:
     """Compiled-but-unassigned base for a (benchmark, pipeline) group."""
-    compiled, _seconds, _hit = _compile_base_timed(name, pipeline, cache)
+    compiled, _seconds, _hit = _compile_base_timed(name, pipeline, cache,
+                                                   checked_enabled(checked))
     return compiled
 
 
 def _compile_base_timed(
-    name: str, pipeline: str, cache: ArtifactCache | None
+    name: str, pipeline: str, cache: ArtifactCache | None,
+    checked: bool = False,
 ) -> tuple[Compiled, float, bool]:
     if pipeline not in _COMPILERS:
         raise ValueError(f"unknown pipeline {pipeline!r}")
-    key = base_key(name, pipeline)
+    key = base_key(name, pipeline, checked)
     if cache is not None:
         cached = cache.load(key, "base")
         if cached is not None:
@@ -150,7 +160,8 @@ def _compile_base_timed(
     bench = benchmark(name)
     t0 = time.perf_counter()
     compiled = _COMPILERS[pipeline](bench.build(), entry=bench.entry,
-                                    args=bench.args, buffer_capacity=None)
+                                    args=bench.args, buffer_capacity=None,
+                                    checked=checked)
     seconds = time.perf_counter() - t0
     if cache is not None:
         cache.store(key, "base", compiled)
@@ -161,6 +172,7 @@ def _execute_cell(
     cell: Cell,
     cache: ArtifactCache | None,
     base: Compiled | None = None,
+    checked: bool = False,
 ) -> tuple[RunSummary, CellMetrics, Compiled | None]:
     """Run one cell end to end; raises AssertionError on checksum mismatch.
 
@@ -168,7 +180,7 @@ def _execute_cell(
     so callers sweeping several capacities can reuse it.
     """
     cm = CellMetrics(cell.name, cell.pipeline, cell.capacity)
-    key = run_key(cell.name, cell.pipeline, cell.capacity)
+    key = run_key(cell.name, cell.pipeline, cell.capacity, checked)
     if cache is not None:
         cached = cache.load(key, "run")
         if isinstance(cached, RunSummary):
@@ -177,14 +189,14 @@ def _execute_cell(
 
     if base is None:
         base, seconds, hit = _compile_base_timed(cell.name, cell.pipeline,
-                                                 cache)
+                                                 cache, checked)
         cm.stages["compile"] = seconds
         cm.base_cache_hit = hit
     else:
         cm.base_cache_hit = True
 
     t0 = time.perf_counter()
-    compiled = with_buffer(base, cell.capacity)
+    compiled = with_buffer(base, cell.capacity, checked=checked)
     t1 = time.perf_counter()
     outcome = run_compiled(compiled)
     cm.stages["retarget"] = t1 - t0
@@ -220,9 +232,11 @@ def run_cell(
     cache: ArtifactCache | None = None,
     base: Compiled | None = None,
     metrics: MetricsRecorder | None = None,
+    checked: bool | None = None,
 ) -> RunSummary:
     """The single-cell entry point the experiments facade builds on."""
-    summary, cm, _ = _execute_cell(Cell(name, pipeline, capacity), cache, base)
+    summary, cm, _ = _execute_cell(Cell(name, pipeline, capacity), cache, base,
+                                   checked_enabled(checked))
     if metrics is not None:
         metrics.add_cell(cm)
         if cache is not None:
@@ -236,17 +250,18 @@ def run_cell(
 
 
 def _worker_base(name: str, pipeline: str, cache_dir: str,
-                 cache_enabled: bool) -> bytes:
+                 cache_enabled: bool, checked: bool = False) -> bytes:
     cache = ArtifactCache(cache_dir, enabled=cache_enabled)
-    compiled, seconds, hit = _compile_base_timed(name, pipeline, cache)
+    compiled, seconds, hit = _compile_base_timed(name, pipeline, cache,
+                                                 checked)
     return pickle.dumps((compiled, seconds, hit, cache.stats))
 
 
 def _worker_cell(cell: Cell, base_blob: bytes | None, cache_dir: str,
-                 cache_enabled: bool) -> bytes:
+                 cache_enabled: bool, checked: bool = False) -> bytes:
     cache = ArtifactCache(cache_dir, enabled=cache_enabled)
     base = pickle.loads(base_blob) if base_blob is not None else None
-    summary, cm, _ = _execute_cell(cell, cache, base)
+    summary, cm, _ = _execute_cell(cell, cache, base, checked)
     cm.worker = f"pid{os.getpid()}"
     return pickle.dumps((summary, cm, cache.stats))
 
@@ -261,6 +276,7 @@ def run_grid(
     timeout: float | None = None,
     cache: ArtifactCache | None | str = "default",
     metrics: MetricsRecorder | None = None,
+    checked: bool | None = None,
 ) -> list[RunSummary]:
     """Execute every cell, returning summaries in input-cell order.
 
@@ -270,7 +286,10 @@ def run_grid(
     ``timeout`` seconds to produce a result once collection reaches it.
     Timeouts and transient errors are retried once in the parent; checksum
     mismatches (``AssertionError``) fail immediately — they are
-    deterministic.
+    deterministic.  ``checked`` turns on the pipeline's checked mode (a
+    :class:`~repro.pipeline.CheckedModeError` is deterministic and not
+    retried — it propagates from the first attempt's retry like any
+    compile error would, so keep grids small when debugging with it).
     """
     if cache == "default":
         cache = default_cache()
@@ -278,12 +297,14 @@ def run_grid(
     workers = resolve_workers(workers)
     metrics.workers = max(1, workers)
     cells = list(cells)
+    checked = checked_enabled(checked)
 
     try:
         if workers <= 1 or len(cells) <= 1:
-            results = _run_serial(cells, cache, metrics)
+            results = _run_serial(cells, cache, metrics, checked=checked)
         else:
-            results = _run_pool(cells, workers, timeout, cache, metrics)
+            results = _run_pool(cells, workers, timeout, cache, metrics,
+                                checked)
     finally:
         metrics.finish()
         if cache is not None:
@@ -294,18 +315,18 @@ def run_grid(
 
 def _run_serial(cells: Sequence[Cell], cache: ArtifactCache | None,
                 metrics: MetricsRecorder,
-                _execute=None) -> list[RunSummary]:
+                _execute=None, checked: bool = False) -> list[RunSummary]:
     execute = _execute or _execute_cell
     bases: dict[tuple[str, str], Compiled] = {}
     results: list[RunSummary] = []
     for cell in cells:
         base = bases.get(cell.group)
         try:
-            summary, cm, used = execute(cell, cache, base)
+            summary, cm, used = execute(cell, cache, base, checked)
         except AssertionError:
             raise
         except Exception:
-            summary, cm, used = execute(cell, cache, base)  # retry once
+            summary, cm, used = execute(cell, cache, base, checked)  # retry
             cm.attempts = 2
         metrics.add_cell(cm)
         results.append(summary)
@@ -316,7 +337,8 @@ def _run_serial(cells: Sequence[Cell], cache: ArtifactCache | None,
 
 def _run_pool(cells: Sequence[Cell], workers: int, timeout: float | None,
               cache: ArtifactCache | None,
-              metrics: MetricsRecorder) -> list[RunSummary]:
+              metrics: MetricsRecorder,
+              checked: bool = False) -> list[RunSummary]:
     cache_dir = str(cache.root) if cache is not None else ""
     cache_enabled = cache is not None and cache.enabled
     groups = list(dict.fromkeys(cell.group for cell in cells))
@@ -327,7 +349,7 @@ def _run_pool(cells: Sequence[Cell], workers: int, timeout: float | None,
         # phase 1: one compile task per distinct (benchmark, pipeline)
         base_futures = {
             group: pool.submit(_worker_base, group[0], group[1],
-                               cache_dir, cache_enabled)
+                               cache_dir, cache_enabled, checked)
             for group in groups
         }
         base_blobs: dict[tuple[str, str], bytes] = {}
@@ -340,7 +362,7 @@ def _run_pool(cells: Sequence[Cell], workers: int, timeout: float | None,
             except Exception:
                 # timeout / worker death: retry the compile in the parent
                 compiled, _seconds, _hit = _compile_base_timed(
-                    group[0], group[1], cache)
+                    group[0], group[1], cache, checked)
                 stats = None
             base_blobs[group] = pickle.dumps(compiled)
             if stats is not None:
@@ -350,14 +372,14 @@ def _run_pool(cells: Sequence[Cell], workers: int, timeout: float | None,
         try:
             cell_futures = [
                 pool.submit(_worker_cell, cell, base_blobs[cell.group],
-                            cache_dir, cache_enabled)
+                            cache_dir, cache_enabled, checked)
                 for cell in cells
             ]
         except BrokenExecutor:
             # the pool died between phases: finish serially
             for index, cell in enumerate(cells):
                 base = pickle.loads(base_blobs[cell.group])
-                summary, cm, _ = _execute_cell(cell, cache, base)
+                summary, cm, _ = _execute_cell(cell, cache, base, checked)
                 metrics.add_cell(cm)
                 results[index] = summary
             return results  # type: ignore[return-value]
@@ -372,7 +394,7 @@ def _run_pool(cells: Sequence[Cell], workers: int, timeout: float | None,
                 # transient (worker death, timeout, pickle hiccup):
                 # retry once in the parent, serially
                 base = pickle.loads(base_blobs[cell.group])
-                summary, cm, _ = _execute_cell(cell, cache, base)
+                summary, cm, _ = _execute_cell(cell, cache, base, checked)
                 cm.attempts = 2
                 stats = None
             metrics.add_cell(cm)

@@ -138,15 +138,20 @@ def schedule_function(
         liveness_info = liveness(func)
     schedules: dict[str, Schedule] = {}
     for block in func.blocks:
-        exit_live = _exit_live_map(func, block, liveness_info)
+        exit_live = exit_live_map(func, block, liveness_info)
         schedules[block.label] = schedule_block(
             block, machine, exit_live=exit_live
         )
     return schedules
 
 
-def _exit_live_map(func, block, liveness_info) -> dict[int, set]:
-    """Map op-list index of each branch to registers live on its taken path."""
+def exit_live_map(func, block, liveness_info) -> dict[int, set]:
+    """Map op-list index of each branch to registers live on its taken path.
+
+    Public because schedule-legality checking (:mod:`repro.analysis.lint`)
+    must rebuild the *same* dependence graph the scheduler used, including
+    the side-exit hoisting relaxation this map enables.
+    """
     ops = [op for op in block.ops if op.opcode != Opcode.NOP]
     result: dict[int, set] = {}
     for i, op in enumerate(ops):

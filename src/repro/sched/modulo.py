@@ -131,7 +131,7 @@ def modulo_schedule(
                 slots={ops[i].uid: s for i, s in slots.items()},
                 ops=list(ops),
             )
-            sched.mve_factor = _mve_factor(ops, graph, times, ii)
+            sched.mve_factor = required_mve_factor(ops, graph, times, ii)
             return sched
     raise ModuloSchedulingFailed(f"no II <= {max_ii} for {block.label}")
 
@@ -239,9 +239,11 @@ def _valid(graph, times, ii):
     return True
 
 
-def _mve_factor(ops, graph, times, ii) -> int:
+def required_mve_factor(ops, graph, times, ii) -> int:
     """Kernel unroll factor required by register lifetimes (no rotating
-    register file on the modeled machine)."""
+    register file on the modeled machine).  ``times`` maps op *index* (into
+    ``ops``) to issue time.  Public so modulo-schedule legality checking
+    can recompute the factor a stored schedule claims."""
     lifetime: dict[VReg, int] = {}
     for edge in graph.edges:
         if edge.kind != "flow":

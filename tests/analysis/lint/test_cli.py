@@ -1,0 +1,39 @@
+"""The ``python -m repro.analysis.lint`` sweep CLI."""
+
+import json
+
+from repro.analysis.lint import all_rules
+from repro.analysis.lint.cli import main
+
+
+def test_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in all_rules():
+        assert rule.rule_id in out
+
+
+def test_unknown_benchmark_exits_2(capsys):
+    assert main(["--benchmarks", "nosuch"]) == 2
+    assert "unknown benchmark" in capsys.readouterr().err
+
+
+def test_unknown_pipeline_exits_2(capsys):
+    assert main(["--pipelines", "mystery"]) == 2
+    assert "unknown pipeline" in capsys.readouterr().err
+
+
+def test_unknown_rule_exits_2(capsys):
+    assert main(["--rules", "no-such-rule"]) == 2
+    assert "unknown lint rule" in capsys.readouterr().err
+
+
+def test_sweep_one_benchmark_clean(tmp_path, capsys):
+    code = main(["--benchmarks", "adpcm_dec", "--pipelines", "traditional",
+                 "--cache-dir", str(tmp_path), "--json", "-"])
+    out = capsys.readouterr().out
+    assert code == 0
+    # --json - prints the summary table first, then the JSON payload
+    payload = out[out.index("["):]
+    records = json.loads(payload)
+    assert all(r["severity"] != "error" for r in records)

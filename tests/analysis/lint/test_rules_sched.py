@@ -1,0 +1,174 @@
+"""One deliberately-broken fixture per schedule-phase lint rule.
+
+List-schedule fixtures schedule a real block and then sabotage the stored
+schedule; modulo fixtures run the real modulo scheduler on the counting
+loop and corrupt one facet of its output.
+"""
+
+import pytest
+
+from repro.analysis.lint import LintTarget, Severity, run_rules
+from repro.ir import (
+    Function,
+    Imm,
+    IRBuilder,
+    Module,
+    Opcode,
+    Operation,
+    ireg,
+    preg,
+)
+from repro.sched.bundle import Placement, Schedule
+from repro.sched.list_sched import schedule_function
+from repro.sched.modulo import modulo_schedule
+
+from tests.helpers import build_counting_loop
+
+
+def _run(target: LintTarget, rule_id: str):
+    return run_rules(target, rule_ids=[rule_id])
+
+
+def _scheduled_counting_loop():
+    module = build_counting_loop(8)
+    func = module.function("main")
+    schedules = {"main": schedule_function(func)}
+    return module, func, schedules
+
+
+def _target(module, schedules=None, modulo=None):
+    return LintTarget(module=module, schedules=schedules, modulo=modulo)
+
+
+def test_clean_schedule_lints_clean():
+    module, _func, schedules = _scheduled_counting_loop()
+    target = _target(module, schedules=schedules)
+    assert run_rules(target, phases=("sched",)) == []
+
+
+def test_sched_complete():
+    module, func, schedules = _scheduled_counting_loop()
+    sched = schedules["main"]["body"]
+    victim = next(op for op in func.block("body").ops)
+    del sched.placement[victim.uid]
+    diags = _run(_target(module, schedules=schedules), "sched-complete")
+    assert diags and all(d.rule == "sched-complete" for d in diags)
+
+
+def test_sched_resource():
+    module, func, schedules = _scheduled_counting_loop()
+    sched = schedules["main"]["body"]
+    branch = func.block("body").terminator
+    # claim the branch issues from slot 0, which has no branch unit
+    placement = sched.placement[branch.uid]
+    bundle = sched.bundles[placement.cycle]
+    bundle.ops.pop(placement.slot)
+    bundle.ops[0] = branch
+    sched.placement[branch.uid] = Placement(placement.cycle, 0)
+    diags = _run(_target(module, schedules=schedules), "sched-resource")
+    assert diags and all(d.rule == "sched-resource" for d in diags)
+    assert any("slot 0" in d.message for d in diags)
+
+
+def test_sched_latency():
+    module, func, schedules = _scheduled_counting_loop()
+    body = func.block("body")
+    # compress the whole body into cycle 0: flow latencies must break
+    flat = Schedule()
+    for slot, op in enumerate(body.ops):
+        flat.place(op, 0, slot)
+    schedules["main"]["body"] = flat
+    diags = _run(_target(module, schedules=schedules), "sched-latency")
+    assert diags and all(d.rule == "sched-latency" for d in diags)
+    assert all(d.severity is Severity.ERROR for d in diags)
+
+
+def test_pred_write_overlap():
+    func = Function("f", [ireg(0)])
+    b = IRBuilder(func, func.add_block("entry"))
+    b.pred_def("lt", ireg(0), Imm(4), [preg(0)], ["ut"])
+    y = func.new_reg()
+    b.movi(1, dest=y, guard=preg(0))
+    b.movi(2, dest=y, guard=preg(0))  # same guard: NOT disjoint
+    b.ret(y)
+    module = Module("t")
+    module.add_function(func)
+    sched = Schedule()
+    ops = func.block("entry").ops
+    sched.place(ops[0], 0, 0)
+    sched.place(ops[1], 1, 0)
+    sched.place(ops[2], 1, 1)  # co-issued with the other write
+    sched.place(ops[3], 2, 7)
+    schedules = {"f": {"entry": sched}}
+    diags = _run(_target(module, schedules=schedules), "pred-write-overlap")
+    assert [d.rule for d in diags] == ["pred-write-overlap"]
+
+
+def test_slot_route_coverage():
+    func = Function("f", [ireg(0)])
+    b = IRBuilder(func, func.add_block("entry"))
+    define = b.pred_def("lt", ireg(0), Imm(4), [preg(0)], ["ut"])
+    define.attrs["slot_route"] = {repr(preg(0)): [0]}
+    y = b.add(ireg(0), Imm(1), guard=preg(0))
+    consumer = func.block("entry").ops[-1]
+    consumer.attrs["psens"] = True
+    b.ret(y)
+    module = Module("t")
+    module.add_function(func)
+    sched = Schedule()
+    ops = func.block("entry").ops
+    sched.place(ops[0], 0, 0)
+    sched.place(ops[1], 1, 1)  # issues in slot 1; p0 routed only to slot 0
+    sched.place(ops[2], 2, 7)
+    schedules = {"f": {"entry": sched}}
+    diags = _run(_target(module, schedules=schedules), "slot-route-coverage")
+    assert [d.rule for d in diags] == ["slot-route-coverage"]
+    assert "slot 1" in diags[0].message
+
+
+@pytest.fixture
+def modulo_loop():
+    module = build_counting_loop(8)
+    func = module.function("main")
+    sched = modulo_schedule(func.block("body"))
+    return module, func, {("main", "body"): sched}, sched
+
+
+def test_clean_modulo_lints_clean(modulo_loop):
+    module, _func, modulo, _sched = modulo_loop
+    assert run_rules(_target(module, modulo=modulo), phases=("sched",)) == []
+
+
+def test_modulo_stale(modulo_loop):
+    module, func, modulo, _sched = modulo_loop
+    # the block changed after modulo scheduling: a new op appears
+    func.block("body").insert(0, Operation(Opcode.MOV, [ireg(50)], [Imm(0)]))
+    diags = _run(_target(module, modulo=modulo), "modulo-stale")
+    assert [d.rule for d in diags] == ["modulo-stale"]
+    assert diags[0].severity is Severity.WARNING
+
+
+def test_modulo_resource(modulo_loop):
+    module, _func, modulo, sched = modulo_loop
+    # force two kernel ops into the same (slot, cycle mod II) MRT cell
+    uids = list(sched.times)
+    a, b = uids[0], uids[1]
+    sched.times[b] = sched.times[a]
+    sched.slots[b] = sched.slots[a]
+    diags = _run(_target(module, modulo=modulo), "modulo-resource")
+    assert diags and all(d.rule == "modulo-resource" for d in diags)
+
+
+def test_modulo_latency(modulo_loop):
+    module, _func, modulo, sched = modulo_loop
+    for uid in sched.times:
+        sched.times[uid] = 0  # all distance-0 flow latencies now break
+    diags = _run(_target(module, modulo=modulo), "modulo-latency")
+    assert diags and all(d.rule == "modulo-latency" for d in diags)
+
+
+def test_modulo_mve(modulo_loop):
+    module, _func, modulo, sched = modulo_loop
+    sched.mve_factor = 0  # lifetimes always need at least one kernel copy
+    diags = _run(_target(module, modulo=modulo), "modulo-mve")
+    assert [d.rule for d in diags] == ["modulo-mve"]

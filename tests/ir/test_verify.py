@@ -108,6 +108,50 @@ def test_store_with_dest_rejected():
         verify_function(func)
 
 
+def test_pred_def_dests_must_be_predicates():
+    func = Function("f")
+    blk = func.add_block("entry")
+    op = Operation(Opcode.PRED_DEF, [preg(0)], [ireg(0), Imm(1)],
+                   attrs={"cmp": "lt", "ptypes": ["ut"]})
+    op.dests = [ireg(3)]  # bypass the constructor's own check
+    blk.append(op)
+    blk.append(Operation(Opcode.RET))
+    with pytest.raises(VerificationError, match="pred_def dests"):
+        verify_function(func)
+
+
+def test_unreachable_block_rejected():
+    func = Function("f")
+    b = IRBuilder(func, func.add_block("entry"))
+    b.ret(Imm(0))
+    b.at(func.add_block("orphan"))
+    b.ret(Imm(1))
+    with pytest.raises(VerificationError, match="unreachable"):
+        verify_function(func)
+
+
+def test_allow_unreachable_skips_the_check():
+    func = Function("f")
+    b = IRBuilder(func, func.add_block("entry"))
+    b.ret(Imm(0))
+    b.at(func.add_block("orphan"))
+    b.ret(Imm(1))
+    verify_function(func, allow_unreachable=True)
+    module = Module()
+    module.add_function(func)
+    verify_module(module, allow_unreachable=True)
+    with pytest.raises(VerificationError):
+        verify_module(module)
+
+
+def test_errors_carry_op_locations():
+    module = build_counting_loop(4)
+    func = module.function("main")
+    func.block("body").ops[-1].attrs["target"] = "nowhere"
+    with pytest.raises(VerificationError, match="main/body#2"):
+        verify_function(func)
+
+
 def test_duplicate_labels_detected():
     func = Function("f")
     func.add_block("a")

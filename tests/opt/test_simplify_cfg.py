@@ -79,10 +79,11 @@ def test_merge_respects_fallthrough_of_merged_block():
     b.at(a)
     b.jump("c")
     b.at(x)
-    b.ret(Imm(1))
+    b.ret(Imm(7))
     b.at(c)
     b.add(ireg(0), Imm(1), dest=ireg(1))
     b.at(d)
+    b.br("eq", ireg(1), Imm(0), "x")  # not taken; keeps x reachable
     b.ret(ireg(1))
     # c's only pred is a; merge must add an explicit jump to d
     count = merge_straightline(func)

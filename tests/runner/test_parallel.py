@@ -108,7 +108,7 @@ class TestRetry:
     def _flaky(self, fail_times, exc=RuntimeError):
         calls = {"n": 0}
 
-        def execute(cell, cache, base):
+        def execute(cell, cache, base, checked=False):
             calls["n"] += 1
             if calls["n"] <= fail_times:
                 raise exc("transient")
