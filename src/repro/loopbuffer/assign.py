@@ -124,8 +124,28 @@ def assign_buffer(
     capacity: int = 256,
     footprint: dict[tuple[str, str], int] | None = None,
     overhead_aware: bool = True,
+    tracer=None,
 ) -> AssignmentResult:
     """Choose buffer offsets for the module's loops and rewrite the IR."""
+    if tracer is None:
+        from repro.obs import get_tracer
+        tracer = get_tracer()
+    if not tracer.enabled:
+        return _assign_buffer(module, profile, capacity, footprint,
+                              overhead_aware)
+    with tracer.span("assign_buffer", category="pass",
+                     capacity=capacity) as span:
+        result = _assign_buffer(module, profile, capacity, footprint,
+                                overhead_aware)
+        span.annotate(
+            assigned=len(result.assigned),
+            unassigned=len(result.unassigned),
+            footprint_ops=sum(a.length for a in result.assigned),
+        )
+        return result
+
+
+def _assign_buffer(module, profile, capacity, footprint, overhead_aware):
     candidates = collect_candidates(module, profile, capacity, footprint)
     if overhead_aware:
         candidates.sort(key=lambda c: (c.benefit, c.recording_overhead),

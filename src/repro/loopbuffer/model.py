@@ -50,14 +50,21 @@ class BufferStats:
 
 
 class LoopBuffer:
-    """Hardware state of one loop buffer."""
+    """Hardware state of one loop buffer.
 
-    def __init__(self, capacity: int = 256) -> None:
+    ``listener``, when set, observes lifecycle transitions the caller
+    cannot see from ``rec``'s return value alone — currently only
+    ``listener("evict", victim_key, by=recording_key)`` when a recording
+    overwrites another loop's buffer range.
+    """
+
+    def __init__(self, capacity: int = 256, listener=None) -> None:
         if capacity <= 0:
             raise ValueError("buffer capacity must be positive")
         self.capacity = capacity
         self.loops: dict[str, BufferedLoop] = {}
         self.stats = BufferStats()
+        self.listener = listener
 
     # -- Table 3 operations ---------------------------------------------------
 
@@ -86,6 +93,8 @@ class LoopBuffer:
             if other_key != key and other.overlaps(claim):
                 del self.loops[other_key]
                 self.stats.invalidations += 1
+                if self.listener is not None:
+                    self.listener("evict", other_key, by=key)
         self.loops[key] = claim
         self.stats.records_started += 1
         return LoopState.RECORDING

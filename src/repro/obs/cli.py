@@ -1,0 +1,109 @@
+"""``python -m repro.obs`` — inspect and validate trace artifacts.
+
+Subcommands::
+
+    # schema-check a Chrome trace (exit 1 on any violation)
+    python -m repro.obs validate .repro_trace/trace.json
+
+    # per-pass / per-loop summary of a trace dir or artifact
+    python -m repro.obs report .repro_trace
+    python -m repro.obs report .repro_trace/report.json --json
+
+The ``report`` command accepts the runner's trace directory, its flat
+``report.json``, or the Perfetto ``trace.json`` (pass totals are then
+re-derived from the span events).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.obs.export import (
+    TRACE_FILENAME,
+    REPORT_FILENAME,
+    render_report,
+    report_from_chrome_trace,
+    validate_chrome_trace,
+)
+
+
+def _load(path: Path) -> dict:
+    return json.loads(path.read_text())
+
+
+def _resolve_report(path: Path) -> dict:
+    if path.is_dir():
+        report = path / REPORT_FILENAME
+        if report.exists():
+            return _load(report)
+        trace = path / TRACE_FILENAME
+        if trace.exists():
+            return report_from_chrome_trace(_load(trace))
+        raise FileNotFoundError(
+            f"{path}: neither {REPORT_FILENAME} nor {TRACE_FILENAME} found")
+    doc = _load(path)
+    if "traceEvents" in doc:
+        return report_from_chrome_trace(doc)
+    return doc
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Inspect and validate repro trace artifacts.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    validate = sub.add_parser(
+        "validate", help="Chrome trace-event schema check (exit 1 on error)")
+    validate.add_argument("path", type=Path,
+                          help="trace JSON file, or a trace directory")
+
+    report = sub.add_parser(
+        "report", help="per-pass / per-loop summary of a trace")
+    report.add_argument("path", type=Path,
+                        help="trace directory, report.json or trace.json")
+    report.add_argument("--json", action="store_true",
+                        help="emit the flat report as JSON instead of tables")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "validate":
+        path = args.path
+        if path.is_dir():
+            path = path / TRACE_FILENAME
+        try:
+            doc = _load(path)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        errors = validate_chrome_trace(doc)
+        for error in errors:
+            print(f"invalid: {error}", file=sys.stderr)
+        if errors:
+            return 1
+        events = doc["traceEvents"] if isinstance(doc, dict) else doc
+        print(f"{path}: valid Chrome trace ({len(events)} events)")
+        return 0
+
+    assert args.command == "report"
+    try:
+        report = _resolve_report(args.path)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_report(report))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

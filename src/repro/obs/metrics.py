@@ -1,0 +1,176 @@
+"""A small labeled-metrics registry (counters, gauges, histograms).
+
+Instruments produce *samples*: a value per distinct label set.  The whole
+registry snapshots to a plain JSON-able dict, and snapshots merge —
+counters and histograms add, gauges last-write-wins — so pool workers can
+record independently and the parent folds their observations into one
+per-cell record (:class:`repro.runner.metrics.CellMetrics`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: histogram bucket upper bounds (seconds-flavoured, but unit-agnostic)
+DEFAULT_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0,
+                   float("inf"))
+
+
+def _label_key(labels: dict) -> tuple:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+@dataclass
+class _Instrument:
+    name: str
+    help: str = ""
+    kind: str = ""
+    _data: dict = field(default_factory=dict)
+
+    def samples(self) -> list[dict]:
+        return [
+            {"labels": dict(key), "value": value}
+            for key, value in sorted(self._data.items())
+        ]
+
+
+class Counter(_Instrument):
+    """Monotonically increasing value per label set."""
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help, kind="counter")
+
+    def inc(self, amount: float = 1, **labels) -> None:
+        key = _label_key(labels)
+        self._data[key] = self._data.get(key, 0) + amount
+
+    def value(self, **labels) -> float:
+        return self._data.get(_label_key(labels), 0)
+
+
+class Gauge(_Instrument):
+    """Point-in-time value per label set."""
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help, kind="gauge")
+
+    def set(self, value: float, **labels) -> None:
+        self._data[_label_key(labels)] = value
+
+    def value(self, **labels) -> float:
+        return self._data.get(_label_key(labels), 0)
+
+
+class Histogram(_Instrument):
+    """Cumulative-bucket histogram per label set."""
+
+    def __init__(self, name: str, help: str = "",
+                 buckets: tuple = DEFAULT_BUCKETS) -> None:
+        super().__init__(name, help, kind="histogram")
+        self.buckets = tuple(sorted(buckets))
+        if self.buckets[-1] != float("inf"):
+            self.buckets = self.buckets + (float("inf"),)
+
+    def observe(self, value: float, **labels) -> None:
+        key = _label_key(labels)
+        cell = self._data.get(key)
+        if cell is None:
+            cell = self._data[key] = {
+                "count": 0, "sum": 0.0, "buckets": [0] * len(self.buckets),
+            }
+        cell["count"] += 1
+        cell["sum"] += value
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                cell["buckets"][i] += 1
+
+    def count(self, **labels) -> int:
+        cell = self._data.get(_label_key(labels))
+        return cell["count"] if cell else 0
+
+    def sum(self, **labels) -> float:
+        cell = self._data.get(_label_key(labels))
+        return cell["sum"] if cell else 0.0
+
+    def samples(self) -> list[dict]:
+        return [
+            {"labels": dict(key),
+             "value": {"count": cell["count"], "sum": cell["sum"],
+                       "buckets": list(cell["buckets"])}}
+            for key, cell in sorted(self._data.items())
+        ]
+
+
+class MetricsRegistry:
+    """Named instruments; re-registering a name returns the existing one."""
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, _Instrument] = {}
+
+    def _get(self, name: str, kind: str, factory):
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if existing.kind != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as {existing.kind}")
+            return existing
+        instrument = factory()
+        self._instruments[name] = instrument
+        return instrument
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get(name, "counter", lambda: Counter(name, help))
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get(name, "gauge", lambda: Gauge(name, help))
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: tuple = DEFAULT_BUCKETS) -> Histogram:
+        return self._get(name, "histogram",
+                         lambda: Histogram(name, help, buckets))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    # -- serialization -------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-able {name: {kind, help, samples}} of every instrument."""
+        return {
+            name: {
+                "kind": instrument.kind,
+                "help": instrument.help,
+                "samples": instrument.samples(),
+            }
+            for name, instrument in sorted(self._instruments.items())
+        }
+
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold a snapshot in: counters/histograms add, gauges overwrite."""
+        for name, payload in snapshot.items():
+            kind = payload.get("kind", "counter")
+            if kind == "counter":
+                counter = self.counter(name, payload.get("help", ""))
+                for sample in payload.get("samples", ()):
+                    counter.inc(sample["value"], **sample["labels"])
+            elif kind == "gauge":
+                gauge = self.gauge(name, payload.get("help", ""))
+                for sample in payload.get("samples", ()):
+                    gauge.set(sample["value"], **sample["labels"])
+            elif kind == "histogram":
+                hist = self.histogram(name, payload.get("help", ""))
+                for sample in payload.get("samples", ()):
+                    value = sample["value"]
+                    key = _label_key(sample["labels"])
+                    cell = hist._data.setdefault(
+                        key, {"count": 0, "sum": 0.0,
+                              "buckets": [0] * len(hist.buckets)})
+                    cell["count"] += value["count"]
+                    cell["sum"] += value["sum"]
+                    for i, n in enumerate(value["buckets"][:len(hist.buckets)]):
+                        cell["buckets"][i] += n
+            else:
+                raise ValueError(f"unknown metric kind {kind!r} for {name!r}")

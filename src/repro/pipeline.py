@@ -44,6 +44,7 @@ from repro.analysis.lint import (
 from repro.analysis.loops import find_loops, is_simple_loop
 from repro.analysis.profile import Profile
 from repro.ir.module import Module
+from repro.obs import get_tracer
 from repro.ir.verify import VerificationError, verify_module
 from repro.loopbuffer.assign import AssignmentResult, assign_buffer
 from repro.looptrans.cloop import convert_counted_loops
@@ -97,7 +98,29 @@ class SimulationOutcome:
 
     @property
     def buffer_issue_fraction(self) -> float:
-        return self.counters.buffer_issue_fraction
+        """Dynamic ops issued from the loop buffer over all ops issued.
+
+        0.0 (never a ZeroDivisionError) when the run fetched nothing —
+        empty or trivial programs are legal inputs.
+        """
+        counters = self.counters
+        if counters.ops_issued == 0:
+            return 0.0
+        return counters.ops_from_buffer / counters.ops_issued
+
+    @property
+    def per_loop(self) -> dict[str, object]:
+        """``"func/header" -> LoopFetchStats`` for every recorded loop."""
+        return self.counters.per_loop
+
+    def per_loop_buffer_fractions(self) -> dict[str, float]:
+        """Per-loop buffer issue fraction, 0.0 for loops that fetched
+        nothing.  Buffer-sourced ops only ever come from recorded loops,
+        so these decompose the aggregate :attr:`buffer_issue_fraction`."""
+        return {
+            key: stats.buffer_issue_fraction
+            for key, stats in sorted(self.counters.per_loop.items())
+        }
 
     @property
     def cycles(self) -> int:
@@ -147,18 +170,56 @@ class CheckedModeError(Exception):
         return (type(self), (self.pass_name, self.diagnostics))
 
 
-class _PassChecker:
-    """Runs the sanitizer after every pass, attributing violations.
+def _module_shape(module: Module) -> tuple[int, int, int]:
+    """(op count, block count, hyperblock count) — the per-pass IR delta."""
+    blocks = 0
+    hyperblocks = 0
+    for func in module.functions.values():
+        blocks += len(func.blocks)
+        for block in func.blocks:
+            if block.hyperblock:
+                hyperblocks += 1
+    return module.op_count(), blocks, hyperblocks
 
-    When disabled every method is a cheap no-op wrapper, so the pipeline
-    threads one code path for both modes.
+
+#: pass-result fields surfaced as span attributes (loop transforms report
+#: what they did through their stats objects)
+_RESULT_SPAN_FIELDS = ("loops_peeled", "loops_collapsed", "loops_converted",
+                       "branches_combined", "promoted")
+
+
+def _result_span_attrs(result) -> dict:
+    attrs: dict[str, int] = {}
+    if isinstance(result, dict):
+        # e.g. convert_counted_loops_all: {function -> CloopStats}
+        for value in result.values():
+            for name in _RESULT_SPAN_FIELDS:
+                count = getattr(value, name, None)
+                if isinstance(count, int):
+                    attrs[name] = attrs.get(name, 0) + count
+        return attrs
+    for name in _RESULT_SPAN_FIELDS:
+        count = getattr(result, name, None)
+        if isinstance(count, int):
+            attrs[name] = count
+    return attrs
+
+
+class _PassChecker:
+    """Runs the sanitizer after every pass, attributing violations, and —
+    when a tracer is active — wraps each pass in a span recording its wall
+    time and IR delta (op/block/hyperblock counts, loops transformed).
+
+    When checking and tracing are both disabled every method is a cheap
+    no-op wrapper, so the pipeline threads one code path for all modes.
     """
 
     def __init__(self, module: Module, machine: MachineDescription,
-                 enabled: bool):
+                 enabled: bool, tracer=None):
         self.module = module
         self.machine = machine
         self.enabled = enabled
+        self.tracer = tracer if tracer is not None else get_tracer()
         self._ir_rules = tuple(
             r.rule_id for r in all_rules()
             if r.phase == "ir" and r.rule_id not in _PER_PASS_SKIP)
@@ -166,13 +227,35 @@ class _PassChecker:
     def run(self, name: str, fn, *args, scope: str | None = None, **kwargs):
         """Run one pass, then lint the IR it touched (``scope`` narrows the
         sweep to a single function)."""
-        result = fn(*args, **kwargs)
-        self.check_ir(name, scope=scope)
+        tracer = self.tracer
+        if not tracer.enabled:
+            result = fn(*args, **kwargs)
+            self.check_ir(name, scope=scope)
+            return result
+        before = _module_shape(self.module)
+        with tracer.span(name, scope=scope) as span:
+            result = fn(*args, **kwargs)
+            after = _module_shape(self.module)
+            span.annotate(
+                ops=after[0], blocks=after[1], hyperblocks=after[2],
+                d_ops=after[0] - before[0],
+                d_blocks=after[1] - before[1],
+                d_hyperblocks=after[2] - before[2],
+                **_result_span_attrs(result))
+            self.check_ir(name, scope=scope)
         return result
 
     def check_ir(self, name: str, scope: str | None = None) -> None:
         if not self.enabled:
             return
+        tracer = self.tracer
+        if tracer.enabled:
+            with tracer.span(f"check:{name}", category="check", scope=scope):
+                self._check_ir(name, scope)
+        else:
+            self._check_ir(name, scope)
+
+    def _check_ir(self, name: str, scope: str | None) -> None:
         diags: list[Diagnostic] = []
         try:
             verify_module(self.module, allow_unreachable=True)
@@ -189,7 +272,12 @@ class _PassChecker:
                      phases: tuple[str, ...]) -> None:
         if not self.enabled:
             return
-        self._raise_errors(name, run_rules(target, phases=phases))
+        tracer = self.tracer
+        if tracer.enabled:
+            with tracer.span(f"check:{name}", category="check"):
+                self._raise_errors(name, run_rules(target, phases=phases))
+        else:
+            self._raise_errors(name, run_rules(target, phases=phases))
 
     def _raise_errors(self, name: str, diags: list[Diagnostic]) -> None:
         errors = errors_only(diags)
@@ -233,23 +321,30 @@ def _backend(
 ) -> Compiled:
     verify_module(module)
     profile, _ = profile_module(module, entry, args, max_steps=max_steps)
+    tracer = checker.tracer
 
     # modulo-schedule simple loops; their MVE-expanded kernels are the
     # buffer footprints
     modulo: dict[tuple[str, str], object] = {}
     footprint: dict[tuple[str, str], int] = {}
-    for func in module.functions.values():
-        cfg = CFGView(func)
-        for loop in find_loops(func, cfg):
-            if not is_simple_loop(func, loop):
-                continue
-            block = func.block(loop.header)
-            try:
-                sched = modulo_schedule(block, machine)
-            except ModuloSchedulingFailed:
-                continue
-            modulo[(func.name, loop.header)] = sched
-            footprint[(func.name, loop.header)] = sched.buffered_op_count
+    with tracer.span("modulo_schedule"):
+        for func in module.functions.values():
+            cfg = CFGView(func)
+            for loop in find_loops(func, cfg):
+                if not is_simple_loop(func, loop):
+                    continue
+                block = func.block(loop.header)
+                try:
+                    sched = modulo_schedule(block, machine, tracer=tracer)
+                except ModuloSchedulingFailed as exc:
+                    if tracer.enabled:
+                        tracer.instant("modulo_failed", category="sched",
+                                       func=func.name, block=loop.header,
+                                       reason=str(exc))
+                    continue
+                modulo[(func.name, loop.header)] = sched
+                footprint[(func.name, loop.header)] = sched.buffered_op_count
+        tracer.annotate(loops_scheduled=len(modulo))
     checker.check_target(
         "modulo_schedule",
         LintTarget(module=module, machine=machine, modulo=modulo),
@@ -258,7 +353,7 @@ def _backend(
     assignment = None
     if buffer_capacity:
         assignment = assign_buffer(module, profile, buffer_capacity,
-                                   footprint=footprint)
+                                   footprint=footprint, tracer=tracer)
         verify_module(module)
         checker.check_ir("assign_buffer")
         checker.check_target(
@@ -268,10 +363,11 @@ def _backend(
                        buffer_capacity=buffer_capacity),
             phases=("buffer",))
 
-    schedules = {
-        func.name: schedule_function(func, machine)
-        for func in module.functions.values()
-    }
+    with tracer.span("list_schedule"):
+        schedules = {
+            func.name: schedule_function(func, machine, tracer=tracer)
+            for func in module.functions.values()
+        }
     checker.check_target(
         "list_schedule",
         LintTarget(module=module, machine=machine, schedules=schedules,
@@ -293,6 +389,7 @@ def compile_traditional(
     inline_budget: float = 0.5,
     max_steps: int = 200_000_000,
     checked: bool | None = None,
+    tracer=None,
 ) -> Compiled:
     """The baseline pipeline: no predication, no loop restructuring."""
     module = copy.deepcopy(module)
@@ -301,13 +398,16 @@ def compile_traditional(
     stats: dict[str, object] = {"pipeline": "traditional"}
     if enabled:
         stats["checked"] = True
-    checker = _PassChecker(module, machine, enabled)
-    _common_frontend(module, entry, args, inline_budget, max_steps, checker)
-    stats["cloops"] = checker.run("convert_counted_loops",
-                                  convert_counted_loops_all, module)
-    _scalar_cleanup(module, checker)
-    return _backend(module, entry, args, machine, buffer_capacity,
-                    max_steps, stats, checker)
+    checker = _PassChecker(module, machine, enabled, tracer)
+    with checker.tracer.span("compile_traditional", category="pipeline",
+                             entry=entry):
+        _common_frontend(module, entry, args, inline_budget, max_steps,
+                         checker)
+        stats["cloops"] = checker.run("convert_counted_loops",
+                                      convert_counted_loops_all, module)
+        _scalar_cleanup(module, checker)
+        return _backend(module, entry, args, machine, buffer_capacity,
+                        max_steps, stats, checker)
 
 
 def compile_aggressive(
@@ -324,6 +424,7 @@ def compile_aggressive(
     promote: bool = True,
     combine: bool = True,
     checked: bool | None = None,
+    tracer=None,
 ) -> Compiled:
     """The paper's aggressive pipeline (hyperblock + loop transforms)."""
     module = copy.deepcopy(module)
@@ -332,7 +433,31 @@ def compile_aggressive(
     stats: dict[str, object] = {"pipeline": "aggressive"}
     if enabled:
         stats["checked"] = True
-    checker = _PassChecker(module, machine, enabled)
+    checker = _PassChecker(module, machine, enabled, tracer)
+    with checker.tracer.span("compile_aggressive", category="pipeline",
+                             entry=entry):
+        return _compile_aggressive_body(
+            module, entry, args, machine, buffer_capacity, inline_budget,
+            max_steps, hammocks, collapse, peel, promote, combine, stats,
+            checker)
+
+
+def _compile_aggressive_body(
+    module: Module,
+    entry: str,
+    args: list[int],
+    machine: MachineDescription,
+    buffer_capacity: int | None,
+    inline_budget: float,
+    max_steps: int,
+    hammocks: bool,
+    collapse: bool,
+    peel: bool,
+    promote: bool,
+    combine: bool,
+    stats: dict,
+    checker: _PassChecker,
+) -> Compiled:
     profile = _common_frontend(module, entry, args, inline_budget, max_steps,
                                checker)
 
@@ -409,7 +534,8 @@ def convert_counted_loops_all(module: Module):
 
 def with_buffer(compiled: Compiled, capacity: int | None,
                 overhead_aware: bool = True,
-                checked: bool | None = None) -> Compiled:
+                checked: bool | None = None,
+                tracer=None) -> Compiled:
     """Re-target a compiled program at a different buffer capacity.
 
     Buffer assignment is capacity-dependent (offsets, which loops fit), so
@@ -419,44 +545,53 @@ def with_buffer(compiled: Compiled, capacity: int | None,
     ``Compiled`` is left untouched.  Checked mode lints the re-targeted
     artifact across all phases before returning it.
     """
-    module = copy.deepcopy(compiled.module)
-    # deepcopy preserves op uids and labels, so the existing profile stays
-    # valid — no re-profiling per buffer size.  The modulo schedules are
-    # likewise capacity-independent (they were computed before any buffer
-    # assignment, and both the simulator and the footprint calculation
-    # read only schedule-shape properties keyed by (function, label)), so
-    # a sweep reuses them instead of re-running modulo scheduling per size.
-    profile = compiled.profile
+    tracer = tracer if tracer is not None else get_tracer()
+    with tracer.span("with_buffer", category="pipeline",
+                     capacity=capacity):
+        module = copy.deepcopy(compiled.module)
+        # deepcopy preserves op uids and labels, so the existing profile
+        # stays valid — no re-profiling per buffer size.  The modulo
+        # schedules are likewise capacity-independent (they were computed
+        # before any buffer assignment, and both the simulator and the
+        # footprint calculation read only schedule-shape properties keyed
+        # by (function, label)), so a sweep reuses them instead of
+        # re-running modulo scheduling per size.
+        profile = compiled.profile
 
-    modulo = dict(compiled.modulo)
-    footprint = {key: sched.buffered_op_count
-                 for key, sched in modulo.items()}
+        modulo = dict(compiled.modulo)
+        footprint = {key: sched.buffered_op_count
+                     for key, sched in modulo.items()}
 
-    assignment = None
-    if capacity:
-        assignment = assign_buffer(module, profile, capacity,
-                                   footprint=footprint,
-                                   overhead_aware=overhead_aware)
-    schedules = {
-        func.name: schedule_function(func, compiled.machine)
-        for func in module.functions.values()
-    }
-    result = Compiled(module, profile, schedules, modulo, assignment,
-                      compiled.machine, compiled.entry, list(compiled.args),
-                      dict(compiled.stats), buffer_capacity=capacity)
-    if checked_enabled(checked):
-        errors = errors_only(lint_compiled(result))
-        if errors:
-            raise CheckedModeError(
-                "with_buffer",
-                [replace(d, passname="with_buffer") for d in errors])
-    return result
+        assignment = None
+        if capacity:
+            assignment = assign_buffer(module, profile, capacity,
+                                       footprint=footprint,
+                                       overhead_aware=overhead_aware,
+                                       tracer=tracer)
+        with tracer.span("list_schedule"):
+            schedules = {
+                func.name: schedule_function(func, compiled.machine,
+                                             tracer=tracer)
+                for func in module.functions.values()
+            }
+        result = Compiled(module, profile, schedules, modulo, assignment,
+                          compiled.machine, compiled.entry,
+                          list(compiled.args), dict(compiled.stats),
+                          buffer_capacity=capacity)
+        if checked_enabled(checked):
+            errors = errors_only(lint_compiled(result))
+            if errors:
+                raise CheckedModeError(
+                    "with_buffer",
+                    [replace(d, passname="with_buffer") for d in errors])
+        return result
 
 
 def run_compiled(
     compiled: Compiled,
     buffer_capacity: int | None | str = "compiled",
     max_steps: int = 200_000_000,
+    tracer=None,
 ) -> SimulationOutcome:
     """Simulate a compiled program on the VLIW.
 
@@ -466,16 +601,26 @@ def run_compiled(
     """
     if buffer_capacity == "compiled":
         buffer_capacity = compiled.buffer_capacity
-    result, counters, buffer = simulate(
-        compiled.module,
-        compiled.schedules,
-        compiled.modulo,
-        compiled.machine,
-        buffer_capacity,
-        compiled.entry,
-        compiled.args,
-        max_steps=max_steps,
-    )
+    tracer = tracer if tracer is not None else get_tracer()
+    with tracer.span("simulate", category="sim",
+                     capacity=buffer_capacity) as span:
+        result, counters, buffer = simulate(
+            compiled.module,
+            compiled.schedules,
+            compiled.modulo,
+            compiled.machine,
+            buffer_capacity,
+            compiled.entry,
+            compiled.args,
+            max_steps=max_steps,
+            tracer=tracer,
+        )
+        span.annotate(
+            cycles=counters.cycles,
+            ops_issued=counters.ops_issued,
+            ops_from_buffer=counters.ops_from_buffer,
+            ops_from_memory=counters.ops_from_memory,
+        )
     energy = FetchEnergy(
         ops_from_memory=counters.ops_from_memory,
         ops_from_buffer=counters.ops_from_buffer,

@@ -24,6 +24,9 @@ Environment knobs (all optional):
     any non-empty value disables the on-disk cache entirely
 ``REPRO_WORKERS``
     default process-pool width (``0``/``1`` → serial in-process)
+``REPRO_TRACE``
+    ``1`` records per-cell traces into ``.repro_trace``; any other
+    non-empty value is used as the trace directory (see :mod:`repro.obs`)
 """
 
 from repro.runner.cache import ArtifactCache, CacheStats, cache_key, default_cache

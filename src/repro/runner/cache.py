@@ -72,9 +72,11 @@ class CacheStats:
 class ArtifactCache:
     """Pickle store under ``root`` with hit/miss/eviction accounting.
 
-    ``kind`` namespaces the two artifact classes sharing one key space:
-    ``"base"`` (a capacity-independent :class:`~repro.pipeline.Compiled`)
-    and ``"run"`` (a :class:`~repro.runner.summary.RunSummary`).
+    ``kind`` namespaces the artifact classes sharing one key space:
+    ``"base"`` (a capacity-independent :class:`~repro.pipeline.Compiled`),
+    ``"run"`` (a :class:`~repro.runner.summary.RunSummary`) and
+    ``"trace"`` (a tracer payload dict recorded beside either, so warm
+    cells replay their traces).
     """
 
     root: Path

@@ -10,6 +10,10 @@ Examples::
     python -m repro.runner --capacities 16,32,64,128,256,512,1024,2048 \\
         --workers 4 --cache-dir /tmp/repro-cache
 
+    # trace one cell; open trace.json in https://ui.perfetto.dev
+    python -m repro.runner --benchmarks mpg123 --pipelines aggressive \\
+        --capacities 128 --trace /tmp/repro-trace
+
 Exit status is non-zero on any checksum mismatch.  ``--json`` writes the
 :class:`~repro.runner.metrics.MetricsRecorder` payload (wall time,
 per-cell stage timings, cache hits/misses/evictions) for machine
@@ -23,6 +27,14 @@ import sys
 from pathlib import Path
 
 from repro.bench import benchmark_names
+from repro.obs import DEFAULT_TRACE_DIR, trace_dir_from_env
+from repro.obs.export import (
+    REPORT_FILENAME,
+    TRACE_FILENAME,
+    flat_report,
+    to_chrome_trace,
+    write_json,
+)
 from repro.pipeline import CheckedModeError
 from repro.runner.cache import default_cache
 from repro.runner.metrics import MetricsRecorder
@@ -72,6 +84,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="compile in checked mode: run the semantic "
                              "sanitizer after every pass and fail on the "
                              "first violation (also: REPRO_CHECKED=1)")
+    parser.add_argument("--trace", dest="trace_dir", nargs="?",
+                        const=DEFAULT_TRACE_DIR,
+                        default=trace_dir_from_env(), metavar="DIR",
+                        help="record per-cell span/event traces and write "
+                             f"{TRACE_FILENAME} (Chrome trace-event / "
+                             f"Perfetto) plus {REPORT_FILENAME} into DIR "
+                             f"(default {DEFAULT_TRACE_DIR}; also: "
+                             "REPRO_TRACE=1 or REPRO_TRACE=DIR)")
     parser.add_argument("--json", dest="json_path", default=None,
                         metavar="FILE",
                         help="write runner metrics JSON here ('-' = stdout)")
@@ -102,7 +122,8 @@ def main(argv: list[str] | None = None) -> int:
         summaries = run_grid(cells, workers=args.workers,
                              timeout=args.timeout, cache=cache,
                              metrics=metrics,
-                             checked=args.checked or None)
+                             checked=args.checked or None,
+                             trace=bool(args.trace_dir))
     except AssertionError as exc:
         print(f"CHECKSUM MISMATCH: {exc}", file=sys.stderr)
         return 1
@@ -122,6 +143,17 @@ def main(argv: list[str] | None = None) -> int:
             rows, "grid results"))
         print()
         print(metrics.to_table())
+
+    if args.trace_dir:
+        cell_traces = [c.trace for c in metrics.cells if c.trace is not None]
+        trace_path = write_json(Path(args.trace_dir) / TRACE_FILENAME,
+                                to_chrome_trace(cell_traces))
+        report_path = write_json(Path(args.trace_dir) / REPORT_FILENAME,
+                                 flat_report(cell_traces))
+        if not args.quiet:
+            replayed = sum(1 for t in cell_traces if t.get("replayed"))
+            print(f"\ntrace: {trace_path} ({len(cell_traces)} cells, "
+                  f"{replayed} replayed from cache)\nreport: {report_path}")
 
     if args.json_path:
         payload = metrics.to_json()

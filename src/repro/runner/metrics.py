@@ -32,13 +32,17 @@ class CellMetrics:
     run_cache_hit: bool = False
     attempts: int = 1
     worker: str = "serial"
+    #: folded :class:`repro.obs.MetricsRegistry` snapshot (tracing only)
+    obs: dict | None = None
+    #: the cell's trace payload (tracing only; never serialized whole)
+    trace: dict | None = None
 
     @property
     def seconds(self) -> float:
         return sum(self.stages.values())
 
     def as_dict(self) -> dict:
-        return {
+        payload = {
             "name": self.name,
             "pipeline": self.pipeline,
             "capacity": self.capacity,
@@ -49,6 +53,12 @@ class CellMetrics:
             "attempts": self.attempts,
             "worker": self.worker,
         }
+        if self.obs is not None:
+            payload["obs"] = self.obs
+        if self.trace is not None:
+            payload["traced"] = True
+            payload["trace_replayed"] = bool(self.trace.get("replayed"))
+        return payload
 
 
 class MetricsRecorder:
@@ -94,7 +104,7 @@ class MetricsRecorder:
         return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
 
     def to_table(self) -> str:
-        rows = [
+        rows: list = [
             [
                 f"{c.name}/{c.pipeline}",
                 c.capacity if c.capacity is not None else "-",
@@ -106,9 +116,21 @@ class MetricsRecorder:
             ]
             for c in self.cells
         ]
+        if self.cells:
+            rows.append("-")
+            rows.append([
+                f"total ({len(self.cells)} cells)",
+                "",
+                sum(c.stages.get("compile", 0.0) for c in self.cells),
+                sum(c.stages.get("retarget", 0.0)
+                    + c.stages.get("simulate", 0.0) for c in self.cells),
+                f"{self.run_cache_hits} hit",
+                "",
+            ])
         table = format_table(
             ["cell", "cap", "compile s", "run s", "cache", "worker"], rows,
             "per-cell runner metrics",
+            align=["l", "r", "r", "r", "l", "l"],
         )
         summary = (
             f"{len(self.cells)} cells in {self.wall_time_s:.2f}s wall "

@@ -21,10 +21,13 @@ import os
 import pickle
 import time
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from contextlib import nullcontext
 from dataclasses import dataclass
+from functools import partial
 from typing import Iterable, Sequence
 
 from repro.bench import benchmark
+from repro.obs import MetricsRegistry, Tracer, use as obs_use
 from repro.pipeline import (
     Compiled,
     checked_enabled,
@@ -141,31 +144,46 @@ def compile_base(name: str, pipeline: str,
                  cache: ArtifactCache | None = None,
                  checked: bool | None = None) -> Compiled:
     """Compiled-but-unassigned base for a (benchmark, pipeline) group."""
-    compiled, _seconds, _hit = _compile_base_timed(name, pipeline, cache,
-                                                   checked_enabled(checked))
+    compiled, _seconds, _hit, _trace = _compile_base_timed(
+        name, pipeline, cache, checked_enabled(checked))
     return compiled
 
 
 def _compile_base_timed(
     name: str, pipeline: str, cache: ArtifactCache | None,
-    checked: bool = False,
-) -> tuple[Compiled, float, bool]:
+    checked: bool = False, trace: bool = False,
+) -> tuple[Compiled, float, bool, dict | None]:
+    """Returns ``(compiled, seconds, cache_hit, trace_payload)``.
+
+    With ``trace`` on, a cache hit replays the trace stored beside the
+    base artifact; a hit with no stored trace recompiles (deterministic,
+    so the base is unchanged) to record one.
+    """
     if pipeline not in _COMPILERS:
         raise ValueError(f"unknown pipeline {pipeline!r}")
     key = base_key(name, pipeline, checked)
     if cache is not None:
         cached = cache.load(key, "base")
         if cached is not None:
-            return cached, 0.0, True
+            if not trace:
+                return cached, 0.0, True, None
+            payload = cache.load(key, "trace")
+            if payload is not None:
+                return cached, 0.0, True, payload
     bench = benchmark(name)
+    tracer = Tracer() if trace else None
     t0 = time.perf_counter()
-    compiled = _COMPILERS[pipeline](bench.build(), entry=bench.entry,
-                                    args=bench.args, buffer_capacity=None,
-                                    checked=checked)
+    with obs_use(tracer) if trace else nullcontext():
+        compiled = _COMPILERS[pipeline](bench.build(), entry=bench.entry,
+                                        args=bench.args, buffer_capacity=None,
+                                        checked=checked)
     seconds = time.perf_counter() - t0
+    payload = tracer.to_payload() if trace else None
     if cache is not None:
         cache.store(key, "base", compiled)
-    return compiled, seconds, False
+        if trace:
+            cache.store(key, "trace", payload)
+    return compiled, seconds, False, payload
 
 
 def _execute_cell(
@@ -173,34 +191,54 @@ def _execute_cell(
     cache: ArtifactCache | None,
     base: Compiled | None = None,
     checked: bool = False,
+    trace: bool = False,
 ) -> tuple[RunSummary, CellMetrics, Compiled | None]:
     """Run one cell end to end; raises AssertionError on checksum mismatch.
 
     Returns the compiled base actually used (``None`` on a run-cache hit)
-    so callers sweeping several capacities can reuse it.
+    so callers sweeping several capacities can reuse it.  With ``trace``
+    on, the cell's trace payload rides on ``CellMetrics.trace``; a warm
+    cell replays the trace stored beside its run summary, and a warm cell
+    without one falls through to re-simulate (summaries are deterministic,
+    so the stored one stays valid).
     """
     cm = CellMetrics(cell.name, cell.pipeline, cell.capacity)
     key = run_key(cell.name, cell.pipeline, cell.capacity, checked)
     if cache is not None:
         cached = cache.load(key, "run")
         if isinstance(cached, RunSummary):
-            cm.run_cache_hit = True
-            return cached, cm, None
+            if not trace:
+                cm.run_cache_hit = True
+                return cached, cm, None
+            stored = cache.load(key, "trace")
+            if stored is not None:
+                cm.run_cache_hit = True
+                cm.trace = _cell_trace(cell, None, stored, replayed=True)
+                cm.obs = _fold_obs(None, stored)
+                return cached, cm, None
 
+    compile_payload = None
     if base is None:
-        base, seconds, hit = _compile_base_timed(cell.name, cell.pipeline,
-                                                 cache, checked)
+        base, seconds, hit, compile_payload = _compile_base_timed(
+            cell.name, cell.pipeline, cache, checked, trace)
         cm.stages["compile"] = seconds
         cm.base_cache_hit = hit
     else:
         cm.base_cache_hit = True
 
-    t0 = time.perf_counter()
-    compiled = with_buffer(base, cell.capacity, checked=checked)
-    t1 = time.perf_counter()
-    outcome = run_compiled(compiled)
+    tracer = Tracer() if trace else None
+    with obs_use(tracer) if trace else nullcontext():
+        t0 = time.perf_counter()
+        compiled = with_buffer(base, cell.capacity, checked=checked)
+        t1 = time.perf_counter()
+        outcome = run_compiled(compiled)
     cm.stages["retarget"] = t1 - t0
     cm.stages["simulate"] = time.perf_counter() - t1
+    if trace:
+        run_payload = tracer.to_payload()
+        cm.trace = _cell_trace(cell, compile_payload, run_payload,
+                               replayed=False)
+        cm.obs = _fold_obs(compile_payload, run_payload)
 
     expected = benchmark(cell.name).expected()
     if outcome.result.value != expected:
@@ -222,7 +260,31 @@ def _execute_cell(
     )
     if cache is not None:
         cache.store(key, "run", summary)
+        if trace:
+            cache.store(key, "trace", run_payload)
     return summary, cm, base
+
+
+def _cell_trace(cell: Cell, compile_payload: dict | None,
+                run_payload: dict | None, replayed: bool) -> dict:
+    return {
+        "name": cell.name,
+        "pipeline": cell.pipeline,
+        "capacity": cell.capacity,
+        "compile": compile_payload,
+        "run": run_payload,
+        "replayed": replayed,
+    }
+
+
+def _fold_obs(compile_payload: dict | None,
+              run_payload: dict | None) -> dict | None:
+    """Merge the tracer metrics snapshots of a cell's phases into one."""
+    registry = MetricsRegistry()
+    for payload in (compile_payload, run_payload):
+        if payload and payload.get("metrics"):
+            registry.merge_snapshot(payload["metrics"])
+    return registry.snapshot() if len(registry) else None
 
 
 def run_cell(
@@ -233,10 +295,11 @@ def run_cell(
     base: Compiled | None = None,
     metrics: MetricsRecorder | None = None,
     checked: bool | None = None,
+    trace: bool = False,
 ) -> RunSummary:
     """The single-cell entry point the experiments facade builds on."""
     summary, cm, _ = _execute_cell(Cell(name, pipeline, capacity), cache, base,
-                                   checked_enabled(checked))
+                                   checked_enabled(checked), trace)
     if metrics is not None:
         metrics.add_cell(cm)
         if cache is not None:
@@ -250,18 +313,20 @@ def run_cell(
 
 
 def _worker_base(name: str, pipeline: str, cache_dir: str,
-                 cache_enabled: bool, checked: bool = False) -> bytes:
+                 cache_enabled: bool, checked: bool = False,
+                 trace: bool = False) -> bytes:
     cache = ArtifactCache(cache_dir, enabled=cache_enabled)
-    compiled, seconds, hit = _compile_base_timed(name, pipeline, cache,
-                                                 checked)
-    return pickle.dumps((compiled, seconds, hit, cache.stats))
+    compiled, seconds, hit, payload = _compile_base_timed(
+        name, pipeline, cache, checked, trace)
+    return pickle.dumps((compiled, seconds, hit, payload, cache.stats))
 
 
 def _worker_cell(cell: Cell, base_blob: bytes | None, cache_dir: str,
-                 cache_enabled: bool, checked: bool = False) -> bytes:
+                 cache_enabled: bool, checked: bool = False,
+                 trace: bool = False) -> bytes:
     cache = ArtifactCache(cache_dir, enabled=cache_enabled)
     base = pickle.loads(base_blob) if base_blob is not None else None
-    summary, cm, _ = _execute_cell(cell, cache, base, checked)
+    summary, cm, _ = _execute_cell(cell, cache, base, checked, trace)
     cm.worker = f"pid{os.getpid()}"
     return pickle.dumps((summary, cm, cache.stats))
 
@@ -277,6 +342,7 @@ def run_grid(
     cache: ArtifactCache | None | str = "default",
     metrics: MetricsRecorder | None = None,
     checked: bool | None = None,
+    trace: bool = False,
 ) -> list[RunSummary]:
     """Execute every cell, returning summaries in input-cell order.
 
@@ -290,6 +356,9 @@ def run_grid(
     :class:`~repro.pipeline.CheckedModeError` is deterministic and not
     retried — it propagates from the first attempt's retry like any
     compile error would, so keep grids small when debugging with it).
+    ``trace`` records a span/event trace per cell onto its
+    :class:`~repro.runner.metrics.CellMetrics` (see
+    :mod:`repro.obs.export` for the exporters).
     """
     if cache == "default":
         cache = default_cache()
@@ -301,10 +370,11 @@ def run_grid(
 
     try:
         if workers <= 1 or len(cells) <= 1:
-            results = _run_serial(cells, cache, metrics, checked=checked)
+            results = _run_serial(cells, cache, metrics, checked=checked,
+                                  trace=trace)
         else:
             results = _run_pool(cells, workers, timeout, cache, metrics,
-                                checked)
+                                checked, trace)
     finally:
         metrics.finish()
         if cache is not None:
@@ -315,8 +385,9 @@ def run_grid(
 
 def _run_serial(cells: Sequence[Cell], cache: ArtifactCache | None,
                 metrics: MetricsRecorder,
-                _execute=None, checked: bool = False) -> list[RunSummary]:
-    execute = _execute or _execute_cell
+                _execute=None, checked: bool = False,
+                trace: bool = False) -> list[RunSummary]:
+    execute = _execute or partial(_execute_cell, trace=trace)
     bases: dict[tuple[str, str], Compiled] = {}
     results: list[RunSummary] = []
     for cell in cells:
@@ -338,33 +409,44 @@ def _run_serial(cells: Sequence[Cell], cache: ArtifactCache | None,
 def _run_pool(cells: Sequence[Cell], workers: int, timeout: float | None,
               cache: ArtifactCache | None,
               metrics: MetricsRecorder,
-              checked: bool = False) -> list[RunSummary]:
+              checked: bool = False,
+              trace: bool = False) -> list[RunSummary]:
     cache_dir = str(cache.root) if cache is not None else ""
     cache_enabled = cache is not None and cache.enabled
     groups = list(dict.fromkeys(cell.group for cell in cells))
     results: list[RunSummary | None] = [None] * len(cells)
+    # every pool cell receives its group's base, so compile spans are
+    # recorded once per group here and attached to its first traced cell
+    base_traces: dict[tuple[str, str], dict | None] = {}
+    attached_groups: set[tuple[str, str]] = set()
+
+    def _attach_base_trace(cell: Cell, cm: CellMetrics) -> None:
+        if cm.trace is not None and cell.group not in attached_groups:
+            attached_groups.add(cell.group)
+            cm.trace["compile"] = base_traces.get(cell.group)
 
     pool = ProcessPoolExecutor(max_workers=workers)
     try:
         # phase 1: one compile task per distinct (benchmark, pipeline)
         base_futures = {
             group: pool.submit(_worker_base, group[0], group[1],
-                               cache_dir, cache_enabled, checked)
+                               cache_dir, cache_enabled, checked, trace)
             for group in groups
         }
         base_blobs: dict[tuple[str, str], bytes] = {}
         for group, future in base_futures.items():
             try:
-                compiled, _seconds, _hit, stats = pickle.loads(
+                compiled, _seconds, _hit, payload, stats = pickle.loads(
                     future.result(timeout=timeout))
             except AssertionError:
                 raise
             except Exception:
                 # timeout / worker death: retry the compile in the parent
-                compiled, _seconds, _hit = _compile_base_timed(
-                    group[0], group[1], cache, checked)
+                compiled, _seconds, _hit, payload = _compile_base_timed(
+                    group[0], group[1], cache, checked, trace)
                 stats = None
             base_blobs[group] = pickle.dumps(compiled)
+            base_traces[group] = payload
             if stats is not None:
                 metrics.merge_cache_stats(stats)
 
@@ -372,14 +454,16 @@ def _run_pool(cells: Sequence[Cell], workers: int, timeout: float | None,
         try:
             cell_futures = [
                 pool.submit(_worker_cell, cell, base_blobs[cell.group],
-                            cache_dir, cache_enabled, checked)
+                            cache_dir, cache_enabled, checked, trace)
                 for cell in cells
             ]
         except BrokenExecutor:
             # the pool died between phases: finish serially
             for index, cell in enumerate(cells):
                 base = pickle.loads(base_blobs[cell.group])
-                summary, cm, _ = _execute_cell(cell, cache, base, checked)
+                summary, cm, _ = _execute_cell(cell, cache, base, checked,
+                                               trace)
+                _attach_base_trace(cell, cm)
                 metrics.add_cell(cm)
                 results[index] = summary
             return results  # type: ignore[return-value]
@@ -394,9 +478,11 @@ def _run_pool(cells: Sequence[Cell], workers: int, timeout: float | None,
                 # transient (worker death, timeout, pickle hiccup):
                 # retry once in the parent, serially
                 base = pickle.loads(base_blobs[cell.group])
-                summary, cm, _ = _execute_cell(cell, cache, base, checked)
+                summary, cm, _ = _execute_cell(cell, cache, base, checked,
+                                               trace)
                 cm.attempts = 2
                 stats = None
+            _attach_base_trace(cell, cm)
             metrics.add_cell(cm)
             if stats is not None:
                 metrics.merge_cache_stats(stats)

@@ -31,19 +31,40 @@ class RunSummary:
         return self.ops_from_buffer / self.ops_issued
 
 
-def format_table(headers: list[str], rows: list[list], title: str = "") -> str:
+def format_table(headers: list[str], rows: list[list], title: str = "",
+                 align: list[str] | None = None) -> str:
+    """Plain-text table.  ``align`` gives one ``"l"``/``"r"`` per column
+    (default all left-aligned, matching the historical layout); a row that
+    is the single string ``"-"`` renders as a separator rule."""
     widths = [len(h) for h in headers]
-    rendered = [[_fmt(cell) for cell in row] for row in rows]
+    rendered: list[list[str] | str] = [
+        row if row == "-" else [_fmt(cell) for cell in row] for row in rows
+    ]
     for row in rendered:
+        if row == "-":
+            continue
         for i, cell in enumerate(row):
             widths[i] = max(widths[i], len(cell))
+    if align is None:
+        align = ["l"] * len(headers)
+
+    def _pad(cell: str, width: int, column: int) -> str:
+        if column < len(align) and align[column] == "r":
+            return cell.rjust(width)
+        return cell.ljust(width)
+
     lines = []
     if title:
         lines.append(title)
-    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join(_pad(h, w, i)
+                           for i, (h, w) in enumerate(zip(headers, widths))))
     lines.append("  ".join("-" * w for w in widths))
     for row in rendered:
-        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        if row == "-":
+            lines.append("  ".join("-" * w for w in widths))
+            continue
+        lines.append("  ".join(_pad(c, w, i)
+                               for i, (c, w) in enumerate(zip(row, widths))))
     return "\n".join(lines)
 
 

@@ -130,17 +130,41 @@ def schedule_function(
     func,
     machine: MachineDescription = DEFAULT_MACHINE,
     liveness_info=None,
+    tracer=None,
 ) -> dict[str, Schedule]:
     """List-schedule every block; returns label -> Schedule."""
     from repro.analysis.liveness import liveness
 
+    if tracer is None:
+        from repro.obs import get_tracer
+        tracer = get_tracer()
     if liveness_info is None:
         liveness_info = liveness(func)
     schedules: dict[str, Schedule] = {}
-    for block in func.blocks:
-        exit_live = exit_live_map(func, block, liveness_info)
-        schedules[block.label] = schedule_block(
-            block, machine, exit_live=exit_live
+    if not tracer.enabled:
+        for block in func.blocks:
+            exit_live = exit_live_map(func, block, liveness_info)
+            schedules[block.label] = schedule_block(
+                block, machine, exit_live=exit_live
+            )
+        return schedules
+    with tracer.span(f"list:{func.name}", category="sched",
+                     func=func.name) as span:
+        for block in func.blocks:
+            exit_live = exit_live_map(func, block, liveness_info)
+            schedules[block.label] = schedule_block(
+                block, machine, exit_live=exit_live
+            )
+        bundles = sum(len(s.bundles) for s in schedules.values())
+        slots_used = sum(
+            sum(1 for _ in bundle.in_slot_order())
+            for s in schedules.values() for bundle in s.bundles
+        )
+        span.annotate(
+            blocks=len(schedules),
+            bundles=bundles,
+            slots_used=slots_used,
+            slots_total=bundles * machine.width,
         )
     return schedules
 

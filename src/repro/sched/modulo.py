@@ -113,12 +113,39 @@ def modulo_schedule(
     machine: MachineDescription = DEFAULT_MACHINE,
     max_ii: int = 256,
     budget_factor: int = 8,
+    tracer=None,
 ) -> ModuloSchedule:
     """Iteratively modulo-schedule a simple loop body."""
+    if tracer is None:
+        from repro.obs import get_tracer
+        tracer = get_tracer()
+    if not tracer.enabled:
+        return _modulo_schedule(block, machine, max_ii, budget_factor)
+    with tracer.span(f"modulo:{block.label}", category="sched",
+                     block=block.label) as span:
+        sched = _modulo_schedule(block, machine, max_ii, budget_factor,
+                                 span=span)
+        span.annotate(
+            ii=sched.ii,
+            mve_factor=sched.mve_factor,
+            kernel_ops=sched.kernel_op_count,
+            buffered_ops=sched.buffered_op_count,
+            schedule_length=sched.schedule_length,
+            stages=sched.stages,
+        )
+        return sched
+
+
+def _modulo_schedule(block, machine, max_ii, budget_factor, span=None):
     ops = [op for op in block.ops if op.opcode != Opcode.NOP]
     relations = PredicateRelations(block)
     graph = build_dependence_graph(ops, relations=relations, loop_carried=True)
-    mii = max(resource_mii(ops, machine), recurrence_mii(graph))
+    res_mii = resource_mii(ops, machine)
+    rec_mii = recurrence_mii(graph)
+    mii = max(res_mii, rec_mii)
+    if span is not None:
+        span.annotate(min_ii=mii, resource_mii=res_mii,
+                      recurrence_mii=rec_mii, ops=len(ops))
 
     for ii in range(mii, max_ii + 1):
         result = _try_schedule(ops, graph, machine, ii,

@@ -43,6 +43,31 @@ class BlockFetchStats:
 
 
 @dataclass
+class LoopFetchStats:
+    """Loop-buffer lifecycle counters for one recorded loop.
+
+    Keyed like :class:`repro.loopbuffer.model.LoopBuffer` residency
+    entries (``"func/header"``); an entry exists only once the loop's
+    ``rec_*`` operation has executed at least once.
+    """
+
+    records: int = 0          # recording passes started
+    residency_hits: int = 0   # rec skipped: image still intact
+    evictions: int = 0        # overwritten by another loop's recording
+    passes: int = 0           # dynamic passes over the loop body
+    buffered_passes: int = 0  # passes issued from the buffer
+    ops_from_buffer: int = 0
+    ops_from_memory: int = 0
+
+    @property
+    def buffer_issue_fraction(self) -> float:
+        fetched = self.ops_from_buffer + self.ops_from_memory
+        if fetched == 0:
+            return 0.0
+        return self.ops_from_buffer / fetched
+
+
+@dataclass
 class SimCounters:
     cycles: int = 0
     bundles: int = 0
@@ -51,6 +76,7 @@ class SimCounters:
     ops_from_memory: int = 0
     branch_bubbles: int = 0
     per_block: dict[tuple[str, str], BlockFetchStats] = field(default_factory=dict)
+    per_loop: dict[str, LoopFetchStats] = field(default_factory=dict)
 
     @property
     def buffer_issue_fraction(self) -> float:
@@ -60,6 +86,9 @@ class SimCounters:
 
     def block_stats(self, func: str, label: str) -> BlockFetchStats:
         return self.per_block.setdefault((func, label), BlockFetchStats())
+
+    def loop_stats(self, key: str) -> LoopFetchStats:
+        return self.per_loop.setdefault(key, LoopFetchStats())
 
 
 class VLIWSimulator(Interpreter):
@@ -78,14 +107,21 @@ class VLIWSimulator(Interpreter):
         machine: MachineDescription = DEFAULT_MACHINE,
         buffer: LoopBuffer | None = None,
         max_steps: int = 200_000_000,
+        tracer=None,
     ) -> None:
         super().__init__(module, profile=None, max_steps=max_steps)
+        if tracer is None:
+            from repro.obs import get_tracer
+            tracer = get_tracer()
         self.schedules = schedules
         self.modulo = dict(modulo or {})
         self.machine = machine
         self.buffer = buffer
         self.counters = SimCounters()
+        self.tracer = tracer
         self._last_key: tuple[str, str] | None = None
+        if buffer is not None and buffer.listener is None:
+            buffer.listener = self._on_buffer_event
 
     # -- execution with accounting ---------------------------------------------
 
@@ -138,14 +174,34 @@ class VLIWSimulator(Interpreter):
     def _do_rec(self, frame, key, op) -> None:
         if self.buffer is not None:
             loop_label = op.attrs["loop"]
-            self.buffer.rec(
-                key=f"{key[0]}/{loop_label}",
+            buffer_key = f"{key[0]}/{loop_label}"
+            state = self.buffer.rec(
+                key=buffer_key,
                 offset=op.attrs["buf_addr"],
                 length=op.attrs["num"],
                 counted=op.opcode == Opcode.REC_CLOOP,
             )
+            lstats = self.counters.loop_stats(buffer_key)
+            if state is LoopState.RESIDENT:
+                lstats.residency_hits += 1
+                event = "buffer_hit"
+            else:
+                lstats.records += 1
+                event = "buffer_record"
+            if self.tracer.enabled:
+                self.tracer.instant(event, category="sim",
+                                    ts=self.counters.cycles, clock="cycles",
+                                    loop=buffer_key)
         if op.opcode == Opcode.REC_CLOOP and op.srcs:
             frame.lc[op.attrs["lc"]] = int(self._val(frame, op.srcs[0]))
+
+    def _on_buffer_event(self, event: str, key: str, **info) -> None:
+        if event == "evict":
+            self.counters.loop_stats(key).evictions += 1
+            if self.tracer.enabled:
+                self.tracer.instant("buffer_evict", category="sim",
+                                    ts=self.counters.cycles, clock="cycles",
+                                    loop=key, by=info.get("by"))
 
     def _account_pass(self, func, block, key, iterating, transfer,
                       transfer_index, executed, full_pass) -> None:
@@ -177,13 +233,21 @@ class VLIWSimulator(Interpreter):
         state = (self.buffer.state_of(buffer_key)
                  if self.buffer is not None else LoopState.ABSENT)
         counters.ops_issued += executed
+        lstats = counters.per_loop.get(buffer_key)
+        if lstats is not None:
+            lstats.passes += 1
         if state is LoopState.RESIDENT:
             counters.ops_from_buffer += executed
             stats.ops_from_buffer += executed
             stats.buffered_passes += 1
+            if lstats is not None:
+                lstats.ops_from_buffer += executed
+                lstats.buffered_passes += 1
         else:
             counters.ops_from_memory += executed
             stats.ops_from_memory += executed
+            if lstats is not None:
+                lstats.ops_from_memory += executed
             if state is LoopState.RECORDING and full_pass:
                 self.buffer.finish_recording(buffer_key)
 
@@ -230,10 +294,23 @@ def simulate(
     entry: str = "main",
     args: list[int] | None = None,
     max_steps: int = 200_000_000,
+    tracer=None,
 ):
     """Run a scheduled module; returns (RunResult, SimCounters, LoopBuffer)."""
     buffer = LoopBuffer(buffer_capacity) if buffer_capacity else None
     sim = VLIWSimulator(module, schedules, modulo, machine, buffer,
-                        max_steps=max_steps)
+                        max_steps=max_steps, tracer=tracer)
     result = sim.run(entry, args)
+    tracer = sim.tracer
+    if tracer.enabled:
+        fetch = tracer.metrics.counter(
+            "sim_fetch_ops", "operations fetched, by loop and source")
+        lifecycle = tracer.metrics.counter(
+            "sim_buffer_events", "loop-buffer lifecycle events")
+        for key, lstats in sorted(sim.counters.per_loop.items()):
+            fetch.inc(lstats.ops_from_buffer, loop=key, source="buffer")
+            fetch.inc(lstats.ops_from_memory, loop=key, source="memory")
+            lifecycle.inc(lstats.records, loop=key, event="record")
+            lifecycle.inc(lstats.residency_hits, loop=key, event="hit")
+            lifecycle.inc(lstats.evictions, loop=key, event="evict")
     return result, sim.counters, buffer

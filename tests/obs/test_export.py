@@ -1,0 +1,118 @@
+"""Exporters: Chrome trace assembly, schema validation, flat reports."""
+
+from repro.obs import Tracer
+from repro.obs.export import (
+    TID_COMPILE,
+    TID_RUN,
+    TID_SIM,
+    cell_label,
+    flat_report,
+    render_report,
+    report_from_chrome_trace,
+    to_chrome_trace,
+    validate_chrome_trace,
+)
+
+
+def _cell(name="b", pipeline="aggressive", capacity=64, replayed=False):
+    clock = iter(range(0, 10_000)).__next__
+    compile_tracer = Tracer(clock=lambda: clock() * 1e-6)
+    with compile_tracer.span("compile", category="pipeline"):
+        with compile_tracer.span("peel_short_loops", scope="main"):
+            pass
+    run_tracer = Tracer()
+    with run_tracer.span("simulate", category="sim"):
+        run_tracer.instant("buffer_record", category="sim", ts=10,
+                           clock="cycles", loop="main/L1")
+    fetch = run_tracer.metrics.counter("sim_fetch_ops")
+    fetch.inc(90, loop="main/L1", source="buffer")
+    fetch.inc(10, loop="main/L1", source="memory")
+    events = run_tracer.metrics.counter("sim_buffer_events")
+    events.inc(1, loop="main/L1", event="record")
+    events.inc(2, loop="main/L1", event="hit")
+    return {
+        "name": name, "pipeline": pipeline, "capacity": capacity,
+        "compile": compile_tracer.to_payload(),
+        "run": run_tracer.to_payload(),
+        "replayed": replayed,
+    }
+
+
+class TestChromeTrace:
+    def test_structure_and_thread_routing(self):
+        doc = to_chrome_trace([_cell()])
+        assert validate_chrome_trace(doc) == []
+        events = doc["traceEvents"]
+        compile_spans = [e for e in events
+                        if e["ph"] == "X" and e["tid"] == TID_COMPILE]
+        assert {e["name"] for e in compile_spans} \
+            == {"compile", "peel_short_loops"}
+        run_spans = [e for e in events
+                     if e["ph"] == "X" and e["tid"] == TID_RUN]
+        assert {e["name"] for e in run_spans} == {"simulate"}
+        # cycle-domain instants route to the sim thread
+        (instant,) = [e for e in events if e["ph"] == "i"]
+        assert instant["tid"] == TID_SIM and instant["ts"] == 10
+
+    def test_one_pid_per_cell(self):
+        doc = to_chrome_trace([_cell("a"), _cell("b")])
+        pids = {e["pid"] for e in doc["traceEvents"] if e["ph"] != "M"}
+        assert pids == {1, 2}
+        assert doc["otherData"]["cells"] == ["a/aggressive@64",
+                                             "b/aggressive@64"]
+
+    def test_cell_label_nobuf(self):
+        assert cell_label({"name": "x", "pipeline": "p", "capacity": None}) \
+            == "x/p@nobuf"
+
+
+class TestValidate:
+    def test_rejects_non_document(self):
+        assert validate_chrome_trace(42)
+        assert validate_chrome_trace({"events": []})
+
+    def test_missing_fields_reported(self):
+        errors = validate_chrome_trace([
+            {"name": "no-ph"},
+            {"ph": "X", "name": "no-ts-dur", "pid": 1, "tid": 1},
+        ])
+        assert any("missing 'ph'" in e for e in errors)
+        assert any("'ts'" in e for e in errors)
+        assert any("'dur'" in e for e in errors)
+
+    def test_unbalanced_duration_events(self):
+        errors = validate_chrome_trace([
+            {"ph": "B", "name": "open", "ts": 0, "pid": 1, "tid": 1},
+        ])
+        assert any("unclosed" in e for e in errors)
+        errors = validate_chrome_trace([
+            {"ph": "E", "name": "stray", "ts": 0, "pid": 1, "tid": 1},
+        ])
+        assert any("without matching" in e for e in errors)
+
+
+class TestFlatReport:
+    def test_folds_passes_and_loops(self):
+        report = flat_report([_cell(), _cell(replayed=True)])
+        assert report["passes"]["peel_short_loops"]["count"] == 2
+        loop = report["loops"]["main/L1"]
+        assert loop["buffer"] == 180 and loop["memory"] == 20
+        assert loop["record"] == 2 and loop["hit"] == 4
+        assert [c["replayed"] for c in report["cells"]] == [False, True]
+        # per-cell folds sum to the aggregate
+        assert sum(c["loops"]["main/L1"]["buffer"]
+                   for c in report["cells"]) == loop["buffer"]
+
+    def test_report_from_chrome_trace(self):
+        doc = to_chrome_trace([_cell()])
+        report = report_from_chrome_trace(doc)
+        assert report["passes"]["peel_short_loops"]["count"] == 1
+
+    def test_render_report(self):
+        text = render_report(flat_report([_cell()]))
+        assert "peel_short_loops" in text
+        assert "main/L1" in text
+        assert "90.0%" in text  # 90/100 buffered
+
+    def test_render_empty(self):
+        assert "empty trace" in render_report(flat_report([]))

@@ -1,0 +1,69 @@
+"""Metrics registry: instruments, label sets, snapshot/merge semantics."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestInstruments:
+    def test_counter_per_label_set(self):
+        reg = MetricsRegistry()
+        c = reg.counter("ops", "help text")
+        c.inc(5, loop="a", source="buffer")
+        c.inc(2, source="buffer", loop="a")  # label order is canonical
+        c.inc(1, loop="a", source="memory")
+        assert c.value(loop="a", source="buffer") == 7
+        assert c.value(loop="a", source="memory") == 1
+        assert c.value(loop="zzz") == 0
+
+    def test_gauge_overwrites(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("occupancy")
+        g.set(10, buffer="b0")
+        g.set(3, buffer="b0")
+        assert g.value(buffer="b0") == 3
+
+    def test_histogram_buckets_cumulative(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(1.0, 10.0))
+        for v in (0.5, 5.0, 100.0):
+            h.observe(v)
+        assert h.count() == 3
+        assert h.sum() == pytest.approx(105.5)
+        (sample,) = h.samples()
+        # bounds (1.0, 10.0, inf): cumulative counts 1, 2, 3
+        assert sample["value"]["buckets"] == [1, 2, 3]
+
+    def test_registration_idempotent_and_kind_checked(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+        assert "x" in reg and len(reg) == 1
+
+
+class TestSnapshotMerge:
+    def _snapshot(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(4, loop="a")
+        reg.gauge("g").set(7)
+        reg.histogram("h", buckets=(1.0,)).observe(0.5)
+        return reg.snapshot()
+
+    def test_roundtrip_json_able(self):
+        import json
+        snapshot = self._snapshot()
+        assert json.loads(json.dumps(snapshot)) == snapshot
+
+    def test_merge_adds_counters_and_histograms(self):
+        target = MetricsRegistry()
+        target.merge_snapshot(self._snapshot())
+        target.merge_snapshot(self._snapshot())
+        assert target.counter("c").value(loop="a") == 8
+        assert target.histogram("h").count() == 2
+        assert target.gauge("g").value() == 7  # last write wins
+
+    def test_merge_unknown_kind_raises(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().merge_snapshot(
+                {"weird": {"kind": "summary", "samples": []}})

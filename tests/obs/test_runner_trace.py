@@ -1,0 +1,119 @@
+"""Runner trace threading: CellMetrics.trace payloads, cache replay, the
+``--trace`` CLI flag and the ``python -m repro.obs`` round trip."""
+
+import json
+
+import pytest
+
+from repro.obs.cli import main as obs_main
+from repro.obs.export import validate_chrome_trace
+from repro.runner.cache import ArtifactCache
+from repro.runner.cli import main as runner_main
+from repro.runner.metrics import MetricsRecorder
+from repro.runner.parallel import Cell, run_grid
+
+CELL = Cell("adpcm_enc", "aggressive", 64)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ArtifactCache(tmp_path / "cache")
+
+
+class TestGridTracing:
+    def test_untraced_run_has_no_trace(self, cache):
+        metrics = MetricsRecorder()
+        run_grid([CELL], workers=1, cache=cache, metrics=metrics)
+        assert metrics.cells[0].trace is None
+        assert metrics.cells[0].obs is None
+
+    def test_traced_cell_payload(self, cache):
+        metrics = MetricsRecorder()
+        run_grid([CELL], workers=1, cache=cache, metrics=metrics,
+                 trace=True)
+        trace = metrics.cells[0].trace
+        assert trace is not None and not trace["replayed"]
+        assert trace["name"] == CELL.name
+        compile_names = [s["name"] for s in trace["compile"]["spans"]]
+        assert "compile_aggressive" in compile_names
+        run_names = [s["name"] for s in trace["run"]["spans"]]
+        assert "with_buffer" in run_names and "simulate" in run_names
+        # the folded metrics snapshot rides on CellMetrics.obs
+        obs_snapshot = metrics.cells[0].obs
+        assert obs_snapshot and "sim_fetch_ops" in obs_snapshot
+        payload = metrics.cells[0].as_dict()
+        assert payload["traced"] is True
+        assert payload["trace_replayed"] is False
+
+    def test_warm_cells_replay_stored_traces(self, cache):
+        run_grid([CELL], workers=1, cache=cache, trace=True)
+        metrics = MetricsRecorder()
+        run_grid([CELL], workers=1, cache=cache, metrics=metrics,
+                 trace=True)
+        cm = metrics.cells[0]
+        assert cm.run_cache_hit
+        assert cm.trace["replayed"] is True
+        assert cm.trace["run"]["spans"]
+        assert cm.obs and "sim_fetch_ops" in cm.obs
+
+    def test_warm_summary_without_trace_recomputes(self, cache):
+        # seed the cache untraced: run summaries exist, traces do not
+        cold = run_grid([CELL], workers=1, cache=cache)
+        metrics = MetricsRecorder()
+        traced = run_grid([CELL], workers=1, cache=cache, metrics=metrics,
+                          trace=True)
+        assert traced == cold
+        cm = metrics.cells[0]
+        assert cm.trace is not None and not cm.trace["replayed"]
+
+    def test_traced_summaries_match_untraced(self, cache, tmp_path):
+        other = ArtifactCache(tmp_path / "other")
+        plain = run_grid([CELL], workers=1, cache=cache)
+        traced = run_grid([CELL], workers=1, cache=other, trace=True)
+        assert plain == traced
+
+
+class TestCli:
+    def _run(self, tmp_path, *extra):
+        argv = ["--benchmarks", CELL.name, "--pipelines", CELL.pipeline,
+                "--capacities", str(CELL.capacity), "--workers", "1",
+                "--cache-dir", str(tmp_path / "cache"), "--quiet",
+                *extra]
+        return runner_main(argv)
+
+    def test_trace_flag_writes_artifacts(self, tmp_path, capsys):
+        trace_dir = tmp_path / "traces"
+        assert self._run(tmp_path, "--trace", str(trace_dir)) == 0
+        doc = json.loads((trace_dir / "trace.json").read_text())
+        assert validate_chrome_trace(doc) == []
+        span_names = {e["name"] for e in doc["traceEvents"]
+                      if e["ph"] == "X"}
+        assert "compile_aggressive" in span_names
+        report = json.loads((trace_dir / "report.json").read_text())
+        assert report["passes"]
+        capsys.readouterr()
+
+        # obs CLI round trip on the artifacts the runner wrote
+        assert obs_main(["validate", str(trace_dir)]) == 0
+        assert obs_main(["report", str(trace_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "valid Chrome trace" in out
+
+    def test_env_var_enables_tracing(self, tmp_path, monkeypatch, capsys):
+        trace_dir = tmp_path / "env-traces"
+        monkeypatch.setenv("REPRO_TRACE", str(trace_dir))
+        assert self._run(tmp_path) == 0
+        assert (trace_dir / "trace.json").exists()
+        capsys.readouterr()
+
+    def test_no_trace_by_default(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        assert self._run(tmp_path) == 0
+        assert not (tmp_path / ".repro_trace").exists()
+        capsys.readouterr()
+
+    def test_obs_validate_rejects_bad_trace(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"traceEvents": [{"name": "no-ph"}]}))
+        assert obs_main(["validate", str(bad)]) == 1
+        assert "invalid" in capsys.readouterr().err
