@@ -1,0 +1,185 @@
+"""Persistent on-disk corpus of minimized divergence reproducers.
+
+Every divergence the fuzzer ever finds (and minimizes) is saved as one
+JSON file — source text plus the metadata needed to re-check it — and
+replayed forever after as a regression test: ``python -m repro.fuzz
+replay`` (and ``tests/fuzz/test_corpus_replay.py``) re-runs each entry
+through the differential oracle and fails on any divergence.  The
+checked-in corpus therefore only contains programs that *used to*
+diverge and must never diverge again.
+
+Entries are content-addressed (id = SHA-256 prefix of the source), so
+re-finding a known reproducer is idempotent.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from repro.fuzz.gen import FuzzProgram
+from repro.fuzz.oracle import Config, ProgramReport
+
+__all__ = ["Corpus", "CorpusEntry", "DEFAULT_CORPUS_DIR", "default_corpus"]
+
+#: default corpus location — checked into the repository so corpus replay
+#: runs as part of the ordinary test suite
+DEFAULT_CORPUS_DIR = "tests/fuzz_corpus"
+
+ENV_CORPUS_DIR = "REPRO_FUZZ_CORPUS"
+
+
+def entry_id(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()[:12]
+
+
+@dataclass
+class CorpusEntry:
+    """One minimized reproducer plus the context it was found in."""
+
+    source: str
+    kind: str                       # divergence kind when first found
+    configs: list[dict] = field(default_factory=list)
+    seed: int | None = None
+    fault: str | None = None        # injected fault (None = real bug)
+    detail: str = ""
+    note: str = ""
+
+    @property
+    def id(self) -> str:
+        return entry_id(self.source)
+
+    @property
+    def line_count(self) -> int:
+        return len(self.source.splitlines())
+
+    def config_objects(self) -> list[Config]:
+        return [Config.from_dict(c) for c in self.configs]
+
+    def as_dict(self) -> dict:
+        return {
+            "id": self.id,
+            "kind": self.kind,
+            "seed": self.seed,
+            "fault": self.fault,
+            "configs": self.configs,
+            "detail": self.detail,
+            "note": self.note,
+            "source": self.source,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CorpusEntry":
+        return cls(
+            source=data["source"],
+            kind=data.get("kind", "unknown"),
+            configs=list(data.get("configs", [])),
+            seed=data.get("seed"),
+            fault=data.get("fault"),
+            detail=data.get("detail", ""),
+            note=data.get("note", ""),
+        )
+
+    @classmethod
+    def from_report(cls, report: ProgramReport,
+                    minimized: FuzzProgram | None = None,
+                    fault: str | None = None,
+                    note: str = "") -> "CorpusEntry":
+        """Build an entry from a divergent oracle report."""
+        divergences = report.divergences
+        if not divergences:
+            raise ValueError("report has no divergences to record")
+        first = divergences[0]
+        source = minimized.source if minimized is not None else report.source
+        return cls(
+            source=source,
+            kind=first.kind,
+            configs=[v.config.as_dict() for v in divergences],
+            seed=report.seed,
+            fault=fault,
+            detail=first.describe(),
+            note=note,
+        )
+
+
+class Corpus:
+    """A directory of :class:`CorpusEntry` JSON files."""
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = Path(root)
+
+    def paths(self) -> list[Path]:
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*.json"))
+
+    def entries(self) -> list[CorpusEntry]:
+        return [self.load(path) for path in self.paths()]
+
+    @staticmethod
+    def load(path: Path) -> CorpusEntry:
+        return CorpusEntry.from_dict(json.loads(path.read_text()))
+
+    def add(self, entry: CorpusEntry) -> Path:
+        """Write (or overwrite — entries are content-addressed) one entry."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.root / f"{entry.id}.json"
+        path.write_text(json.dumps(entry.as_dict(), indent=2,
+                                   sort_keys=True) + "\n")
+        return path
+
+    def __len__(self) -> int:
+        return len(self.paths())
+
+    def replay(
+        self,
+        configs: Sequence[Config] | None = None,
+        workers: int | None = None,
+        cache=None,
+        max_steps: int | None = None,
+    ) -> list[tuple[CorpusEntry, ProgramReport]]:
+        """Re-check every entry; returns ``(entry, report)`` pairs.
+
+        ``configs=None`` replays each entry on the configurations it
+        originally diverged on *plus* the default grid, so a reproducer
+        keeps protecting the exact configuration that broke while also
+        covering the rest.  Entries recorded under an injected fault are
+        replayed *without* the fault (the bug was synthetic; the program
+        is still a good regression input).
+        """
+        from repro.fuzz.oracle import DEFAULT_MAX_STEPS, check_many, \
+            default_configs
+
+        entries = self.entries()
+        steps = max_steps if max_steps is not None else DEFAULT_MAX_STEPS
+        results: list[tuple[CorpusEntry, ProgramReport]] = []
+        base = tuple(default_configs())
+        # group entries by effective config tuple so one check_many call
+        # covers each group through the process pool
+        grouped: dict[tuple[Config, ...], list[CorpusEntry]] = {}
+        for entry in entries:
+            if configs is not None:
+                effective = tuple(configs)
+            else:
+                extra = tuple(c for c in entry.config_objects()
+                              if c not in base)
+                effective = base + extra
+            grouped.setdefault(effective, []).append(entry)
+        for effective, group in grouped.items():
+            reports = check_many([e.source for e in group], effective,
+                                 workers=workers, cache=cache,
+                                 max_steps=steps)
+            results.extend(zip(group, reports))
+        results.sort(key=lambda pair: pair[0].id)
+        return results
+
+
+def default_corpus(root: str | os.PathLike | None = None) -> Corpus:
+    """Corpus at ``root``, else ``$REPRO_FUZZ_CORPUS``, else the repo dir."""
+    if root is None:
+        root = os.environ.get(ENV_CORPUS_DIR) or DEFAULT_CORPUS_DIR
+    return Corpus(root)

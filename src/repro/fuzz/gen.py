@@ -1,0 +1,407 @@
+"""Seeded, grammar-directed random MKC program generator.
+
+Programs are built as a small statement tree (not raw text) so the
+delta-debugging minimizer (:mod:`repro.fuzz.reduce`) can operate at
+statement granularity and re-render valid source after every edit.
+
+The grammar is aimed squarely at the transformations under test:
+
+* straight-line arithmetic chains (local opt, reassociation, DCE);
+* if/else diamonds, sometimes inside loops (if-conversion, promotion);
+* counted loops and 2-deep counted nests (counted-loop conversion,
+  modulo scheduling, loop collapsing);
+* short inner loops with tiny constant trip counts (peel-eligible);
+* infrequent side exits — ``if (rare) break;`` (branch combining);
+* a small word array with masked indices (loads/stores, globals);
+* an occasional straight-line helper function (inlining).
+
+Every generated program terminates (loop bounds are constants, loop
+variables are never reassigned), never divides by zero (divisors are
+non-zero constants) and never indexes out of bounds (indices are masked
+with ``& (size-1)``), so the reference interpretation is total and any
+trap in a compiled configuration is a divergence by construction.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+
+__all__ = [
+    "Assign",
+    "Break",
+    "Decl",
+    "For",
+    "FuzzProgram",
+    "If",
+    "Store",
+    "generate",
+    "render",
+]
+
+#: operators usable in generated expressions (divisors/shift counts are
+#: constrained separately)
+_BINOPS = ("+", "-", "*", "&", "|", "^")
+_CMPOPS = ("<", "<=", ">", ">=", "==", "!=")
+_AUGOPS = ("=", "+=", "-=", "*=", "&=", "|=", "^=")
+
+#: occasional boundary constants to shake out wrap/sign bugs
+_BOUNDARY = (0, 1, -1, 255, -256, 32767, -32768, 65535, 1 << 30, -(1 << 30))
+
+#: size of the global scratch array (power of two: indices are masked)
+ARRAY_SIZE = 16
+
+
+# --------------------------------------------------------------------------
+# statement tree
+
+
+@dataclass
+class Decl:
+    """``int name = expr;``"""
+
+    name: str
+    expr: str
+
+
+@dataclass
+class Assign:
+    """``name op expr;`` with ``op`` in ``=, +=, -=, ...``"""
+
+    name: str
+    op: str
+    expr: str
+
+
+@dataclass
+class Store:
+    """``arr[(index) & mask] = expr;``"""
+
+    array: str
+    index: str
+    expr: str
+
+
+@dataclass
+class If:
+    cond: str
+    then: list = field(default_factory=list)
+    orelse: list = field(default_factory=list)
+
+
+@dataclass
+class For:
+    """``for (int var = 0; var < bound; var++) body`` — always counted."""
+
+    var: str
+    bound: int
+    body: list = field(default_factory=list)
+
+
+@dataclass
+class Break:
+    pass
+
+
+@dataclass
+class Helper:
+    """A straight-line ``int`` helper function."""
+
+    name: str
+    params: list[str]
+    body: list = field(default_factory=list)
+    ret: str = "0"
+
+
+@dataclass
+class FuzzProgram:
+    """A generated program: optional helper + main body + return expr."""
+
+    seed: int | None = None
+    array: tuple[str, int, tuple[int, ...]] | None = None
+    helper: Helper | None = None
+    body: list = field(default_factory=list)
+    ret: str = "0"
+
+    @property
+    def source(self) -> str:
+        return render(self)
+
+    @property
+    def line_count(self) -> int:
+        return len(self.source.splitlines())
+
+    def stmt_count(self) -> int:
+        count = _count_stmts(self.body)
+        if self.helper is not None:
+            count += _count_stmts(self.helper.body)
+        return count
+
+    def clone(self) -> "FuzzProgram":
+        helper = None
+        if self.helper is not None:
+            helper = replace(self.helper, body=_clone_body(self.helper.body),
+                             params=list(self.helper.params))
+        return FuzzProgram(self.seed, self.array, helper,
+                           _clone_body(self.body), self.ret)
+
+
+def _clone_body(body: list) -> list:
+    out = []
+    for stmt in body:
+        if isinstance(stmt, If):
+            out.append(If(stmt.cond, _clone_body(stmt.then),
+                          _clone_body(stmt.orelse)))
+        elif isinstance(stmt, For):
+            out.append(For(stmt.var, stmt.bound, _clone_body(stmt.body)))
+        elif isinstance(stmt, (Decl, Assign, Store)):
+            out.append(replace(stmt))
+        else:
+            out.append(Break())
+    return out
+
+
+def _count_stmts(body: list) -> int:
+    count = 0
+    for stmt in body:
+        count += 1
+        if isinstance(stmt, If):
+            count += _count_stmts(stmt.then) + _count_stmts(stmt.orelse)
+        elif isinstance(stmt, For):
+            count += _count_stmts(stmt.body)
+    return count
+
+
+# --------------------------------------------------------------------------
+# rendering
+
+
+def _render_stmt(stmt, indent: int, lines: list[str]) -> None:
+    pad = "    " * indent
+    if isinstance(stmt, Decl):
+        lines.append(f"{pad}int {stmt.name} = {stmt.expr};")
+    elif isinstance(stmt, Assign):
+        op = "=" if stmt.op == "=" else stmt.op
+        lines.append(f"{pad}{stmt.name} {op} {stmt.expr};")
+    elif isinstance(stmt, Store):
+        lines.append(f"{pad}{stmt.array}[{stmt.index}] = {stmt.expr};")
+    elif isinstance(stmt, Break):
+        lines.append(f"{pad}break;")
+    elif isinstance(stmt, If):
+        lines.append(f"{pad}if ({stmt.cond}) {{")
+        for inner in stmt.then:
+            _render_stmt(inner, indent + 1, lines)
+        if stmt.orelse:
+            lines.append(f"{pad}}} else {{")
+            for inner in stmt.orelse:
+                _render_stmt(inner, indent + 1, lines)
+        lines.append(f"{pad}}}")
+    elif isinstance(stmt, For):
+        lines.append(f"{pad}for (int {stmt.var} = 0; {stmt.var} < "
+                     f"{stmt.bound}; {stmt.var}++) {{")
+        for inner in stmt.body:
+            _render_stmt(inner, indent + 1, lines)
+        lines.append(f"{pad}}}")
+    else:  # pragma: no cover - the tree only holds the types above
+        raise TypeError(f"unknown statement {stmt!r}")
+
+
+def render(program: FuzzProgram) -> str:
+    """Render the statement tree back to MKC source text."""
+    lines: list[str] = []
+    if program.array is not None:
+        name, size, init = program.array
+        init_txt = ", ".join(str(v) for v in init)
+        lines.append(f"int {name}[{size}] = {{{init_txt}}};")
+    if program.helper is not None:
+        helper = program.helper
+        params = ", ".join(f"int {p}" for p in helper.params)
+        lines.append(f"int {helper.name}({params}) {{")
+        for stmt in helper.body:
+            _render_stmt(stmt, 1, lines)
+        lines.append(f"    return {helper.ret};")
+        lines.append("}")
+    lines.append("int main() {")
+    for stmt in program.body:
+        _render_stmt(stmt, 1, lines)
+    lines.append(f"    return {program.ret};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+# --------------------------------------------------------------------------
+# generation
+
+
+class _Gen:
+    """One generation pass over a :class:`random.Random` stream."""
+
+    def __init__(self, rng: random.Random):
+        self.rng = rng
+        self.scalars: list[str] = []     # mutable int variables in scope
+        self.loop_vars: list[str] = []   # read-only loop counters in scope
+        self.next_loop = 0
+        self.array_name: str | None = None
+        self.helper: Helper | None = None
+
+    # -- expressions -------------------------------------------------------
+
+    def const(self) -> str:
+        if self.rng.random() < 0.15:
+            return str(self.rng.choice(_BOUNDARY))
+        return str(self.rng.randint(-64, 64))
+
+    def atom(self) -> str:
+        readable = self.scalars + self.loop_vars
+        roll = self.rng.random()
+        if readable and roll < 0.55:
+            return self.rng.choice(readable)
+        if self.array_name is not None and roll < 0.65:
+            return (f"{self.array_name}[({self.index_expr()}) & "
+                    f"{ARRAY_SIZE - 1}]")
+        return self.const()
+
+    def index_expr(self) -> str:
+        readable = self.scalars + self.loop_vars
+        if readable and self.rng.random() < 0.8:
+            base = self.rng.choice(readable)
+            if self.rng.random() < 0.5:
+                return f"{base} + {self.rng.randint(0, ARRAY_SIZE - 1)}"
+            return base
+        return str(self.rng.randint(0, ARRAY_SIZE - 1))
+
+    def expr(self, depth: int = 0) -> str:
+        if depth >= 2 or self.rng.random() < 0.3:
+            return self.atom()
+        roll = self.rng.random()
+        a = self.expr(depth + 1)
+        b = self.expr(depth + 1)
+        if roll < 0.70:
+            op = self.rng.choice(_BINOPS)
+            return f"({a} {op} {b})"
+        if roll < 0.80:
+            # shift by a constant amount
+            op = self.rng.choice(("<<", ">>"))
+            return f"({a} {op} {self.rng.randint(0, 31)})"
+        if roll < 0.92:
+            # divide/mod by a non-zero constant: never traps
+            op = self.rng.choice(("/", "%"))
+            divisor = self.rng.choice((2, 3, 5, 7, 13, -3, -7, 256))
+            return f"({a} {op} {divisor})"
+        if self.rng.random() < 0.5:
+            # parenthesise: "-" before a negative literal would lex as "--"
+            return f"(-({a}))"
+        return f"(~{a})"
+
+    def cond(self) -> str:
+        a = self.expr(1)
+        b = self.atom()
+        base = f"{a} {self.rng.choice(_CMPOPS)} {b}"
+        if self.rng.random() < 0.2:
+            c = f"{self.atom()} {self.rng.choice(_CMPOPS)} {self.atom()}"
+            return f"{base} {self.rng.choice(('&&', '||'))} {c}"
+        return base
+
+    def rare_cond(self) -> str:
+        """A condition that is true on few iterations — side-exit fodder."""
+        var = self.rng.choice(self.loop_vars + self.scalars)
+        return (f"({var} & {self.rng.choice((7, 15, 31))}) == "
+                f"{self.rng.randint(5, 31)}")
+
+    # -- statements --------------------------------------------------------
+
+    def simple_stmt(self):
+        roll = self.rng.random()
+        if self.array_name is not None and roll < 0.2:
+            return Store(self.array_name,
+                         f"({self.index_expr()}) & {ARRAY_SIZE - 1}",
+                         self.expr())
+        if self.helper is not None and roll < 0.35:
+            args = ", ".join(self.atom() for _ in self.helper.params)
+            return Assign(self.rng.choice(self.scalars),
+                          self.rng.choice(_AUGOPS),
+                          f"{self.helper.name}({args})")
+        return Assign(self.rng.choice(self.scalars),
+                      self.rng.choice(_AUGOPS), self.expr())
+
+    def if_stmt(self, depth: int, in_loop: bool):
+        then = self.block(self.rng.randint(1, 2), depth + 1, in_loop)
+        orelse = []
+        if self.rng.random() < 0.6:
+            orelse = self.block(self.rng.randint(1, 2), depth + 1, in_loop)
+        return If(self.cond(), then, orelse)
+
+    def for_stmt(self, depth: int):
+        var = f"i{self.next_loop}"
+        self.next_loop += 1
+        # short trip counts at depth 1 keep inner loops peel-eligible
+        bound = (self.rng.randint(1, 4) if depth >= 1
+                 else self.rng.randint(2, 12))
+        self.loop_vars.append(var)
+        size = self.rng.randint(1, 3)
+        body = self.block(size, depth + 1, in_loop=True)
+        # infrequent side exit: eligible for branch combining
+        if self.rng.random() < 0.15:
+            pos = self.rng.randint(0, len(body))
+            body.insert(pos, If(self.rare_cond(), [Break()]))
+        self.loop_vars.pop()
+        return For(var, bound, body)
+
+    def block(self, size: int, depth: int, in_loop: bool) -> list:
+        stmts = []
+        for _ in range(size):
+            roll = self.rng.random()
+            if depth < 2 and roll < 0.22:
+                stmts.append(self.for_stmt(depth))
+            elif depth < 4 and roll < 0.45:
+                stmts.append(self.if_stmt(depth, in_loop))
+            else:
+                stmts.append(self.simple_stmt())
+        return stmts
+
+    # -- top level ---------------------------------------------------------
+
+    def make_helper(self) -> Helper:
+        params = [f"a{i}" for i in range(self.rng.randint(1, 2))]
+        outer_scalars, outer_loops = self.scalars, self.loop_vars
+        self.scalars, self.loop_vars = list(params), []
+        body = []
+        for i in range(self.rng.randint(1, 3)):
+            name = f"h{i}"
+            body.append(Decl(name, self.expr()))
+            self.scalars.append(name)
+        ret = self.expr()
+        self.scalars, self.loop_vars = outer_scalars, outer_loops
+        return Helper("helper", params, body, ret)
+
+    def program(self, seed: int | None) -> FuzzProgram:
+        program = FuzzProgram(seed=seed)
+        if self.rng.random() < 0.5:
+            init = tuple(self.rng.randint(-100, 100)
+                         for _ in range(ARRAY_SIZE))
+            program.array = ("g", ARRAY_SIZE, init)
+            self.array_name = "g"
+        if self.rng.random() < 0.3:
+            self.helper = self.make_helper()
+            program.helper = self.helper
+        for i in range(self.rng.randint(2, 5)):
+            name = f"v{i}"
+            program.body.append(Decl(name, self.const()))
+            self.scalars.append(name)
+        program.body.extend(self.block(self.rng.randint(3, 7), 0,
+                                       in_loop=False))
+        terms = list(self.scalars)
+        if self.array_name is not None:
+            terms.append(f"{self.array_name}[{self.rng.randint(0, 7)}]")
+        program.ret = " + ".join(terms)
+        return program
+
+
+def generate(seed: int) -> FuzzProgram:
+    """Deterministically generate one program from ``seed``."""
+    return _Gen(random.Random(seed)).program(seed)
+
+
+def generate_source(seed: int) -> str:
+    """Convenience: the rendered source for ``seed``."""
+    return generate(seed).source

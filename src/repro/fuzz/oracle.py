@@ -1,0 +1,294 @@
+"""Differential oracle: interpreter vs every pipeline configuration.
+
+For each program the *reference outcome* is one pure-Python
+interpretation of the unoptimized IR (:func:`repro.sim.interp.run_module`).
+Each :class:`Config` then compiles the program through
+:func:`repro.pipeline.compile_traditional` or ``compile_aggressive`` and
+simulates it on the cycle-level VLIW (:func:`repro.pipeline.run_compiled`);
+any difference in return value or trap class — or a checked-mode lint
+failure, or a crash in the compiler itself — is a divergence.
+
+:func:`check_many` fans a batch of programs over a process pool (same
+worker-count resolution as :mod:`repro.runner.parallel`) and can reuse the
+:mod:`repro.runner.cache` artifact cache, so a re-run over an unchanged
+corpus is nearly free.
+"""
+
+from __future__ import annotations
+
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.frontend import compile_source
+from repro.pipeline import (
+    CheckedModeError,
+    compile_aggressive,
+    compile_traditional,
+    run_compiled,
+)
+from repro.runner.cache import ArtifactCache, cache_key
+from repro.runner.parallel import resolve_workers
+from repro.sim.interp import SimError, run_module
+
+#: step budget per interpretation/simulation — generated programs are tiny,
+#: so anything approaching this is a runaway loop, reported as a trap
+DEFAULT_MAX_STEPS = 2_000_000
+
+DEFAULT_CAPACITIES: tuple[int | None, ...] = (None, 16, 64)
+
+_COMPILERS = {
+    "traditional": compile_traditional,
+    "aggressive": compile_aggressive,
+}
+
+
+@dataclass(frozen=True, order=True)
+class Config:
+    """One pipeline × capacity × checked-mode point of the oracle grid."""
+
+    pipeline: str
+    capacity: int | None = None
+    checked: bool = False
+
+    @property
+    def label(self) -> str:
+        cap = "none" if self.capacity is None else str(self.capacity)
+        suffix = "+checked" if self.checked else ""
+        return f"{self.pipeline}@{cap}{suffix}"
+
+    def as_dict(self) -> dict:
+        return {"pipeline": self.pipeline, "capacity": self.capacity,
+                "checked": self.checked}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Config":
+        return cls(data["pipeline"], data.get("capacity"),
+                   bool(data.get("checked")))
+
+
+def default_configs(
+    pipelines: Iterable[str] = ("traditional", "aggressive"),
+    capacities: Iterable[int | None] = DEFAULT_CAPACITIES,
+    checked: bool = True,
+) -> tuple[Config, ...]:
+    """The full pipeline × capacity grid, checked mode on by default."""
+    return tuple(Config(pipeline, capacity, checked)
+                 for pipeline in pipelines for capacity in capacities)
+
+
+#: (status, payload) pairs — payload is the return value for ``"value"``,
+#: the exception class name for ``"trap"``, a message otherwise
+Outcome = tuple[str, object]
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """How one configuration's outcome relates to the reference."""
+
+    config: Config
+    kind: str          # "ok" | "value-mismatch" | "trap-mismatch" |
+    #                    "checked-failure" | "compile-crash" | "sim-crash"
+    reference: Outcome
+    observed: Outcome
+
+    @property
+    def ok(self) -> bool:
+        return self.kind == "ok"
+
+    def describe(self) -> str:
+        return (f"{self.config.label}: {self.kind} "
+                f"(reference={self.reference!r}, observed={self.observed!r})")
+
+
+@dataclass
+class ProgramReport:
+    """All verdicts for one program."""
+
+    source: str
+    reference: Outcome
+    verdicts: list[Verdict] = field(default_factory=list)
+    seed: int | None = None
+
+    @property
+    def ok(self) -> bool:
+        return all(v.ok for v in self.verdicts)
+
+    @property
+    def divergences(self) -> list[Verdict]:
+        return [v for v in self.verdicts if not v.ok]
+
+
+def reference_outcome(source: str,
+                      max_steps: int = DEFAULT_MAX_STEPS) -> Outcome:
+    """Interpret the unoptimized IR; ``("value", v)`` or ``("trap", cls)``.
+
+    A frontend rejection comes back as ``("frontend-error", message)`` so
+    the minimizer can tell "invalid program" apart from "divergence".
+    """
+    try:
+        module = compile_source(source)
+    except Exception as exc:
+        return ("frontend-error", f"{type(exc).__name__}: {exc}")
+    try:
+        return ("value", run_module(module, max_steps=max_steps).value)
+    except SimError as exc:
+        return ("trap", type(exc).__name__)
+
+
+def compiled_outcome(source: str, config: Config,
+                     max_steps: int = DEFAULT_MAX_STEPS) -> Outcome:
+    """Compile under ``config`` and simulate on the VLIW.
+
+    Compile-time interpreter traps (profiling executes the program) are
+    reported as ``("trap", cls)`` so a program that traps identically in
+    reference and compiled form is *not* a divergence.
+    """
+    try:
+        module = compile_source(source)
+    except Exception as exc:
+        return ("frontend-error", f"{type(exc).__name__}: {exc}")
+    try:
+        compiled = _COMPILERS[config.pipeline](
+            module, buffer_capacity=config.capacity,
+            max_steps=max_steps, checked=config.checked)
+    except CheckedModeError as exc:
+        return ("checked-failure",
+                f"{exc.pass_name}: {exc.diagnostics[0].format()}"
+                if exc.diagnostics else exc.pass_name)
+    except SimError as exc:
+        return ("trap", type(exc).__name__)
+    except Exception as exc:
+        return ("compile-crash", f"{type(exc).__name__}: {exc}")
+    try:
+        outcome = run_compiled(compiled, max_steps=max_steps)
+    except SimError as exc:
+        return ("trap", type(exc).__name__)
+    except CheckedModeError as exc:
+        return ("checked-failure", str(exc))
+    except Exception as exc:
+        return ("sim-crash", f"{type(exc).__name__}: {exc}")
+    return ("value", outcome.result.value)
+
+
+def _judge(config: Config, reference: Outcome, observed: Outcome) -> Verdict:
+    status, _ = observed
+    if observed == reference:
+        return Verdict(config, "ok", reference, observed)
+    if status == "checked-failure":
+        return Verdict(config, "checked-failure", reference, observed)
+    if status in ("compile-crash", "sim-crash", "frontend-error"):
+        return Verdict(config, "compile-crash" if status != "sim-crash"
+                       else "sim-crash", reference, observed)
+    if status == "trap" or reference[0] == "trap":
+        return Verdict(config, "trap-mismatch", reference, observed)
+    return Verdict(config, "value-mismatch", reference, observed)
+
+
+def check_program(
+    source,
+    configs: Sequence[Config] | None = None,
+    max_steps: int = DEFAULT_MAX_STEPS,
+    fault: str | None = None,
+) -> ProgramReport:
+    """Differentially check one program (source text or FuzzProgram)."""
+    from repro.fuzz.faults import inject_fault
+
+    seed = getattr(source, "seed", None)
+    source = getattr(source, "source", source)
+    configs = tuple(configs) if configs is not None else default_configs()
+    reference = reference_outcome(source, max_steps)
+    report = ProgramReport(source, reference, seed=seed)
+    with inject_fault(fault):
+        for config in configs:
+            observed = compiled_outcome(source, config, max_steps)
+            report.verdicts.append(_judge(config, reference, observed))
+    return report
+
+
+# --------------------------------------------------------------------------
+# batch fan-out over a process pool
+
+
+def _fuzz_key(source: str, configs: Sequence[Config], max_steps: int,
+              fault: str | None) -> str:
+    return cache_key(source, "fuzz", {
+        "configs": [c.as_dict() for c in configs],
+        "max_steps": max_steps,
+        "fault": fault,
+    })
+
+
+def _worker_check(source: str, configs: tuple[Config, ...], max_steps: int,
+                  fault: str | None) -> bytes:
+    return pickle.dumps(check_program(source, configs, max_steps, fault))
+
+
+def check_many(
+    programs: Sequence,
+    configs: Sequence[Config] | None = None,
+    workers: int | None = None,
+    cache: ArtifactCache | None = None,
+    max_steps: int = DEFAULT_MAX_STEPS,
+    fault: str | None = None,
+    progress=None,
+) -> list[ProgramReport]:
+    """Check a batch of programs, in input order, over a process pool.
+
+    ``programs`` holds source strings or :class:`~repro.fuzz.gen.FuzzProgram`
+    objects.  ``workers <= 1`` (or a single program) runs serially.  With a
+    ``cache``, verdict reports are stored under kind ``"fuzz"`` keyed by
+    source + configs, so replaying an unchanged corpus hits disk only.
+    ``progress`` is an optional ``callable(index, report)``.
+    """
+    configs = tuple(configs) if configs is not None else default_configs()
+    seeds = [getattr(p, "seed", None) for p in programs]
+    sources = [getattr(p, "source", p) for p in programs]
+    results: list[ProgramReport | None] = [None] * len(sources)
+
+    pending: list[int] = []
+    for index, source in enumerate(sources):
+        if cache is not None:
+            hit = cache.load(_fuzz_key(source, configs, max_steps, fault),
+                             "fuzz")
+            if isinstance(hit, ProgramReport):
+                hit.seed = seeds[index]
+                results[index] = hit
+                if progress is not None:
+                    progress(index, hit)
+                continue
+        pending.append(index)
+
+    workers = resolve_workers(workers)
+
+    def _finish(index: int, report: ProgramReport) -> None:
+        report.seed = seeds[index]
+        results[index] = report
+        if cache is not None:
+            cache.store(_fuzz_key(sources[index], configs, max_steps, fault),
+                        "fuzz", report)
+        if progress is not None:
+            progress(index, report)
+
+    if workers <= 1 or len(pending) <= 1:
+        for index in pending:
+            _finish(index, check_program(sources[index], configs, max_steps,
+                                         fault))
+        return results  # type: ignore[return-value]
+
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = {
+            index: pool.submit(_worker_check, sources[index], configs,
+                               max_steps, fault)
+            for index in pending
+        }
+        for index, future in futures.items():
+            try:
+                report = pickle.loads(future.result())
+            except Exception:
+                # worker death / pickle hiccup: redo serially in the parent
+                report = check_program(sources[index], configs, max_steps,
+                                       fault)
+            _finish(index, report)
+    return results  # type: ignore[return-value]

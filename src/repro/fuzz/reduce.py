@@ -1,0 +1,211 @@
+"""Delta-debugging minimizer: shrink a divergent program at statement
+granularity.
+
+Reduction edits operate on the :class:`~repro.fuzz.gen.FuzzProgram`
+statement tree (never on raw text), so every candidate renders to
+syntactically valid MKC:
+
+* delete any statement;
+* splice an ``if`` into its then- or else-arm (dropping the branch);
+* replace a ``for`` loop with its body behind ``int var = 0;``;
+* drop terms from the final return expression;
+* drop the helper function or the global array outright.
+
+A candidate is kept when the *predicate* still holds — by default "the
+differential oracle still reports a divergence on the configurations
+that originally failed".  Candidates that break the program (use of a
+deleted variable, ``break`` hoisted out of its loop, ...) fail frontend
+compilation, make the predicate false and are simply skipped, which is
+what keeps text-free statement-tree reduction sound.  The loop greedily
+restarts after every successful edit until a fixpoint (or the evaluation
+budget) is reached — classic ddmin specialised to single-statement
+granularity.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.fuzz.gen import Break, Decl, For, FuzzProgram, If
+from repro.fuzz.oracle import Config, check_program
+
+__all__ = ["divergence_predicate", "minimize"]
+
+#: default cap on predicate evaluations per minimization
+DEFAULT_BUDGET = 600
+
+
+def divergence_predicate(
+    configs: Sequence[Config],
+    max_steps: int | None = None,
+    fault: str | None = None,
+) -> Callable[[FuzzProgram], bool]:
+    """Predicate: the program still diverges on any of ``configs``.
+
+    Programs the frontend rejects are never "interesting" — that is the
+    guard that stops reduction from wandering into invalid source.
+    """
+    from repro.fuzz.oracle import DEFAULT_MAX_STEPS
+
+    steps = max_steps if max_steps is not None else DEFAULT_MAX_STEPS
+    configs = tuple(configs)
+
+    def predicate(program: FuzzProgram) -> bool:
+        report = check_program(program, configs, steps, fault)
+        if report.reference[0] == "frontend-error":
+            return False
+        return bool(report.divergences)
+
+    return predicate
+
+
+# --------------------------------------------------------------------------
+# edit enumeration
+
+
+def _walk(root: list, chain=()):
+    """Yield every statement list in the tree as ``(chain, list)``;
+    ``chain`` is a path of ``(index, attr)`` hops from ``root``."""
+    yield chain, root
+    for index, stmt in enumerate(root):
+        if isinstance(stmt, If):
+            yield from _walk(stmt.then, chain + ((index, "then"),))
+            if stmt.orelse:
+                yield from _walk(stmt.orelse, chain + ((index, "orelse"),))
+        elif isinstance(stmt, For):
+            yield from _walk(stmt.body, chain + ((index, "body"),))
+
+
+def _resolve(program: FuzzProgram, root: str, chain) -> list:
+    lst = program.body if root == "body" else program.helper.body
+    for index, attr in chain:
+        lst = getattr(lst[index], attr)
+    return lst
+
+
+def _stmt_size(stmt) -> int:
+    if isinstance(stmt, If):
+        return 1 + sum(map(_stmt_size, stmt.then)) + \
+            sum(map(_stmt_size, stmt.orelse))
+    if isinstance(stmt, For):
+        return 1 + sum(map(_stmt_size, stmt.body))
+    return 1
+
+
+def _edits(program: FuzzProgram):
+    """Enumerate candidate edits, largest deletions first."""
+    deletes = []
+    splices = []
+    roots = [("body", program.body)]
+    if program.helper is not None:
+        roots.append(("helper", program.helper.body))
+    for root_name, root_list in roots:
+        for chain, lst in _walk(root_list):
+            for index, stmt in enumerate(lst):
+                deletes.append((_stmt_size(stmt),
+                                ("delete", root_name, chain, index)))
+                if isinstance(stmt, If):
+                    splices.append(("splice-then", root_name, chain, index))
+                    if stmt.orelse:
+                        splices.append(("splice-else", root_name, chain,
+                                        index))
+                elif isinstance(stmt, For):
+                    splices.append(("unloop", root_name, chain, index))
+    deletes.sort(key=lambda pair: -pair[0])
+    yield from (edit for _, edit in deletes)
+    yield from splices
+    if program.helper is not None:
+        yield ("drop-helper", None, None, None)
+    if program.array is not None:
+        yield ("drop-array", None, None, None)
+    terms = [t.strip() for t in program.ret.split(" + ")]
+    if len(terms) > 1:
+        for index in range(len(terms)):
+            yield ("drop-ret-term", None, None, index)
+
+
+def _apply(program: FuzzProgram, edit) -> FuzzProgram | None:
+    kind, root, chain, index = edit
+    candidate = program.clone()
+    if kind == "drop-helper":
+        candidate.helper = None
+        return candidate
+    if kind == "drop-array":
+        candidate.array = None
+        return candidate
+    if kind == "drop-ret-term":
+        terms = [t.strip() for t in candidate.ret.split(" + ")]
+        del terms[index]
+        candidate.ret = " + ".join(terms) if terms else "0"
+        return candidate
+    lst = _resolve(candidate, root, chain)
+    stmt = lst[index]
+    if kind == "delete":
+        del lst[index]
+        return candidate
+    if kind == "splice-then":
+        lst[index:index + 1] = stmt.then
+        return candidate
+    if kind == "splice-else":
+        lst[index:index + 1] = stmt.orelse
+        return candidate
+    if kind == "unloop":
+        lst[index:index + 1] = [Decl(stmt.var, "0")] + stmt.body
+        return candidate
+    raise ValueError(f"unknown edit {kind!r}")  # pragma: no cover
+
+
+def _has_stray_break(program: FuzzProgram) -> bool:
+    """Cheap structural pre-check so obviously-invalid candidates skip the
+    (expensive) predicate: a ``break`` outside any loop."""
+
+    def scan(body, in_loop: bool) -> bool:
+        for stmt in body:
+            if isinstance(stmt, Break) and not in_loop:
+                return True
+            if isinstance(stmt, If):
+                if scan(stmt.then, in_loop) or scan(stmt.orelse, in_loop):
+                    return True
+            elif isinstance(stmt, For):
+                if scan(stmt.body, True):
+                    return True
+        return False
+
+    if scan(program.body, False):
+        return True
+    return program.helper is not None and scan(program.helper.body, False)
+
+
+def minimize(
+    program: FuzzProgram | str,
+    predicate: Callable[[FuzzProgram], bool],
+    budget: int = DEFAULT_BUDGET,
+) -> FuzzProgram:
+    """Greedy statement-granularity reduction to a local minimum.
+
+    ``predicate(candidate)`` decides whether a candidate is still
+    interesting; the input ``program`` itself must satisfy it.  At most
+    ``budget`` predicate evaluations are spent; the smallest interesting
+    program found so far is returned.
+    """
+    if isinstance(program, str):
+        raise TypeError(
+            "minimize() needs a FuzzProgram statement tree; parse-free "
+            "source reduction is not supported — regenerate from the seed")
+    current = program.clone()
+    spent = 0
+    changed = True
+    while changed and spent < budget:
+        changed = False
+        for edit in _edits(current):
+            candidate = _apply(current, edit)
+            if candidate is None or _has_stray_break(candidate):
+                continue
+            spent += 1
+            if predicate(candidate):
+                current = candidate
+                changed = True
+                break
+            if spent >= budget:
+                break
+    return current

@@ -280,4 +280,11 @@ def optimize_function(func: Function) -> LocalOptStats:
         stats.copies_propagated += got.copies_propagated
         stats.cse_hits += got.cse_hits
         stats.branches_folded += got.branches_folded
+    if stats.branches_folded:
+        # folding a constant branch deletes a CFG edge; whatever that edge
+        # alone kept alive must go too, or the verifier (rightly) rejects
+        # the function
+        from repro.opt.simplify_cfg import remove_unreachable
+
+        remove_unreachable(func)
     return stats

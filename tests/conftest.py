@@ -1,0 +1,37 @@
+"""Shared pytest configuration: hypothesis profiles and the slow marker.
+
+Profiles (select with ``HYPOTHESIS_PROFILE=<name>``):
+
+* ``default`` — per-test example counts as written; what CI's test job
+  and local ``pytest`` runs use.
+* ``nightly`` — many more examples per property, no deadline; paired
+  with ``-m slow`` to also enable the long fuzz sweeps::
+
+      HYPOTHESIS_PROFILE=nightly pytest -m "slow or not slow"
+
+``slow``-marked tests are deselected by default via ``addopts`` in
+``pyproject.toml``; select them with ``-m slow`` (only the slow ones) or
+``-m "slow or not slow"`` (everything).
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile("default", deadline=None)
+settings.register_profile(
+    "nightly",
+    deadline=None,
+    max_examples=300,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
+
+
+def nightly_examples(fast: int, nightly: int = 200) -> int:
+    """Example count for a property: ``fast`` normally, ``nightly`` when
+    the nightly profile is active (so per-test ``@settings`` don't pin
+    the sweep size down)."""
+    if settings.default.max_examples >= 300:
+        return nightly
+    return fast

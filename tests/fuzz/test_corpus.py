@@ -1,0 +1,112 @@
+"""Tests for the persistent reproducer corpus."""
+
+import json
+
+import pytest
+
+from repro.fuzz.corpus import Corpus, CorpusEntry, default_corpus, entry_id
+from repro.fuzz.gen import generate
+from repro.fuzz.oracle import Config, check_program, default_configs
+
+CLEAN = "int main() { return 5; }\n"
+
+
+def _entry(source=CLEAN, **kwargs):
+    defaults = dict(kind="value-mismatch",
+                    configs=[Config("traditional", 16, True).as_dict()],
+                    seed=9, fault=None, detail="d", note="n")
+    defaults.update(kwargs)
+    return CorpusEntry(source=source, **defaults)
+
+
+class TestEntry:
+    def test_id_is_content_addressed(self):
+        assert _entry().id == entry_id(CLEAN)
+        assert _entry().id != _entry(source=CLEAN + "\n").id
+        assert len(_entry().id) == 12
+
+    def test_dict_roundtrip(self):
+        entry = _entry()
+        again = CorpusEntry.from_dict(entry.as_dict())
+        assert again == entry
+
+    def test_config_objects(self):
+        assert _entry().config_objects() == [Config("traditional", 16, True)]
+
+    def test_from_report(self):
+        report = check_program(generate(4), default_configs(),
+                               fault="cloop-reload-off-by-one")
+        assert not report.ok
+        entry = CorpusEntry.from_report(report,
+                                        fault="cloop-reload-off-by-one")
+        assert entry.source == report.source
+        assert entry.seed == 4
+        assert entry.fault == "cloop-reload-off-by-one"
+        assert entry.configs  # the failing configs were recorded
+
+    def test_from_report_requires_divergence(self):
+        report = check_program(CLEAN, default_configs(checked=False))
+        with pytest.raises(ValueError, match="no divergences"):
+            CorpusEntry.from_report(report)
+
+
+class TestCorpusStore:
+    def test_add_load_roundtrip(self, tmp_path):
+        corpus = Corpus(tmp_path / "corpus")
+        path = corpus.add(_entry())
+        assert path.name == f"{_entry().id}.json"
+        assert len(corpus) == 1
+        assert corpus.entries() == [_entry()]
+
+    def test_add_is_idempotent(self, tmp_path):
+        corpus = Corpus(tmp_path / "corpus")
+        corpus.add(_entry())
+        corpus.add(_entry())
+        assert len(corpus) == 1
+
+    def test_entries_sorted_and_json_readable(self, tmp_path):
+        corpus = Corpus(tmp_path / "corpus")
+        corpus.add(_entry())
+        corpus.add(_entry(source="int main() { return 6; }\n"))
+        names = [path.name for path in corpus.paths()]
+        assert names == sorted(names)
+        data = json.loads(corpus.paths()[0].read_text())
+        assert set(data) >= {"id", "source", "kind", "configs"}
+
+    def test_empty_corpus(self, tmp_path):
+        corpus = Corpus(tmp_path / "missing")
+        assert len(corpus) == 0
+        assert corpus.entries() == []
+        assert corpus.replay() == []
+
+    def test_default_corpus_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_FUZZ_CORPUS", str(tmp_path / "env"))
+        assert default_corpus().root == tmp_path / "env"
+        assert default_corpus(tmp_path / "arg").root == tmp_path / "arg"
+
+
+class TestReplay:
+    def test_clean_entries_replay_green(self, tmp_path):
+        corpus = Corpus(tmp_path / "corpus")
+        corpus.add(_entry())
+        corpus.add(_entry(source=generate(3).source, seed=3))
+        results = corpus.replay(workers=0)
+        assert len(results) == 2
+        assert all(report.ok for _, report in results)
+
+    def test_faulty_entries_replay_without_fault(self, tmp_path):
+        # recorded under an injected fault, replayed clean: must pass
+        report = check_program(generate(4), fault="cloop-reload-off-by-one")
+        corpus = Corpus(tmp_path / "corpus")
+        corpus.add(CorpusEntry.from_report(report,
+                                           fault="cloop-reload-off-by-one"))
+        results = corpus.replay(workers=0)
+        assert all(r.ok for _, r in results)
+
+    def test_explicit_configs_override(self, tmp_path):
+        corpus = Corpus(tmp_path / "corpus")
+        corpus.add(_entry())
+        grid = (Config("traditional", None, False),)
+        results = corpus.replay(configs=grid, workers=0)
+        ((_, report),) = results
+        assert [v.config for v in report.verdicts] == list(grid)

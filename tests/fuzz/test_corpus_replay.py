@@ -1,0 +1,35 @@
+"""Replay the checked-in regression corpus through the differential
+oracle: every program in ``tests/fuzz_corpus`` once diverged and must
+never diverge again."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz.corpus import Corpus
+
+CORPUS_DIR = Path(__file__).resolve().parent.parent / "fuzz_corpus"
+
+
+def _corpus():
+    return Corpus(CORPUS_DIR)
+
+
+def test_corpus_is_checked_in():
+    assert len(_corpus()) > 0, "the seed corpus went missing"
+
+
+@pytest.mark.parametrize("path", sorted(CORPUS_DIR.glob("*.json")),
+                         ids=lambda path: path.stem)
+def test_entry_file_is_well_formed(path):
+    entry = Corpus.load(path)
+    assert path.stem == entry.id, "file name must match the content hash"
+    assert entry.source.strip()
+    assert entry.kind
+
+
+def test_no_regressions():
+    results = _corpus().replay(workers=0)
+    bad = [(entry.id, report.divergences[0].describe())
+           for entry, report in results if not report.ok]
+    assert not bad, f"corpus regressions: {bad}"

@@ -1,0 +1,31 @@
+"""Long differential sweeps — the nightly (slow-marked) fuzz smoke.
+
+The fast suite replays the corpus and spot-checks a handful of seeds;
+this module is the in-process cousin of the CI job's
+``python -m repro.fuzz run --seeds 300``.
+"""
+
+import pytest
+
+from repro.fuzz.gen import generate
+from repro.fuzz.oracle import check_many, default_configs
+
+
+@pytest.mark.slow
+def test_hundred_seed_sweep_is_divergence_free():
+    programs = [generate(seed) for seed in range(100)]
+    reports = check_many(programs, default_configs())
+    bad = [(r.seed, r.divergences[0].describe())
+           for r in reports if not r.ok]
+    assert not bad, f"divergences: {bad}"
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("fault", ["cloop-reload-off-by-one",
+                                   "dce-drop-store",
+                                   "ifconvert-guard-drop"])
+def test_every_fault_is_caught_within_forty_seeds(fault):
+    programs = [generate(seed) for seed in range(40)]
+    reports = check_many(programs, default_configs(), fault=fault)
+    assert any(not r.ok for r in reports), \
+        f"fault {fault} survived 40 seeds undetected"

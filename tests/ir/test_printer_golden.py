@@ -1,0 +1,66 @@
+"""Golden-snapshot tests for the IR printer on benchmark programs.
+
+The rendered frontend IR of a few ``repro.bench`` programs is pinned to
+checked-in text files: any change to the frontend's lowering or to
+``format_module`` output shows up as a readable diff.  Regenerate after
+an intentional change with::
+
+    REPRO_UPDATE_GOLDEN=1 pytest tests/ir/test_printer_golden.py
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.bench import benchmark
+from repro.ir.printer import format_function, format_module, op_location
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+
+#: small / mid-sized benchmarks: enough shape coverage without pinning
+#: thousands of lines of text
+SNAPSHOT = ["adpcm_dec", "adpcm_enc", "mpeg2_dec"]
+
+
+def _render(name: str) -> str:
+    return format_module(benchmark(name).build()) + "\n"
+
+
+@pytest.mark.parametrize("name", SNAPSHOT)
+def test_matches_golden(name):
+    golden = GOLDEN_DIR / f"{name}.ir.txt"
+    rendered = _render(name)
+    if os.environ.get("REPRO_UPDATE_GOLDEN"):
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        golden.write_text(rendered)
+    assert golden.exists(), \
+        f"missing golden file {golden}; run with REPRO_UPDATE_GOLDEN=1"
+    assert rendered == golden.read_text(), (
+        f"{name}: IR print drifted from {golden.name}; if intentional, "
+        "regenerate with REPRO_UPDATE_GOLDEN=1"
+    )
+
+
+@pytest.mark.parametrize("name", SNAPSHOT)
+def test_render_is_deterministic(name):
+    # two independent frontend builds print identically (round-trip
+    # stability is what makes the snapshots meaningful)
+    assert _render(name) == _render(name)
+
+
+def test_golden_dir_has_no_orphans():
+    expected = {f"{name}.ir.txt" for name in SNAPSHOT}
+    actual = {path.name for path in GOLDEN_DIR.glob("*.ir.txt")}
+    assert actual == expected
+
+
+def test_format_function_labels_match_op_location():
+    # every "#index" the printer emits is greppable via op_location()
+    func = benchmark("adpcm_enc").build().function("main")
+    text = format_function(func)
+    for block in func.blocks:
+        for index in range(len(block.ops)):
+            location = op_location("main", block.label, index)
+            assert location == f"main/{block.label}#{index}"
+            assert f"#{index:<3d}" in text

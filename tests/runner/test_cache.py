@@ -145,6 +145,41 @@ class TestCorruptionTolerance:
         assert not path.exists()
 
 
+class TestDeterministicArtifacts:
+    """Two cold compile+simulate runs of the same Figure 7 cell must
+    leave byte-identical cached ``RunSummary`` artifacts — the property
+    the whole disk cache (and CI result comparison) rests on."""
+
+    CELL = ("adpcm_enc", "traditional", 16)
+
+    def _cold_run_bytes(self, root):
+        from repro.runner.parallel import run_cell, run_key
+
+        cache = ArtifactCache(root)
+        name, pipeline, capacity = self.CELL
+        summary = run_cell(name, pipeline, capacity, cache=cache)
+        path = cache.path_for(run_key(name, pipeline, capacity), "run")
+        return summary, path.read_bytes()
+
+    def test_cold_runs_byte_identical(self, tmp_path):
+        first, blob_a = self._cold_run_bytes(tmp_path / "a")
+        second, blob_b = self._cold_run_bytes(tmp_path / "b")
+        assert first == second
+        assert blob_a == blob_b
+
+    def test_warm_run_served_from_identical_artifact(self, tmp_path):
+        from repro.runner.parallel import run_cell, run_key
+
+        cache = ArtifactCache(tmp_path / "c")
+        name, pipeline, capacity = self.CELL
+        cold = run_cell(name, pipeline, capacity, cache=cache)
+        path = cache.path_for(run_key(name, pipeline, capacity), "run")
+        blob = path.read_bytes()
+        warm = run_cell(name, pipeline, capacity, cache=cache)
+        assert warm == cold
+        assert path.read_bytes() == blob  # the hit did not rewrite it
+
+
 class TestDefaultCache:
     def test_env_dir_and_disable(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))

@@ -115,6 +115,53 @@ class TestCycleAccounting:
         assert result.value == expected
 
 
+class TestDivModShiftDifferential:
+    """The compiled VLIW must agree with the interpreter on div/mod/shift
+    with negative and boundary operands — the same oracle the fuzzer
+    (:mod:`repro.fuzz.oracle`) applies, pinned to the nastiest operands."""
+
+    SOURCE = """
+int main() {{
+    int acc = 0;
+    int a = {a};
+    for (int i = 0; i < 6; i++) {{
+        acc += a / {d};
+        acc ^= a % {d};
+        acc += a << {sh};
+        acc -= a >> {sh};
+        a = a * -3 + i;
+    }}
+    return acc;
+}}"""
+
+    CASES = [
+        {"a": -(1 << 31), "d": -1, "sh": 31},
+        {"a": -7, "d": 2, "sh": 1},
+        {"a": (1 << 31) - 1, "d": -7, "sh": 30},
+        {"a": -1, "d": 13, "sh": 0},
+        {"a": 65535, "d": -3, "sh": 16},
+    ]
+
+    def _check(self, case):
+        from repro.frontend import compile_source
+        from repro.pipeline import (
+            compile_aggressive,
+            compile_traditional,
+            run_compiled,
+        )
+
+        src = self.SOURCE.format(**case)
+        expected = run_module(compile_source(src)).value
+        for compile_fn in (compile_traditional, compile_aggressive):
+            outcome = run_compiled(compile_fn(compile_source(src),
+                                              buffer_capacity=64))
+            assert outcome.result.value == expected, (case, compile_fn)
+
+    def test_boundary_operand_parity(self):
+        for case in self.CASES:
+            self._check(case)
+
+
 class TestEviction:
     def test_two_loops_sharing_small_buffer_rerecord(self):
         # two alternating loops too big to cohabit a tiny buffer

@@ -1,0 +1,78 @@
+"""Shared hypothesis strategies for random MKC programs.
+
+These composites are the single home for random-program generation used
+by the property-based tests (``tests/test_property_semantics.py``) and
+the fuzz-adjacent suites; the seeded grammar-directed generator in
+:mod:`repro.fuzz.gen` is exposed here as a strategy too
+(:func:`fuzz_program`), so hypothesis shrinking and the differential
+fuzzer draw from the same program space.
+"""
+
+from hypothesis import strategies as st
+
+from repro.fuzz.gen import generate_source
+
+BINOPS = ["+", "-", "*", "&", "|", "^"]
+
+
+@st.composite
+def straightline_program(draw):
+    """A chain of assignments over a small set of variables."""
+    n_vars = draw(st.integers(min_value=2, max_value=5))
+    names = [f"v{i}" for i in range(n_vars)]
+    lines = [f"int {name} = {draw(st.integers(-100, 100))};"
+             for name in names]
+    for _ in range(draw(st.integers(1, 12))):
+        dst = draw(st.sampled_from(names))
+        a = draw(st.sampled_from(names + [str(draw(st.integers(-50, 50)))]))
+        b = draw(st.sampled_from(names + [str(draw(st.integers(-50, 50)))]))
+        op = draw(st.sampled_from(BINOPS))
+        lines.append(f"{dst} = {a} {op} {b};")
+    result = " + ".join(names)
+    body = "\n    ".join(lines)
+    return f"int main() {{\n    {body}\n    return {result};\n}}"
+
+
+@st.composite
+def loop_with_diamond_program(draw):
+    bound = draw(st.integers(1, 30))
+    threshold = draw(st.integers(-20, 20))
+    mul = draw(st.integers(-5, 5))
+    add = draw(st.integers(-5, 5))
+    return f"""
+int main() {{
+    int s = 0;
+    for (int i = 0; i < {bound}; i++) {{
+        int v = i * 7 % 13 - 6;
+        if (v < {threshold}) s += v * {mul};
+        else s += v + {add};
+    }}
+    return s;
+}}"""
+
+
+@st.composite
+def nested_loop_program(draw):
+    outer = draw(st.integers(1, 6))
+    inner = draw(st.integers(1, 6))
+    return f"""
+int main() {{
+    int acc = 0;
+    for (int j = 0; j < {outer}; j++) {{
+        for (int i = 0; i < {inner}; i++)
+            acc += j * {inner} + i;
+        acc += 1000;
+    }}
+    return acc;
+}}"""
+
+
+@st.composite
+def fuzz_program(draw):
+    """Source text from the seeded fuzzer grammar (:mod:`repro.fuzz.gen`).
+
+    Hypothesis shrinks towards seed 0; statement-level minimization of a
+    failing program is the fuzzer's job (``repro.fuzz.reduce``).
+    """
+    return generate_source(draw(st.integers(min_value=0,
+                                            max_value=2**32 - 1)))

@@ -1,11 +1,14 @@
 """Property-based semantics-preservation tests.
 
 Random programs (straight-line arithmetic, diamonds inside loops,
-counted nests) run through the optimizer / if-conversion / the full
-aggressive pipeline must always compute the same result as the original
-IR — the invariant the whole compiler rests on.
+counted nests — see ``tests/strategies.py``) run through the optimizer /
+if-conversion / the full aggressive pipeline must always compute the
+same result as the original IR — the invariant the whole compiler rests
+on.  Example counts scale up automatically under the nightly hypothesis
+profile (``HYPOTHESIS_PROFILE=nightly``, see ``tests/conftest.py``).
 """
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -18,62 +21,16 @@ from repro.pipeline import compile_aggressive, compile_traditional, run_compiled
 from repro.predication.hyperblock import form_loop_hyperblocks
 from repro.sim.interp import run_module
 
-_BINOPS = ["+", "-", "*", "&", "|", "^"]
+from tests.conftest import nightly_examples
+from tests.strategies import (
+    fuzz_program,
+    loop_with_diamond_program,
+    nested_loop_program,
+    straightline_program,
+)
 
 
-@st.composite
-def straightline_program(draw):
-    """A chain of assignments over a small set of variables."""
-    n_vars = draw(st.integers(min_value=2, max_value=5))
-    names = [f"v{i}" for i in range(n_vars)]
-    lines = [f"int {name} = {draw(st.integers(-100, 100))};"
-             for name in names]
-    for _ in range(draw(st.integers(1, 12))):
-        dst = draw(st.sampled_from(names))
-        a = draw(st.sampled_from(names + [str(draw(st.integers(-50, 50)))]))
-        b = draw(st.sampled_from(names + [str(draw(st.integers(-50, 50)))]))
-        op = draw(st.sampled_from(_BINOPS))
-        lines.append(f"{dst} = {a} {op} {b};")
-    result = " + ".join(names)
-    body = "\n    ".join(lines)
-    return f"int main() {{\n    {body}\n    return {result};\n}}"
-
-
-@st.composite
-def loop_with_diamond_program(draw):
-    bound = draw(st.integers(1, 30))
-    threshold = draw(st.integers(-20, 20))
-    mul = draw(st.integers(-5, 5))
-    add = draw(st.integers(-5, 5))
-    return f"""
-int main() {{
-    int s = 0;
-    for (int i = 0; i < {bound}; i++) {{
-        int v = i * 7 % 13 - 6;
-        if (v < {threshold}) s += v * {mul};
-        else s += v + {add};
-    }}
-    return s;
-}}"""
-
-
-@st.composite
-def nested_loop_program(draw):
-    outer = draw(st.integers(1, 6))
-    inner = draw(st.integers(1, 6))
-    return f"""
-int main() {{
-    int acc = 0;
-    for (int j = 0; j < {outer}; j++) {{
-        for (int i = 0; i < {inner}; i++)
-            acc += j * {inner} + i;
-        acc += 1000;
-    }}
-    return acc;
-}}"""
-
-
-@settings(max_examples=30, deadline=None)
+@settings(max_examples=nightly_examples(30), deadline=None)
 @given(straightline_program())
 def test_local_opt_preserves_straightline(src):
     module = compile_source(src)
@@ -85,7 +42,7 @@ def test_local_opt_preserves_straightline(src):
     assert run_module(module).value == expected
 
 
-@settings(max_examples=20, deadline=None)
+@settings(max_examples=nightly_examples(20), deadline=None)
 @given(loop_with_diamond_program())
 def test_if_conversion_preserves_loops(src):
     module = compile_source(src)
@@ -96,7 +53,7 @@ def test_if_conversion_preserves_loops(src):
     assert run_module(module).value == expected
 
 
-@settings(max_examples=10, deadline=None)
+@settings(max_examples=nightly_examples(10, 100), deadline=None)
 @given(loop_with_diamond_program())
 def test_full_aggressive_pipeline_preserves(src):
     module = compile_source(src)
@@ -105,7 +62,7 @@ def test_full_aggressive_pipeline_preserves(src):
     assert outcome.result.value == expected
 
 
-@settings(max_examples=10, deadline=None)
+@settings(max_examples=nightly_examples(10, 100), deadline=None)
 @given(nested_loop_program())
 def test_nest_transforms_preserve(src):
     module = compile_source(src)
@@ -115,7 +72,7 @@ def test_nest_transforms_preserve(src):
         assert outcome.result.value == expected
 
 
-@settings(max_examples=20, deadline=None)
+@settings(max_examples=nightly_examples(20), deadline=None)
 @given(st.integers(-1000, 1000), st.integers(-1000, 1000),
        st.integers(-1000, 1000))
 def test_frontend_expression_oracle(a, b, c):
@@ -132,3 +89,16 @@ int main() {{
 
     expected = wrap32((a * 3 - (b | 12)) ^ ((c & a) + (b >> 2)))
     assert run_module(module).value == expected
+
+
+@pytest.mark.slow
+@settings(max_examples=nightly_examples(25, 150), deadline=None)
+@given(fuzz_program())
+def test_fuzz_grammar_full_pipeline_preserves(src):
+    """Programs from the fuzzer grammar survive both pipelines (a
+    hypothesis-driven slice of what ``python -m repro.fuzz run`` covers)."""
+    module = compile_source(src)
+    expected = run_module(module).value
+    for compile_fn in (compile_traditional, compile_aggressive):
+        outcome = run_compiled(compile_fn(module, buffer_capacity=64))
+        assert outcome.result.value == expected
