@@ -46,26 +46,38 @@ _COMPILERS = {
 
 @dataclass(frozen=True, order=True)
 class Config:
-    """One pipeline × capacity × checked-mode point of the oracle grid."""
+    """One pipeline × capacity × checked-mode point of the oracle grid.
+
+    ``engine`` selects the simulator implementation the compiled half
+    runs on (``"fast"`` predecoded, ``"ref"`` reference); the reference
+    half of every comparison is always interpreted with the ``"ref"``
+    engine, so a ``Config(engine="fast")`` differentially checks the fast
+    path against the reference interpreter on top of the usual
+    compiled-vs-interpreted check.
+    """
 
     pipeline: str
     capacity: int | None = None
     checked: bool = False
+    engine: str = "fast"
 
     @property
     def label(self) -> str:
         cap = "none" if self.capacity is None else str(self.capacity)
         suffix = "+checked" if self.checked else ""
+        if self.engine != "fast":
+            suffix += f"+{self.engine}"
         return f"{self.pipeline}@{cap}{suffix}"
 
     def as_dict(self) -> dict:
         return {"pipeline": self.pipeline, "capacity": self.capacity,
-                "checked": self.checked}
+                "checked": self.checked, "engine": self.engine}
 
     @classmethod
     def from_dict(cls, data: dict) -> "Config":
         return cls(data["pipeline"], data.get("capacity"),
-                   bool(data.get("checked")))
+                   bool(data.get("checked")),
+                   data.get("engine", "fast"))
 
 
 def default_configs(
@@ -132,7 +144,9 @@ def reference_outcome(source: str,
     except Exception as exc:
         return ("frontend-error", f"{type(exc).__name__}: {exc}")
     try:
-        return ("value", run_module(module, max_steps=max_steps).value)
+        # always the reference engine: this side anchors the comparison
+        return ("value", run_module(module, max_steps=max_steps,
+                                    engine="ref").value)
     except SimError as exc:
         return ("trap", type(exc).__name__)
 
@@ -152,7 +166,8 @@ def compiled_outcome(source: str, config: Config,
     try:
         compiled = _COMPILERS[config.pipeline](
             module, buffer_capacity=config.capacity,
-            max_steps=max_steps, checked=config.checked)
+            max_steps=max_steps, checked=config.checked,
+            engine=config.engine)
     except CheckedModeError as exc:
         return ("checked-failure",
                 f"{exc.pass_name}: {exc.diagnostics[0].format()}"
@@ -162,7 +177,8 @@ def compiled_outcome(source: str, config: Config,
     except Exception as exc:
         return ("compile-crash", f"{type(exc).__name__}: {exc}")
     try:
-        outcome = run_compiled(compiled, max_steps=max_steps)
+        outcome = run_compiled(compiled, max_steps=max_steps,
+                               engine=config.engine)
     except SimError as exc:
         return ("trap", type(exc).__name__)
     except CheckedModeError as exc:

@@ -64,6 +64,7 @@ from repro.predication.promotion import promote_function
 from repro.sched.list_sched import schedule_function
 from repro.sched.machine import DEFAULT_MACHINE, MachineDescription
 from repro.sched.modulo import ModuloSchedulingFailed, modulo_schedule
+from repro.sim.engine import engine_choice
 from repro.sim.interp import profile_module
 from repro.sim.power import FetchEnergy
 from repro.sim.vliw import simulate
@@ -298,14 +299,16 @@ def _scalar_cleanup(module: Module, checker: _PassChecker) -> None:
 
 def _common_frontend(module: Module, entry: str, args: list[int],
                      inline_budget: float, max_steps: int,
-                     checker: _PassChecker) -> Profile:
+                     checker: _PassChecker, engine: str) -> Profile:
     _scalar_cleanup(module, checker)
-    profile, _ = profile_module(module, entry, args, max_steps=max_steps)
+    profile, _ = profile_module(module, entry, args, max_steps=max_steps,
+                                engine=engine)
     checker.run("inline_module", inline_module, module, profile,
                 expansion_limit=inline_budget)
     _scalar_cleanup(module, checker)
     verify_module(module)
-    profile, _ = profile_module(module, entry, args, max_steps=max_steps)
+    profile, _ = profile_module(module, entry, args, max_steps=max_steps,
+                                engine=engine)
     return profile
 
 
@@ -318,9 +321,11 @@ def _backend(
     max_steps: int,
     stats: dict,
     checker: _PassChecker,
+    engine: str,
 ) -> Compiled:
     verify_module(module)
-    profile, _ = profile_module(module, entry, args, max_steps=max_steps)
+    profile, _ = profile_module(module, entry, args, max_steps=max_steps,
+                                engine=engine)
     tracer = checker.tracer
 
     # modulo-schedule simple loops; their MVE-expanded kernels are the
@@ -390,10 +395,17 @@ def compile_traditional(
     max_steps: int = 200_000_000,
     checked: bool | None = None,
     tracer=None,
+    engine: str | None = None,
 ) -> Compiled:
-    """The baseline pipeline: no predication, no loop restructuring."""
+    """The baseline pipeline: no predication, no loop restructuring.
+
+    ``engine`` selects the profiling-interpreter engine (``"ref"`` /
+    ``"fast"``; default per ``REPRO_ENGINE``) — both produce identical
+    profiles, hence identical compiled artifacts.
+    """
     module = copy.deepcopy(module)
     args = list(args or [])
+    engine = engine_choice(engine)
     enabled = checked_enabled(checked)
     stats: dict[str, object] = {"pipeline": "traditional"}
     if enabled:
@@ -402,12 +414,12 @@ def compile_traditional(
     with checker.tracer.span("compile_traditional", category="pipeline",
                              entry=entry):
         _common_frontend(module, entry, args, inline_budget, max_steps,
-                         checker)
+                         checker, engine)
         stats["cloops"] = checker.run("convert_counted_loops",
                                       convert_counted_loops_all, module)
         _scalar_cleanup(module, checker)
         return _backend(module, entry, args, machine, buffer_capacity,
-                        max_steps, stats, checker)
+                        max_steps, stats, checker, engine)
 
 
 def compile_aggressive(
@@ -425,10 +437,12 @@ def compile_aggressive(
     combine: bool = True,
     checked: bool | None = None,
     tracer=None,
+    engine: str | None = None,
 ) -> Compiled:
     """The paper's aggressive pipeline (hyperblock + loop transforms)."""
     module = copy.deepcopy(module)
     args = list(args or [])
+    engine = engine_choice(engine)
     enabled = checked_enabled(checked)
     stats: dict[str, object] = {"pipeline": "aggressive"}
     if enabled:
@@ -439,7 +453,7 @@ def compile_aggressive(
         return _compile_aggressive_body(
             module, entry, args, machine, buffer_capacity, inline_budget,
             max_steps, hammocks, collapse, peel, promote, combine, stats,
-            checker)
+            checker, engine)
 
 
 def _compile_aggressive_body(
@@ -457,9 +471,10 @@ def _compile_aggressive_body(
     combine: bool,
     stats: dict,
     checker: _PassChecker,
+    engine: str,
 ) -> Compiled:
     profile = _common_frontend(module, entry, args, inline_budget, max_steps,
-                               checker)
+                               checker, engine)
 
     peel_stats, collapse_stats, form_stats = [], [], []
     for func in module.functions.values():
@@ -489,7 +504,8 @@ def _compile_aggressive_body(
                         form_hammock_hyperblocks, func, profile, scope=scope)
     verify_module(module)
 
-    profile, _ = profile_module(module, entry, args, max_steps=max_steps)
+    profile, _ = profile_module(module, entry, args, max_steps=max_steps,
+                                engine=engine)
     combine_stats = []
     promote_stats = []
     for func in module.functions.values():
@@ -522,7 +538,7 @@ def _compile_aggressive_body(
         checker.run("eliminate_dead_code", eliminate_dead_code, func,
                     scope=func.name)
     return _backend(module, entry, args, machine, buffer_capacity,
-                    max_steps, stats, checker)
+                    max_steps, stats, checker, engine)
 
 
 def convert_counted_loops_all(module: Module):
@@ -592,18 +608,22 @@ def run_compiled(
     buffer_capacity: int | None | str = "compiled",
     max_steps: int = 200_000_000,
     tracer=None,
+    engine: str | None = None,
 ) -> SimulationOutcome:
     """Simulate a compiled program on the VLIW.
 
     ``buffer_capacity`` defaults to the capacity the program was compiled
     for (buffer assignment bakes offsets in); passing a different value is
     only meaningful for programs compiled with ``buffer_capacity=None``.
+    ``engine`` selects the simulator engine (``"ref"``/``"fast"``, default
+    per ``REPRO_ENGINE``); the counters are identical either way.
     """
     if buffer_capacity == "compiled":
         buffer_capacity = compiled.buffer_capacity
+    engine = engine_choice(engine)
     tracer = tracer if tracer is not None else get_tracer()
     with tracer.span("simulate", category="sim",
-                     capacity=buffer_capacity) as span:
+                     capacity=buffer_capacity, engine=engine) as span:
         result, counters, buffer = simulate(
             compiled.module,
             compiled.schedules,
@@ -614,6 +634,7 @@ def run_compiled(
             compiled.args,
             max_steps=max_steps,
             tracer=tracer,
+            engine=engine,
         )
         span.annotate(
             cycles=counters.cycles,

@@ -39,6 +39,7 @@ from repro.pipeline import (
 from repro.runner.cache import ArtifactCache, cache_key, default_cache
 from repro.runner.metrics import CellMetrics, MetricsRecorder
 from repro.runner.summary import RunSummary
+from repro.sim.engine import engine_choice
 
 ENV_WORKERS = "REPRO_WORKERS"
 
@@ -107,31 +108,38 @@ def _machine_fingerprint(machine) -> str:
             f"ob={machine.operation_bits}")
 
 
-def _base_flags(bench, checked: bool = False) -> dict:
+def _base_flags(bench, checked: bool = False, engine: str = "fast") -> dict:
     from repro.sched.machine import DEFAULT_MACHINE
 
     # ``checked`` is part of the key: a checked compile carries different
     # stats (and may raise), so it must never be served from — or poison —
-    # the unchecked cache entry.
+    # the unchecked cache entry.  ``engine`` is part of the key too: the
+    # engines are verified equivalent, but a differential sweep (bench_sim,
+    # the fuzz oracle) must never have one engine's artifacts satisfy the
+    # other's cells.
     return {
         "entry": bench.entry,
         "args": list(bench.args),
         "machine": _machine_fingerprint(DEFAULT_MACHINE),
         "buffer_capacity": None,
         "checked": checked,
+        "engine": engine,
     }
 
 
-def base_key(name: str, pipeline: str, checked: bool | None = None) -> str:
+def base_key(name: str, pipeline: str, checked: bool | None = None,
+             engine: str | None = None) -> str:
     bench = benchmark(name)
     return cache_key(bench.source, pipeline,
-                     _base_flags(bench, checked_enabled(checked)))
+                     _base_flags(bench, checked_enabled(checked),
+                                 engine_choice(engine)))
 
 
 def run_key(name: str, pipeline: str, capacity: int | None,
-            checked: bool | None = None) -> str:
+            checked: bool | None = None, engine: str | None = None) -> str:
     bench = benchmark(name)
-    flags = _base_flags(bench, checked_enabled(checked))
+    flags = _base_flags(bench, checked_enabled(checked),
+                        engine_choice(engine))
     flags["capacity"] = capacity
     return cache_key(bench.source, pipeline, flags)
 
@@ -142,16 +150,18 @@ def run_key(name: str, pipeline: str, capacity: int | None,
 
 def compile_base(name: str, pipeline: str,
                  cache: ArtifactCache | None = None,
-                 checked: bool | None = None) -> Compiled:
+                 checked: bool | None = None,
+                 engine: str | None = None) -> Compiled:
     """Compiled-but-unassigned base for a (benchmark, pipeline) group."""
     compiled, _seconds, _hit, _trace = _compile_base_timed(
-        name, pipeline, cache, checked_enabled(checked))
+        name, pipeline, cache, checked_enabled(checked),
+        engine=engine_choice(engine))
     return compiled
 
 
 def _compile_base_timed(
     name: str, pipeline: str, cache: ArtifactCache | None,
-    checked: bool = False, trace: bool = False,
+    checked: bool = False, trace: bool = False, engine: str = "fast",
 ) -> tuple[Compiled, float, bool, dict | None]:
     """Returns ``(compiled, seconds, cache_hit, trace_payload)``.
 
@@ -161,7 +171,7 @@ def _compile_base_timed(
     """
     if pipeline not in _COMPILERS:
         raise ValueError(f"unknown pipeline {pipeline!r}")
-    key = base_key(name, pipeline, checked)
+    key = base_key(name, pipeline, checked, engine)
     if cache is not None:
         cached = cache.load(key, "base")
         if cached is not None:
@@ -176,7 +186,7 @@ def _compile_base_timed(
     with obs_use(tracer) if trace else nullcontext():
         compiled = _COMPILERS[pipeline](bench.build(), entry=bench.entry,
                                         args=bench.args, buffer_capacity=None,
-                                        checked=checked)
+                                        checked=checked, engine=engine)
     seconds = time.perf_counter() - t0
     payload = tracer.to_payload() if trace else None
     if cache is not None:
@@ -192,6 +202,7 @@ def _execute_cell(
     base: Compiled | None = None,
     checked: bool = False,
     trace: bool = False,
+    engine: str = "fast",
 ) -> tuple[RunSummary, CellMetrics, Compiled | None]:
     """Run one cell end to end; raises AssertionError on checksum mismatch.
 
@@ -203,7 +214,7 @@ def _execute_cell(
     so the stored one stays valid).
     """
     cm = CellMetrics(cell.name, cell.pipeline, cell.capacity)
-    key = run_key(cell.name, cell.pipeline, cell.capacity, checked)
+    key = run_key(cell.name, cell.pipeline, cell.capacity, checked, engine)
     if cache is not None:
         cached = cache.load(key, "run")
         if isinstance(cached, RunSummary):
@@ -220,7 +231,7 @@ def _execute_cell(
     compile_payload = None
     if base is None:
         base, seconds, hit, compile_payload = _compile_base_timed(
-            cell.name, cell.pipeline, cache, checked, trace)
+            cell.name, cell.pipeline, cache, checked, trace, engine)
         cm.stages["compile"] = seconds
         cm.base_cache_hit = hit
     else:
@@ -231,7 +242,7 @@ def _execute_cell(
         t0 = time.perf_counter()
         compiled = with_buffer(base, cell.capacity, checked=checked)
         t1 = time.perf_counter()
-        outcome = run_compiled(compiled)
+        outcome = run_compiled(compiled, engine=engine)
     cm.stages["retarget"] = t1 - t0
     cm.stages["simulate"] = time.perf_counter() - t1
     if trace:
@@ -296,10 +307,12 @@ def run_cell(
     metrics: MetricsRecorder | None = None,
     checked: bool | None = None,
     trace: bool = False,
+    engine: str | None = None,
 ) -> RunSummary:
     """The single-cell entry point the experiments facade builds on."""
     summary, cm, _ = _execute_cell(Cell(name, pipeline, capacity), cache, base,
-                                   checked_enabled(checked), trace)
+                                   checked_enabled(checked), trace,
+                                   engine_choice(engine))
     if metrics is not None:
         metrics.add_cell(cm)
         if cache is not None:
@@ -314,19 +327,19 @@ def run_cell(
 
 def _worker_base(name: str, pipeline: str, cache_dir: str,
                  cache_enabled: bool, checked: bool = False,
-                 trace: bool = False) -> bytes:
+                 trace: bool = False, engine: str = "fast") -> bytes:
     cache = ArtifactCache(cache_dir, enabled=cache_enabled)
     compiled, seconds, hit, payload = _compile_base_timed(
-        name, pipeline, cache, checked, trace)
+        name, pipeline, cache, checked, trace, engine)
     return pickle.dumps((compiled, seconds, hit, payload, cache.stats))
 
 
 def _worker_cell(cell: Cell, base_blob: bytes | None, cache_dir: str,
                  cache_enabled: bool, checked: bool = False,
-                 trace: bool = False) -> bytes:
+                 trace: bool = False, engine: str = "fast") -> bytes:
     cache = ArtifactCache(cache_dir, enabled=cache_enabled)
     base = pickle.loads(base_blob) if base_blob is not None else None
-    summary, cm, _ = _execute_cell(cell, cache, base, checked, trace)
+    summary, cm, _ = _execute_cell(cell, cache, base, checked, trace, engine)
     cm.worker = f"pid{os.getpid()}"
     return pickle.dumps((summary, cm, cache.stats))
 
@@ -343,6 +356,7 @@ def run_grid(
     metrics: MetricsRecorder | None = None,
     checked: bool | None = None,
     trace: bool = False,
+    engine: str | None = None,
 ) -> list[RunSummary]:
     """Execute every cell, returning summaries in input-cell order.
 
@@ -358,7 +372,10 @@ def run_grid(
     compile error would, so keep grids small when debugging with it).
     ``trace`` records a span/event trace per cell onto its
     :class:`~repro.runner.metrics.CellMetrics` (see
-    :mod:`repro.obs.export` for the exporters).
+    :mod:`repro.obs.export` for the exporters).  ``engine`` selects the
+    simulator engine (``"ref"``/``"fast"``, default per ``REPRO_ENGINE``);
+    it is part of every cache key, so sweeping both engines against one
+    cache directory keeps their artifacts separate.
     """
     if cache == "default":
         cache = default_cache()
@@ -367,14 +384,15 @@ def run_grid(
     metrics.workers = max(1, workers)
     cells = list(cells)
     checked = checked_enabled(checked)
+    engine = engine_choice(engine)
 
     try:
         if workers <= 1 or len(cells) <= 1:
             results = _run_serial(cells, cache, metrics, checked=checked,
-                                  trace=trace)
+                                  trace=trace, engine=engine)
         else:
             results = _run_pool(cells, workers, timeout, cache, metrics,
-                                checked, trace)
+                                checked, trace, engine)
     finally:
         metrics.finish()
         if cache is not None:
@@ -386,8 +404,8 @@ def run_grid(
 def _run_serial(cells: Sequence[Cell], cache: ArtifactCache | None,
                 metrics: MetricsRecorder,
                 _execute=None, checked: bool = False,
-                trace: bool = False) -> list[RunSummary]:
-    execute = _execute or partial(_execute_cell, trace=trace)
+                trace: bool = False, engine: str = "fast") -> list[RunSummary]:
+    execute = _execute or partial(_execute_cell, trace=trace, engine=engine)
     bases: dict[tuple[str, str], Compiled] = {}
     results: list[RunSummary] = []
     for cell in cells:
@@ -410,7 +428,7 @@ def _run_pool(cells: Sequence[Cell], workers: int, timeout: float | None,
               cache: ArtifactCache | None,
               metrics: MetricsRecorder,
               checked: bool = False,
-              trace: bool = False) -> list[RunSummary]:
+              trace: bool = False, engine: str = "fast") -> list[RunSummary]:
     cache_dir = str(cache.root) if cache is not None else ""
     cache_enabled = cache is not None and cache.enabled
     groups = list(dict.fromkeys(cell.group for cell in cells))
@@ -430,7 +448,8 @@ def _run_pool(cells: Sequence[Cell], workers: int, timeout: float | None,
         # phase 1: one compile task per distinct (benchmark, pipeline)
         base_futures = {
             group: pool.submit(_worker_base, group[0], group[1],
-                               cache_dir, cache_enabled, checked, trace)
+                               cache_dir, cache_enabled, checked, trace,
+                               engine)
             for group in groups
         }
         base_blobs: dict[tuple[str, str], bytes] = {}
@@ -443,7 +462,7 @@ def _run_pool(cells: Sequence[Cell], workers: int, timeout: float | None,
             except Exception:
                 # timeout / worker death: retry the compile in the parent
                 compiled, _seconds, _hit, payload = _compile_base_timed(
-                    group[0], group[1], cache, checked, trace)
+                    group[0], group[1], cache, checked, trace, engine)
                 stats = None
             base_blobs[group] = pickle.dumps(compiled)
             base_traces[group] = payload
@@ -454,7 +473,7 @@ def _run_pool(cells: Sequence[Cell], workers: int, timeout: float | None,
         try:
             cell_futures = [
                 pool.submit(_worker_cell, cell, base_blobs[cell.group],
-                            cache_dir, cache_enabled, checked, trace)
+                            cache_dir, cache_enabled, checked, trace, engine)
                 for cell in cells
             ]
         except BrokenExecutor:
@@ -462,7 +481,7 @@ def _run_pool(cells: Sequence[Cell], workers: int, timeout: float | None,
             for index, cell in enumerate(cells):
                 base = pickle.loads(base_blobs[cell.group])
                 summary, cm, _ = _execute_cell(cell, cache, base, checked,
-                                               trace)
+                                               trace, engine)
                 _attach_base_trace(cell, cm)
                 metrics.add_cell(cm)
                 results[index] = summary
@@ -479,7 +498,7 @@ def _run_pool(cells: Sequence[Cell], workers: int, timeout: float | None,
                 # retry once in the parent, serially
                 base = pickle.loads(base_blobs[cell.group])
                 summary, cm, _ = _execute_cell(cell, cache, base, checked,
-                                               trace)
+                                               trace, engine)
                 cm.attempts = 2
                 stats = None
             _attach_base_trace(cell, cm)

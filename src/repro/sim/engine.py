@@ -1,0 +1,974 @@
+"""Fast-path execution engine: predecoded blocks + a loop-body trace cache.
+
+The reference :class:`~repro.sim.interp.Interpreter` re-dispatches every
+operation on every pass — an isinstance chain per operand, a dict of
+``VReg`` registers, a long opcode if-chain.  The paper's own observation
+(steady-state loop bodies dominate fetch) applies to the host simulator
+too: it spends nearly all its time re-interpreting the same few blocks.
+
+This module mirrors the loop-buffer idea at the host level:
+
+* Each IR block is *decoded once* into a flat list of argument-resolved
+  **op thunks** — closures binding the opcode handler, operand accessors
+  (register slot index or folded constant) and the guard check at decode
+  time.  Executing a pass is then one call per op.
+* Registers live in a flat per-frame ``list`` indexed by a per-function
+  slot assignment (:class:`FunctionProgram`), replacing the ``VReg``-keyed
+  dict of the reference frame.
+* Decoded :class:`BlockProgram` objects live in a :class:`TraceCache`
+  keyed by ``(function, block label)``, with explicit invalidation hooks
+  (:meth:`TraceCache.invalidate`) plus a cheap per-pass staleness check
+  (``len(block.ops)``) that catches op insertion/removal between passes.
+* Profile counts (block passes, op fetches, edge traversals, taken
+  branches) are accumulated in flat per-block arrays and folded into the
+  :class:`~repro.analysis.profile.Profile` once at the end of the run —
+  every count is identical to the reference interpreter's.
+
+Architectural behaviour is bit-identical to the reference engine: same
+values, same traps (including the exact op at which ``StepLimitExceeded``
+fires), same ``SimCounters``/``LoopFetchStats`` and obs instants for the
+VLIW.  Two documented exceptions: after a *trap*, the partially-recorded
+profile and ``steps`` of the trapping pass are unspecified (the reference
+records op-by-op, the fast engine per pass — every consumer discards the
+profile of a trapping run), and in-run IR mutation must not introduce new
+virtual registers (use :meth:`TraceCache.invalidate` and a fresh run for
+structural edits).
+
+Engine selection: ``REPRO_ENGINE=ref|fast`` (default ``fast``), or the
+explicit ``engine=`` argument threaded through ``run_module`` /
+``profile_module`` / ``simulate`` / the pipelines and the runner.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.ir.opcodes import Opcode
+from repro.ir.preddef import pred_update
+from repro.ir.registers import FImm, GlobalRef, Imm, VReg
+from repro.loopbuffer.model import LoopState
+from repro.sim.interp import (
+    Interpreter,
+    RunResult,
+    SimError,
+    StepLimitExceeded,
+)
+from repro.sim.values import cdiv, crem, saturate, to_unsigned, wrap32
+from repro.sim.vliw import VLIWSimulator
+
+__all__ = [
+    "DEFAULT_ENGINE",
+    "ENGINES",
+    "ENV_ENGINE",
+    "FastInterpreter",
+    "FastVLIWSimulator",
+    "TraceCache",
+    "engine_choice",
+    "make_interpreter",
+    "make_vliw_simulator",
+]
+
+ENV_ENGINE = "REPRO_ENGINE"
+ENGINES = ("ref", "fast")
+DEFAULT_ENGINE = "fast"
+
+
+def engine_choice(engine: str | None = None) -> str:
+    """Resolve the effective engine: argument, else ``REPRO_ENGINE``, else
+    :data:`DEFAULT_ENGINE`."""
+    if engine is None:
+        engine = os.environ.get(ENV_ENGINE, "").strip().lower() or DEFAULT_ENGINE
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r} (choose from {', '.join(ENGINES)})"
+        )
+    return engine
+
+
+def make_interpreter(module, profile=None, max_steps: int = 200_000_000,
+                     engine: str | None = None) -> Interpreter:
+    if engine_choice(engine) == "fast":
+        return FastInterpreter(module, profile=profile, max_steps=max_steps)
+    return Interpreter(module, profile=profile, max_steps=max_steps)
+
+
+def make_vliw_simulator(module, schedules, modulo=None, machine=None,
+                        buffer=None, max_steps: int = 200_000_000,
+                        tracer=None, engine: str | None = None):
+    from repro.sched.machine import DEFAULT_MACHINE
+
+    machine = machine if machine is not None else DEFAULT_MACHINE
+    cls = (FastVLIWSimulator if engine_choice(engine) == "fast"
+           else VLIWSimulator)
+    return cls(module, schedules, modulo, machine, buffer,
+               max_steps=max_steps, tracer=tracer)
+
+
+# --------------------------------------------------------------------------
+# operand resolution and opcode handler tables
+
+
+class _Unresolvable(Exception):
+    """An operand the decoder cannot resolve; the op gets a thunk that
+    reproduces the reference engine's execution-time error."""
+
+    def __init__(self, operand):
+        self.operand = operand
+
+
+def _mov(a):
+    return wrap32(a) if isinstance(a, int) else a
+
+
+def _div(a, b):
+    if b == 0:
+        raise SimError("division by zero")
+    return wrap32(cdiv(a, b))
+
+
+def _rem(a, b):
+    if b == 0:
+        raise SimError("remainder by zero")
+    return wrap32(crem(a, b))
+
+
+def _fdiv(a, b):
+    if float(b) == 0.0:
+        raise SimError("float division by zero")
+    return float(a) / float(b)
+
+
+_UNARY = {
+    Opcode.MOV: _mov,
+    Opcode.NEG: lambda a: wrap32(-a),
+    Opcode.NOT: lambda a: wrap32(~a),
+    Opcode.ABS: lambda a: wrap32(abs(a)),
+    Opcode.ITOF: float,
+    Opcode.FTOI: lambda a: wrap32(int(a)),
+    Opcode.FMOV: float,
+}
+
+_BINARY = {
+    Opcode.ADD: lambda a, b: wrap32(a + b),
+    Opcode.SUB: lambda a, b: wrap32(a - b),
+    Opcode.AND: lambda a, b: wrap32(a & b),
+    Opcode.OR: lambda a, b: wrap32(a | b),
+    Opcode.XOR: lambda a, b: wrap32(a ^ b),
+    Opcode.SHL: lambda a, b: wrap32(a << (b & 31)),
+    Opcode.SHR: lambda a, b: wrap32((a & 0xFFFFFFFF) >> (b & 31)),
+    Opcode.SAR: lambda a, b: wrap32(a >> (b & 31)),
+    Opcode.MIN: min,
+    Opcode.MAX: max,
+    Opcode.SADD: lambda a, b: saturate(a + b, 16),
+    Opcode.SSUB: lambda a, b: saturate(a - b, 16),
+    Opcode.SAT: saturate,
+    Opcode.MUL: lambda a, b: wrap32(a * b),
+    Opcode.MULH: lambda a, b: wrap32((a * b) >> 32),
+    Opcode.DIV: _div,
+    Opcode.REM: _rem,
+    Opcode.FADD: lambda a, b: float(a) + float(b),
+    Opcode.FSUB: lambda a, b: float(a) - float(b),
+    Opcode.FMUL: lambda a, b: float(a) * float(b),
+    Opcode.FDIV: _fdiv,
+}
+
+_TERNARY = {
+    Opcode.CLIP: lambda a, b, c: max(b, min(c, a)),
+    Opcode.SELECT: lambda a, b, c: b if a else c,
+}
+
+#: predecoded comparison tests (same semantics as ``values.compare``; the
+#: test string is validated at ``Operation`` construction time)
+_CMP = {
+    "eq": lambda a, b: int(a == b),
+    "ne": lambda a, b: int(a != b),
+    "lt": lambda a, b: int(a < b),
+    "le": lambda a, b: int(a <= b),
+    "gt": lambda a, b: int(a > b),
+    "ge": lambda a, b: int(a >= b),
+    "ltu": lambda a, b: int(to_unsigned(a) < to_unsigned(b)),
+    "geu": lambda a, b: int(to_unsigned(a) >= to_unsigned(b)),
+}
+
+
+def _nop_step(frame):
+    return None
+
+
+# --------------------------------------------------------------------------
+# decoded programs
+
+
+class _FastFrame:
+    __slots__ = ("func", "fprog", "regs", "lc")
+
+    def __init__(self, func, fprog, regs, lc):
+        self.func = func
+        self.fprog = fprog
+        self.regs = regs
+        self.lc = lc
+
+
+class BlockProgram:
+    """One decoded block: thunks plus precomputed accounting metadata."""
+
+    __slots__ = (
+        "label", "block", "n", "thunks", "next_label",
+        # deferred profiling (functional engine)
+        "passes", "prefix_counts", "taken_counts", "edge_counts",
+        "uid_at", "is_cond",
+        # precomputed VLIW pass accounting
+        "key", "buffer_key", "executed_at", "mod_ii", "mod_len",
+        "cycles_at", "sched_len", "is_counted", "is_loop_block",
+        "is_brcloop", "penalty", "stats", "lstats",
+    )
+
+
+class FunctionProgram:
+    """Per-function register slot assignment and decoded block store."""
+
+    __slots__ = ("cache", "func", "name", "entry_label", "param_slots",
+                 "frame_base_slot", "nslots", "calls", "progs", "_slots")
+
+    def __init__(self, cache: "TraceCache", func) -> None:
+        self.cache = cache
+        self.func = func
+        self.name = func.name
+        self.progs: dict[str, BlockProgram] = {}
+        self.calls = 0
+        self._slots: dict[VReg, int] = {}
+        slot = self.slot
+        for param in func.params:
+            slot(param)
+        if func.frame_base is not None:
+            slot(func.frame_base)
+        for block in func.blocks:
+            for op in block.ops:
+                if op.guard is not None:
+                    slot(op.guard)
+                for dest in op.dests:
+                    slot(dest)
+                for src in op.srcs:
+                    if isinstance(src, VReg):
+                        slot(src)
+        self.nslots = len(self._slots)
+        self.param_slots = tuple(self._slots[p] for p in func.params)
+        self.frame_base_slot = (self._slots[func.frame_base]
+                                if func.frame_base is not None else None)
+        self.entry_label = func.entry.label
+
+    def slot(self, reg: VReg) -> int:
+        slots = self._slots
+        index = slots.get(reg)
+        if index is None:
+            index = slots[reg] = len(slots)
+        return index
+
+    def block_program(self, label: str) -> BlockProgram:
+        prog = self.progs.get(label)
+        if prog is None:
+            # Function.block raises KeyError on an unknown label, exactly
+            # like the reference engine's jump dispatch
+            prog = self.cache.decode_block(self, self.func.block(label))
+            self.progs[label] = prog
+        return prog
+
+    def redecode(self, label: str) -> BlockProgram:
+        """Staleness hook: re-decode one block whose op list changed."""
+        self.progs.pop(label, None)
+        return self.block_program(label)
+
+
+class TraceCache:
+    """Host-level decode-once cache keyed by ``(function, block label)``.
+
+    Owned by one simulator instance; ``decoded_blocks``/``decoded_ops``
+    count decode work (a steady-state loop decodes exactly once however
+    many iterations run).  :meth:`invalidate` drops decoded programs so
+    mutated IR is re-decoded; independently, the frame loop re-decodes any
+    block whose ``len(block.ops)`` changed since decode.
+    """
+
+    def __init__(self, sim: Interpreter, vliw: bool) -> None:
+        self.sim = sim
+        self.vliw = vliw
+        self.functions: dict[str, FunctionProgram] = {}
+        self.decoded_blocks = 0
+        self.decoded_ops = 0
+
+    def function_program(self, func) -> FunctionProgram:
+        fprog = self.functions.get(func.name)
+        if fprog is None or fprog.func is not func:
+            fprog = FunctionProgram(self, func)
+            self.functions[func.name] = fprog
+        return fprog
+
+    def invalidate(self, func: str | None = None,
+                   label: str | None = None) -> None:
+        """Drop decoded programs: everything, one function, or one block."""
+        if func is None:
+            self.functions.clear()
+            return
+        fprog = self.functions.get(func)
+        if fprog is None:
+            return
+        if label is None:
+            del self.functions[func]
+        else:
+            fprog.progs.pop(label, None)
+
+    # -- profile finalization ------------------------------------------------
+
+    def finalize_profile(self, profile) -> None:
+        """Fold the deferred per-block tallies into ``profile`` (and reset
+        them, so finalizing twice never double-counts).
+
+        Op counts are reconstructed from ``prefix_counts`` — the number of
+        passes whose last *attempted* op was index ``i`` — by suffix
+        summation: an op at index ``i`` was attempted once per pass that
+        reached at least ``i``.
+        """
+        for fprog in self.functions.values():
+            fname = fprog.name
+            if fprog.calls:
+                profile.calls[fname] += fprog.calls
+                fprog.calls = 0
+            for prog in fprog.progs.values():
+                if prog.passes:
+                    profile.blocks[(fname, prog.label)] += prog.passes
+                    prog.passes = 0
+                prefix = prog.prefix_counts
+                uid_at = prog.uid_at
+                ops = profile.ops
+                running = 0
+                for i in range(prog.n - 1, -1, -1):
+                    count = prefix[i]
+                    if count:
+                        running += count
+                        prefix[i] = 0
+                    if running:
+                        uid = uid_at[i]
+                        if uid is not None:
+                            ops[(fname, uid)] += running
+                            profile.total_ops += running
+                taken = prog.taken_counts
+                for i, count in enumerate(taken):
+                    if count:
+                        profile.taken[(fname, uid_at[i])] += count
+                        taken[i] = 0
+                edges = prog.edge_counts
+                if edges:
+                    for dst, count in edges.items():
+                        profile.edges[(fname, prog.label, dst)] += count
+                    edges.clear()
+
+    # -- block decoding ------------------------------------------------------
+
+    def decode_block(self, fprog: FunctionProgram, block) -> BlockProgram:
+        sim = self.sim
+        ops = block.ops
+        prog = BlockProgram()
+        prog.label = block.label
+        prog.block = block
+        prog.n = len(ops)
+        prog.thunks = [self._decode_op(fprog, op, block.label) for op in ops]
+        blocks = fprog.func.blocks
+        index = blocks.index(block)
+        prog.next_label = (blocks[index + 1].label
+                           if index + 1 < len(blocks) else None)
+        prog.passes = 0
+        prog.prefix_counts = [0] * prog.n
+        prog.taken_counts = [0] * prog.n
+        prog.edge_counts = {}
+        prog.uid_at = [None if op.opcode is Opcode.NOP else op.uid
+                       for op in ops]
+        prog.is_cond = [op.is_conditional_branch for op in ops]
+        running = 0
+        executed_at = []
+        for op in ops:
+            if op.opcode is not Opcode.NOP:
+                running += 1
+            executed_at.append(running)
+        prog.executed_at = executed_at
+        if self.vliw:
+            key = (fprog.name, block.label)
+            prog.key = key
+            prog.buffer_key = f"{key[0]}/{key[1]}"
+            mod = sim.modulo.get(key)
+            prog.mod_ii = mod.ii if mod is not None else None
+            prog.mod_len = mod.schedule_length if mod is not None else None
+            sched = sim.schedules.get(fprog.name, {}).get(block.label)
+            if sched is not None:
+                length = sched.length
+                prog.sched_len = length
+                placement = sched.placement
+                cycles_at = []
+                for i, op in enumerate(ops):
+                    if i < prog.n - 1:
+                        place = placement.get(op.uid)
+                        cycles_at.append(place.cycle + 1
+                                         if place is not None else length)
+                    else:
+                        cycles_at.append(length)
+                prog.cycles_at = cycles_at
+            else:
+                prog.sched_len = None
+                prog.cycles_at = None
+            term = block.terminator
+            prog.is_counted = (term is not None
+                               and term.opcode is Opcode.BR_CLOOP)
+            prog.is_loop_block = (term is not None
+                                  and term.target == block.label)
+            prog.is_brcloop = [op.opcode is Opcode.BR_CLOOP for op in ops]
+            prog.penalty = sim.machine.branch_penalty
+            # per-block/per-loop stats bind lazily at first pass, matching
+            # the reference engine's dict-entry creation order
+            prog.stats = None
+            prog.lstats = None
+        self.decoded_blocks += 1
+        self.decoded_ops += prog.n
+        return prog
+
+    # -- operand helpers -----------------------------------------------------
+
+    def _operand(self, fprog: FunctionProgram, src) -> tuple[bool, object]:
+        """``(is_const, payload)`` — payload is a folded constant value or
+        a register slot index."""
+        if isinstance(src, VReg):
+            return False, fprog.slot(src)
+        if isinstance(src, (Imm, FImm)):
+            return True, src.value
+        if isinstance(src, GlobalRef):
+            try:
+                return True, self.sim.loader.global_addr(src.name)
+            except Exception:
+                raise _Unresolvable(src) from None
+        raise _Unresolvable(src)
+
+    def _getter(self, fprog: FunctionProgram, src):
+        const, payload = self._operand(fprog, src)
+        if const:
+            return lambda regs, _k=payload: _k
+        return lambda regs, _s=payload: regs[_s]
+
+    def _unresolvable_step(self, operand):
+        loader = self.sim.loader
+
+        def step(frame, _src=operand):
+            if isinstance(_src, GlobalRef):
+                loader.global_addr(_src.name)  # raises the reference error
+            raise SimError(f"cannot evaluate operand {_src!r}")
+
+        return step
+
+    # -- op decoding ---------------------------------------------------------
+
+    def _decode_op(self, fprog: FunctionProgram, op, label: str):
+        code = op.opcode
+        try:
+            step = self._build_step(fprog, op, label)
+        except _Unresolvable as exc:
+            step = self._unresolvable_step(exc.operand)
+        if code is Opcode.PRED_DEF:
+            return step  # evaluates under both guard polarities
+        if self.vliw and code in (Opcode.REC_CLOOP, Opcode.REC_WLOOP):
+            return step  # the VLIW issues rec directives before the guard
+        if op.guard is not None:
+            gslot = fprog.slot(op.guard)
+
+            def guarded(frame, _gs=gslot, _step=step):
+                if frame.regs[_gs]:
+                    return _step(frame)
+                return None
+
+            return guarded
+        return step
+
+    def _build_step(self, fprog: FunctionProgram, op, label: str):  # noqa: C901
+        code = op.opcode
+        sim = self.sim
+        slot = fprog.slot
+
+        if code is Opcode.NOP:
+            return _nop_step
+
+        fn = _BINARY.get(code)
+        if fn is not None:
+            dest = slot(op.dests[0])
+            ac, av = self._operand(fprog, op.srcs[0])
+            bc, bv = self._operand(fprog, op.srcs[1])
+            return _binary_step(fn, dest, ac, av, bc, bv)
+        if code in (Opcode.CMP, Opcode.FCMP):
+            dest = slot(op.dests[0])
+            ac, av = self._operand(fprog, op.srcs[0])
+            bc, bv = self._operand(fprog, op.srcs[1])
+            return _binary_step(_CMP[op.attrs["cmp"]], dest, ac, av, bc, bv)
+        fn = _UNARY.get(code)
+        if fn is not None:
+            dest = slot(op.dests[0])
+            ac, av = self._operand(fprog, op.srcs[0])
+            if ac:
+                def step(frame, _fn=fn, _d=dest, _k=av):
+                    frame.regs[_d] = _fn(_k)
+            else:
+                def step(frame, _fn=fn, _d=dest, _s=av):
+                    regs = frame.regs
+                    regs[_d] = _fn(regs[_s])
+            return step
+        fn = _TERNARY.get(code)
+        if fn is not None:
+            dest = slot(op.dests[0])
+            g0 = self._getter(fprog, op.srcs[0])
+            g1 = self._getter(fprog, op.srcs[1])
+            g2 = self._getter(fprog, op.srcs[2])
+
+            def step(frame, _fn=fn, _d=dest, _g0=g0, _g1=g1, _g2=g2):
+                regs = frame.regs
+                regs[_d] = _fn(_g0(regs), _g1(regs), _g2(regs))
+
+            return step
+
+        # control
+        if code is Opcode.JUMP:
+            transfer = ("jump", op.target)
+            return lambda frame, _t=transfer: _t
+        if code in (Opcode.BR, Opcode.BR_WLOOP):
+            transfer = ("jump", op.target)
+            cmpfn = _CMP[op.attrs["cmp"]]
+            g0 = self._getter(fprog, op.srcs[0])
+            g1 = self._getter(fprog, op.srcs[1])
+
+            def step(frame, _t=transfer, _c=cmpfn, _g0=g0, _g1=g1):
+                regs = frame.regs
+                if _c(_g0(regs), _g1(regs)):
+                    return _t
+                return None
+
+            return step
+        if code is Opcode.CLOOP_SET:
+            lc_id = op.attrs["lc"]
+            g0 = self._getter(fprog, op.srcs[0])
+
+            def step(frame, _lc=lc_id, _g0=g0):
+                frame.lc[_lc] = int(_g0(frame.regs))
+                return None
+
+            return step
+        if code is Opcode.BR_CLOOP:
+            transfer = ("jump", op.target)
+            lc_id = op.attrs["lc"]
+
+            def step(frame, _t=transfer, _lc=lc_id):
+                lc = frame.lc
+                count = lc.get(_lc, 0) - 1
+                lc[_lc] = count
+                if count > 0:
+                    return _t
+                return None
+
+            return step
+        if code in (Opcode.REC_CLOOP, Opcode.REC_WLOOP):
+            if self.vliw:
+                return self._rec_step(fprog, op, label)
+            return self._lc_reload_step(fprog, op)
+        if code in (Opcode.EXEC_CLOOP, Opcode.EXEC_WLOOP):
+            return self._lc_reload_step(fprog, op)
+        if code is Opcode.RET:
+            if not op.srcs:
+                transfer = ("ret", None)
+                return lambda frame, _t=transfer: _t
+            g0 = self._getter(fprog, op.srcs[0])
+            return lambda frame, _g0=g0: ("ret", _g0(frame.regs))
+        if code is Opcode.CALL:
+            return self._call_step(fprog, op)
+
+        # memory
+        if code is Opcode.LD:
+            dest = slot(op.dests[0])
+            read = sim.memory.read
+            g0 = self._getter(fprog, op.srcs[0])
+            g1 = self._getter(fprog, op.srcs[1])
+
+            def step(frame, _d=dest, _rd=read, _g0=g0, _g1=g1):
+                regs = frame.regs
+                regs[_d] = _rd(int(_g0(regs)) + int(_g1(regs)))
+                return None
+
+            return step
+        if code is Opcode.ST:
+            write = sim.memory.write
+            st_value = sim._st_value
+            g0 = self._getter(fprog, op.srcs[0])
+            g1 = self._getter(fprog, op.srcs[1])
+            g2 = self._getter(fprog, op.srcs[2])
+
+            def step(frame, _wr=write, _st=st_value, _g0=g0, _g1=g1, _g2=g2):
+                regs = frame.regs
+                _wr(int(_g0(regs)) + int(_g1(regs)), _st(_g2(regs)))
+                return None
+
+            return step
+
+        # predicates
+        if code is Opcode.PRED_SET:
+            dest = slot(op.dests[0])
+            g0 = self._getter(fprog, op.srcs[0])
+
+            def step(frame, _d=dest, _g0=g0):
+                regs = frame.regs
+                regs[_d] = 1 if _g0(regs) else 0
+                return None
+
+            return step
+        if code is Opcode.PRED_DEF:
+            cmpfn = _CMP[op.attrs["cmp"]]
+            g0 = self._getter(fprog, op.srcs[0])
+            g1 = self._getter(fprog, op.srcs[1])
+            gslot = slot(op.guard) if op.guard is not None else None
+            updates = tuple(
+                (slot(dest), ptype)
+                for dest, ptype in zip(op.dests, op.attrs["ptypes"])
+            )
+
+            def step(frame, _c=cmpfn, _g0=g0, _g1=g1, _gs=gslot, _u=updates):
+                regs = frame.regs
+                guard = 1 if (_gs is None or regs[_gs]) else 0
+                cond = _c(_g0(regs), _g1(regs))
+                for dslot, ptype in _u:
+                    update = pred_update(ptype, guard, cond)
+                    if update is not None:
+                        regs[dslot] = update
+                return None
+
+            return step
+
+        def unknown(frame, _op=op):
+            raise SimError(f"interpreter cannot execute {_op!r}")
+
+        return unknown
+
+    def _lc_reload_step(self, fprog: FunctionProgram, op):
+        """rec/exec directives on the functional engine (and exec on the
+        VLIW): functionally they (re)load the loop counter."""
+        if not op.srcs or "lc" not in op.attrs:
+            return _nop_step
+        lc_id = op.attrs["lc"]
+        g0 = self._getter(fprog, op.srcs[0])
+
+        def step(frame, _lc=lc_id, _g0=g0):
+            frame.lc[_lc] = int(_g0(frame.regs))
+            return None
+
+        return step
+
+    def _rec_step(self, fprog: FunctionProgram, op, label: str):
+        """VLIW rec directive: drive the loop buffer's state machine.
+
+        Dispatched dynamically through the simulator's ``_do_rec`` method
+        (never inlined at decode time) so class-level instrumentation —
+        notably the fuzzer's injected faults, which monkeypatch
+        ``VLIWSimulator._do_rec`` — applies to the fast engine too.  Rec
+        directives fire once per loop entry, so the dispatch is free.
+        """
+        sim = self.sim
+        key = (fprog.name, label)
+
+        def step(frame, _sim=sim, _k=key, _op=op):
+            _sim._do_rec(frame, _k, _op)
+            return None
+
+        return step
+
+    def _call_step(self, fprog: FunctionProgram, op):
+        sim = self.sim
+        callee_name = op.attrs["callee"]
+        getters = tuple(self._getter(fprog, src) for src in op.srcs)
+        dest = fprog.slot(op.dests[0]) if op.dests else None
+        if self.vliw:
+            penalty = sim.machine.branch_penalty
+
+            def step(frame):
+                counters = sim.counters
+                counters.branch_bubbles += penalty
+                counters.cycles += penalty
+                regs = frame.regs
+                result = sim._call(sim.module.function(callee_name),
+                                   [g(regs) for g in getters])
+                if dest is not None:
+                    regs[dest] = result if result is not None else 0
+                return None
+
+            return step
+
+        def step(frame):
+            regs = frame.regs
+            result = sim._call(sim.module.function(callee_name),
+                               [g(regs) for g in getters])
+            if dest is not None:
+                regs[dest] = result if result is not None else 0
+            return None
+
+        return step
+
+
+def _binary_step(fn, dest, ac, av, bc, bv):
+    """Specialized two-source compute thunk (const operands folded)."""
+    if ac and bc:
+        def step(frame, _fn=fn, _d=dest, _a=av, _b=bv):
+            frame.regs[_d] = _fn(_a, _b)
+    elif ac:
+        def step(frame, _fn=fn, _d=dest, _a=av, _b=bv):
+            regs = frame.regs
+            regs[_d] = _fn(_a, regs[_b])
+    elif bc:
+        def step(frame, _fn=fn, _d=dest, _a=av, _b=bv):
+            regs = frame.regs
+            regs[_d] = _fn(regs[_a], _b)
+    else:
+        def step(frame, _fn=fn, _d=dest, _a=av, _b=bv):
+            regs = frame.regs
+            regs[_d] = _fn(regs[_a], regs[_b])
+    return step
+
+
+# --------------------------------------------------------------------------
+# fast engines
+
+
+class _FastCallMixin:
+    """Shared frame setup for the fast engines (slot-list register file)."""
+
+    cache: TraceCache
+
+    def _val(self, frame, src):
+        # reference-engine helper, usable on fast frames too: methods
+        # inherited from the reference classes (``_do_rec``, including any
+        # monkeypatched instrumentation wrapping them) call it with
+        # whatever frame the engine runs
+        if isinstance(frame, _FastFrame):
+            if isinstance(src, VReg):
+                index = frame.fprog._slots.get(src)
+                return frame.regs[index] if index is not None else 0
+            if isinstance(src, (Imm, FImm)):
+                return src.value
+            if isinstance(src, GlobalRef):
+                return self.loader.global_addr(src.name)
+            raise SimError(f"cannot evaluate operand {src!r}")
+        return super()._val(frame, src)
+
+    def _call(self, func, args):
+        if len(args) != len(func.params):
+            raise SimError(
+                f"{func.name}: expected {len(func.params)} args, "
+                f"got {len(args)}"
+            )
+        fprog = self.cache.function_program(func)
+        regs = [0] * fprog.nslots
+        for index, arg in zip(fprog.param_slots, args):
+            regs[index] = arg
+        frame = _FastFrame(func, fprog, regs, {})
+        if func.frame_words:
+            base = self.loader.push_frame(func.frame_words)
+            if fprog.frame_base_slot is not None:
+                regs[fprog.frame_base_slot] = base
+        if self.profile is not None:
+            fprog.calls += 1
+        try:
+            return self._run_frame(frame)
+        finally:
+            if func.frame_words:
+                self.loader.pop_frame(func.frame_words)
+
+
+class FastInterpreter(_FastCallMixin, Interpreter):
+    """Predecoded functional interpreter; bit-identical to the reference
+    (values, traps, profile counts), selectable via ``REPRO_ENGINE=fast``."""
+
+    engine = "fast"
+
+    def __init__(self, module, profile=None,
+                 max_steps: int = 200_000_000) -> None:
+        super().__init__(module, profile=profile, max_steps=max_steps)
+        self.cache = TraceCache(self, vliw=False)
+
+    def run(self, entry: str, args: list[int] | None = None) -> RunResult:
+        func = self.module.function(entry)
+        try:
+            value = self._call(func, list(args or []))
+        finally:
+            if self.profile is not None:
+                self.cache.finalize_profile(self.profile)
+        return RunResult(value, self.steps, self.memory, self.loader,
+                         self.profile)
+
+    def _run_frame(self, frame: _FastFrame):
+        fprog = frame.fprog
+        prog = fprog.block_program(fprog.entry_label)
+        profiling = self.profile is not None
+        max_steps = self.max_steps
+        while True:
+            if len(prog.block.ops) != prog.n:
+                prog = fprog.redecode(prog.label)
+            if profiling:
+                prog.passes += 1
+            transfer = None
+            i = 0
+            if self.steps + prog.n > max_steps:
+                for step in prog.thunks:
+                    self.steps += 1
+                    if self.steps > max_steps:
+                        raise StepLimitExceeded(
+                            f"exceeded {max_steps} steps")
+                    i += 1
+                    transfer = step(frame)
+                    if transfer is not None:
+                        break
+            else:
+                for step in prog.thunks:
+                    i += 1
+                    transfer = step(frame)
+                    if transfer is not None:
+                        break
+                self.steps += i
+            if profiling and i:
+                prog.prefix_counts[i - 1] += 1
+            if transfer is None:
+                nxt = prog.next_label
+                if nxt is None:
+                    raise SimError(
+                        f"{frame.func.name}: fell off the end at "
+                        f"{prog.label}"
+                    )
+                if profiling:
+                    edges = prog.edge_counts
+                    edges[nxt] = edges.get(nxt, 0) + 1
+                prog = fprog.block_program(nxt)
+                continue
+            if transfer[0] == "ret":
+                return transfer[1]
+            label = transfer[1]
+            if profiling:
+                if prog.is_cond[i - 1]:
+                    prog.taken_counts[i - 1] += 1
+                edges = prog.edge_counts
+                edges[label] = edges.get(label, 0) + 1
+            prog = fprog.block_program(label)
+
+
+class FastVLIWSimulator(_FastCallMixin, VLIWSimulator):
+    """Predecoded cycle-level VLIW; ``SimCounters``/``LoopFetchStats`` and
+    obs instants are bit-identical to the reference simulator."""
+
+    engine = "fast"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.cache = TraceCache(self, vliw=True)
+
+    def _run_frame(self, frame: _FastFrame):  # noqa: C901
+        fprog = frame.fprog
+        prog = fprog.block_program(fprog.entry_label)
+        counters = self.counters
+        max_steps = self.max_steps
+        while True:
+            if len(prog.block.ops) != prog.n:
+                prog = fprog.redecode(prog.label)
+            key = prog.key
+            iterating = self._last_key == key
+            transfer = None
+            i = 0
+            if self.steps + prog.n > max_steps:
+                for step in prog.thunks:
+                    self.steps += 1
+                    if self.steps > max_steps:
+                        raise StepLimitExceeded(
+                            f"exceeded {max_steps} steps")
+                    i += 1
+                    transfer = step(frame)
+                    if transfer is not None:
+                        break
+            else:
+                for step in prog.thunks:
+                    i += 1
+                    transfer = step(frame)
+                    if transfer is not None:
+                        break
+                self.steps += i
+
+            # --- pass accounting (mirrors VLIWSimulator._account_pass) ---
+            executed = prog.executed_at[i - 1] if i else 0
+            stats = prog.stats
+            if stats is None:
+                stats = prog.stats = counters.block_stats(*key)
+            stats.passes += 1
+            if prog.mod_ii is not None:
+                cycles = prog.mod_ii if iterating else prog.mod_len
+            elif prog.cycles_at is not None:
+                cycles = (prog.cycles_at[i - 1] if transfer is not None
+                          else prog.sched_len)
+            else:
+                cycles = executed if executed else 1
+            counters.cycles += cycles
+            counters.bundles += cycles
+
+            buffer = self.buffer
+            state = (buffer.state_of(prog.buffer_key)
+                     if buffer is not None else LoopState.ABSENT)
+            counters.ops_issued += executed
+            lstats = prog.lstats
+            if lstats is None:
+                lstats = counters.per_loop.get(prog.buffer_key)
+                if lstats is not None:
+                    prog.lstats = lstats
+            if lstats is not None:
+                lstats.passes += 1
+            full_pass = transfer is None or i == prog.n
+            if state is LoopState.RESIDENT:
+                counters.ops_from_buffer += executed
+                stats.ops_from_buffer += executed
+                stats.buffered_passes += 1
+                if lstats is not None:
+                    lstats.ops_from_buffer += executed
+                    lstats.buffered_passes += 1
+            else:
+                counters.ops_from_memory += executed
+                stats.ops_from_memory += executed
+                if lstats is not None:
+                    lstats.ops_from_memory += executed
+                if state is LoopState.RECORDING and full_pass:
+                    buffer.finish_recording(prog.buffer_key)
+
+            buffered = state is not LoopState.ABSENT
+            penalty = prog.penalty
+            if transfer is None:
+                bubble = (penalty if (buffered and not prog.is_counted
+                                      and prog.is_loop_block) else 0)
+            elif transfer[0] == "ret":
+                bubble = penalty
+            elif transfer[1] == prog.label:
+                bubble = 0 if buffered else penalty
+            elif buffered and prog.is_counted and prog.is_brcloop[i - 1]:
+                bubble = 0
+            else:
+                bubble = penalty
+            counters.branch_bubbles += bubble
+            counters.cycles += bubble
+
+            self._last_key = (key if (transfer is not None
+                                      and transfer[0] == "jump"
+                                      and transfer[1] == prog.label)
+                              else None)
+
+            # --- transfer ---
+            if transfer is None:
+                nxt = prog.next_label
+                if nxt is None:
+                    raise SimError(
+                        f"{frame.func.name}: fell off the end at "
+                        f"{prog.label}"
+                    )
+                prog = fprog.block_program(nxt)
+                continue
+            if transfer[0] == "ret":
+                return transfer[1]
+            prog = fprog.block_program(transfer[1])

@@ -243,9 +243,13 @@ class Interpreter:
 
     @staticmethod
     def _st_value(value: int | float) -> int:
-        if isinstance(value, float):
-            raise SimError("cannot store a float into word memory directly")
-        return wrap32(value)
+        # branch-free for the common int case: wrap32 raises TypeError on
+        # floats (no __and__ with an int), which maps to the store trap
+        try:
+            return wrap32(value)
+        except TypeError:
+            raise SimError(
+                "cannot store a float into word memory directly") from None
 
 
 def run_module(
@@ -254,9 +258,18 @@ def run_module(
     args: list[int] | None = None,
     profile: Profile | None = None,
     max_steps: int = 200_000_000,
+    engine: str | None = None,
 ) -> RunResult:
-    """Convenience wrapper: interpret ``module`` from ``entry``."""
-    interp = Interpreter(module, profile=profile, max_steps=max_steps)
+    """Convenience wrapper: interpret ``module`` from ``entry``.
+
+    ``engine`` selects the execution engine (``"ref"`` — this module's
+    reference interpreter — or ``"fast"``, the predecoded engine in
+    :mod:`repro.sim.engine`); default per ``REPRO_ENGINE``, else fast.
+    """
+    from repro.sim.engine import make_interpreter
+
+    interp = make_interpreter(module, profile=profile, max_steps=max_steps,
+                              engine=engine)
     return interp.run(entry, args)
 
 
@@ -265,10 +278,12 @@ def profile_module(
     entry: str = "main",
     args: list[int] | None = None,
     max_steps: int = 200_000_000,
+    engine: str | None = None,
 ) -> tuple[Profile, RunResult]:
     """Run once with profiling enabled; returns the profile and the result."""
     profile = Profile()
-    result = run_module(module, entry, args, profile=profile, max_steps=max_steps)
+    result = run_module(module, entry, args, profile=profile,
+                        max_steps=max_steps, engine=engine)
     return profile, result
 
 

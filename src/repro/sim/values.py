@@ -9,7 +9,17 @@ INT_MAX = (1 << (WORD_BITS - 1)) - 1
 
 
 def wrap32(value: int) -> int:
-    """Wrap a Python int to a signed 32-bit machine value."""
+    """Wrap a Python int to a signed 32-bit machine value.
+
+    The overwhelmingly common case — an int already in range — returns the
+    *same object* (CPython's small-int cache plus identity reuse for big
+    ones), skipping the three arithmetic ops and the fresh allocation of
+    the general formula.  The type check is exact on purpose: ``bool`` and
+    ``float`` take the formula path so booleans still box to plain ints
+    and floats still raise ``TypeError``, as before.
+    """
+    if value.__class__ is int and INT_MIN <= value <= INT_MAX:
+        return value
     return ((value - INT_MIN) & WORD_MASK) + INT_MIN
 
 

@@ -295,11 +295,20 @@ def simulate(
     args: list[int] | None = None,
     max_steps: int = 200_000_000,
     tracer=None,
+    engine: str | None = None,
 ):
-    """Run a scheduled module; returns (RunResult, SimCounters, LoopBuffer)."""
+    """Run a scheduled module; returns (RunResult, SimCounters, LoopBuffer).
+
+    ``engine`` picks the reference simulator (``"ref"``) or the predecoded
+    fast path (``"fast"``, :mod:`repro.sim.engine`); both produce
+    bit-identical counters.  Default per ``REPRO_ENGINE``, else fast.
+    """
+    from repro.sim.engine import make_vliw_simulator
+
     buffer = LoopBuffer(buffer_capacity) if buffer_capacity else None
-    sim = VLIWSimulator(module, schedules, modulo, machine, buffer,
-                        max_steps=max_steps, tracer=tracer)
+    sim = make_vliw_simulator(module, schedules, modulo, machine, buffer,
+                              max_steps=max_steps, tracer=tracer,
+                              engine=engine)
     result = sim.run(entry, args)
     tracer = sim.tracer
     if tracer.enabled:

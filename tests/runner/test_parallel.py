@@ -6,15 +6,19 @@ across both pipelines, serial vs. pooled, cold vs. warm cache; the retry
 tests inject failing executors instead of simulating real crashes.
 """
 
+import os
+
 import pytest
 
 from repro.runner.cache import ArtifactCache
 from repro.runner.metrics import MetricsRecorder
 from repro.runner.parallel import (
+    ENV_WORKERS,
     Cell,
     _run_serial,
     base_key,
     expand_grid,
+    resolve_workers,
     run_cell,
     run_grid,
     run_key,
@@ -27,6 +31,19 @@ GRID = expand_grid(NAMES, ("traditional", "aggressive"), (64,))
 @pytest.fixture
 def cache(tmp_path):
     return ArtifactCache(tmp_path / "cache")
+
+
+class TestWorkers:
+    def test_default_is_core_count(self, monkeypatch):
+        monkeypatch.delenv(ENV_WORKERS, raising=False)
+        assert resolve_workers(None) == (os.cpu_count() or 1)
+
+    def test_environment_and_argument_precedence(self, monkeypatch):
+        monkeypatch.setenv(ENV_WORKERS, "3")
+        assert resolve_workers(None) == 3
+        assert resolve_workers(7) == 7  # explicit argument wins
+        monkeypatch.setenv(ENV_WORKERS, "not-a-number")
+        assert resolve_workers(None) == (os.cpu_count() or 1)
 
 
 class TestGrid:

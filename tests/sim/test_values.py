@@ -43,6 +43,41 @@ class TestWrap32:
         assert wrap32(to_unsigned(x)) == x
 
 
+class TestWrap32FastPath:
+    """The in-range identity short-circuit must not change semantics."""
+
+    @given(i32)
+    def test_in_range_returns_same_object(self, x):
+        assert wrap32(x) is x
+
+    def test_bool_still_boxes_to_int(self):
+        result = wrap32(True)
+        assert result == 1 and type(result) is int
+
+    def test_float_still_rejected(self):
+        with pytest.raises(TypeError):
+            wrap32(1.5)
+
+    def test_in_range_call_is_not_slower_than_formula(self):
+        # a coarse guard against regressing the hot path: the identity
+        # shortcut must stay at least comparable to the general formula
+        # on in-range values (in practice it is ~2x faster); min-of-many
+        # and a generous bound keep this stable on loaded CI machines
+        import timeit
+
+        def formula(value):
+            return ((value - INT_MIN) & 0xFFFFFFFF) + INT_MIN
+
+        args = ",".join(str(v) for v in (-7, 0, 123456, INT_MAX))
+        setup = "from repro.sim.values import wrap32"
+        fast = min(timeit.repeat(f"for v in ({args},): wrap32(v)",
+                                 setup=setup, repeat=7, number=20_000))
+        slow = min(timeit.repeat(f"for v in ({args},): formula(v)",
+                                 globals={"formula": formula},
+                                 repeat=7, number=20_000))
+        assert fast < slow * 1.5
+
+
 class TestSaturate:
     def test_16_bit_bounds(self):
         assert saturate(40000, 16) == 32767
