@@ -1,0 +1,108 @@
+"""Heuristic-vs-optimal modulo scheduling gap table (EXPERIMENTS.md).
+
+Compiles every benchmark through both pipelines, then runs the exact
+modulo-scheduling oracle (:mod:`repro.sched.oracle`) on every loop the
+heuristic modulo-scheduled: the oracle searches ``II < heuristic II``
+exhaustively, so each row either *certifies* the heuristic II optimal
+(gap 0 — possibly above the MinII bound, when the bound itself is
+unachievable) or quantifies how many II cycles the heuristic left on the
+table.
+
+Prints a markdown table and optionally writes the rows as JSON.
+
+Usage:  PYTHONPATH=src python scripts/sched_gap.py [--json FILE]
+            [--budget N] [--max-ops N] [--benchmarks a,b,...]
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.bench import all_benchmarks  # noqa: E402
+from repro.pipeline import (  # noqa: E402
+    compile_aggressive,
+    compile_traditional,
+)
+from repro.sched.oracle import (  # noqa: E402
+    DEFAULT_MAX_OPS,
+    DEFAULT_NODE_BUDGET,
+    certify_compiled,
+)
+
+_COMPILERS = {
+    "traditional": compile_traditional,
+    "aggressive": compile_aggressive,
+}
+
+
+def gap_rows(names=None, node_budget=DEFAULT_NODE_BUDGET,
+             max_ops=DEFAULT_MAX_OPS):
+    """Gap table rows (dicts) for all benchmark loops, both pipelines."""
+    rows = []
+    for bench in all_benchmarks():
+        if names and bench.name not in names:
+            continue
+        for pipeline, compiler in _COMPILERS.items():
+            compiled = compiler(bench.build(), entry=bench.entry,
+                                args=bench.args, buffer_capacity=None)
+            for row in certify_compiled(compiled, node_budget=node_budget,
+                                        max_ops=max_ops):
+                data = row.as_dict()
+                data.update(benchmark=bench.name, pipeline=pipeline)
+                rows.append(data)
+    return rows
+
+
+def markdown_table(rows) -> str:
+    lines = [
+        "| benchmark | pipeline | loop | ops | MinII | heur II |"
+        " optimal II | gap | certified | nodes |",
+        "|---|---|---|---|---|---|---|---|---|---|",
+    ]
+    for r in rows:
+        loop = f"{r['function']}/{r['block']}"
+        optimal = r["optimal_ii"] if r["optimal_ii"] is not None else "?"
+        gap = r["gap"] if r["gap"] is not None else "?"
+        lines.append(
+            f"| {r['benchmark']} | {r['pipeline']} | {loop} | {r['ops']} "
+            f"| {r['min_ii']} | {r['heuristic_ii']} | {optimal} | {gap} "
+            f"| {'yes' if r['certified'] else 'no'} | {r['nodes']} |")
+    return "\n".join(lines)
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--json", dest="json_path", default=None,
+                        metavar="FILE", help="also write rows as JSON")
+    parser.add_argument("--budget", type=int, default=DEFAULT_NODE_BUDGET,
+                        help="oracle DFS node budget per loop")
+    parser.add_argument("--max-ops", type=int, default=DEFAULT_MAX_OPS,
+                        help="skip exact search above this many ops")
+    parser.add_argument("--benchmarks", default=None, metavar="A[,B...]",
+                        help="restrict to these benchmarks")
+    args = parser.parse_args(argv[1:])
+    names = (set(n.strip() for n in args.benchmarks.split(","))
+             if args.benchmarks else None)
+
+    rows = gap_rows(names, node_budget=args.budget, max_ops=args.max_ops)
+    print(markdown_table(rows))
+    certified = sum(1 for r in rows if r["certified"])
+    gaps = [r for r in rows if r["gap"] not in (None, 0)]
+    print(f"\n{len(rows)} loops; {certified} certified; "
+          f"{len(gaps)} with a nonzero II gap")
+    if args.json_path:
+        Path(args.json_path).write_text(
+            json.dumps({"rows": rows,
+                        "certified": certified,
+                        "nonzero_gaps": len(gaps)},
+                       indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.json_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

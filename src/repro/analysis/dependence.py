@@ -17,6 +17,7 @@ Edge semantics for the schedulers::
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from repro.ir.opcodes import NON_SPECULABLE, Opcode
@@ -253,6 +254,121 @@ def build_dependence_graph(
                     continue
                 emit(br_idx, i, 1, "ctrl")
 
+    return graph
+
+
+# --------------------------------------------------------------------------
+# content-keyed graph memoization
+#
+# A dependence graph is a pure function of the *content* of an op list
+# (opcodes, operands, guards, latencies, loop-counter ids), the
+# ``loop_carried`` flag and the ``exit_live`` relaxation map — never of
+# operation identity (uids).  Capacity sweeps (``with_buffer`` deep-copies
+# the module per capacity), the traditional/aggressive pipelines and the
+# checked-mode schedule lint rules therefore rebuild *identical* graphs
+# over and over.  This cache keys graphs by content and, on a hit, rebinds
+# the stored edge list onto the caller's operations in O(edges).
+
+
+def op_fingerprint(op: Operation) -> tuple:
+    """Content identity of one operation for dependence purposes.
+
+    ``repr`` covers opcode, cmp test, guard, destinations (with predicate
+    define types), sources, branch target and callee; ``lc`` is the loop
+    counter id that pairs ``cloop_set`` with ``br_cloop``.  Operand reprs
+    are unambiguous across kinds (``r3`` / ``3`` / ``@label`` / ``$glob``).
+    """
+    return (repr(op), op.attrs.get("lc"))
+
+
+def ops_fingerprint(ops: list[Operation]) -> tuple:
+    """Hashable content key of an op list (order-sensitive)."""
+    return tuple(op_fingerprint(op) for op in ops)
+
+
+def exit_live_fingerprint(exit_live: dict[int, set[VReg]] | None) -> tuple | None:
+    """Hashable content key of a side-exit liveness map."""
+    if exit_live is None:
+        return None
+    return tuple(sorted(
+        (index, tuple(sorted(repr(reg) for reg in regs)))
+        for index, regs in exit_live.items()
+    ))
+
+
+@dataclass
+class DepCacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions}
+
+
+#: bounded LRU over edge tuples; ~a few KB per entry, so 4096 entries is
+#: comfortably more than a full benchmark grid ever produces
+_CACHE_LIMIT = 4096
+
+_graph_cache: "OrderedDict[tuple, tuple[DepEdge, ...]]" = OrderedDict()
+_cache_stats = DepCacheStats()
+_cache_enabled = True
+
+
+def set_dependence_cache_enabled(enabled: bool) -> None:
+    """Toggle memoization (the legacy/baseline path disables it)."""
+    global _cache_enabled
+    _cache_enabled = bool(enabled)
+
+
+def dependence_cache_enabled() -> bool:
+    return _cache_enabled
+
+
+def dependence_cache_stats() -> DepCacheStats:
+    return _cache_stats
+
+
+def clear_dependence_cache() -> None:
+    _graph_cache.clear()
+
+
+def dependence_graph(
+    ops: list[Operation],
+    relations: PredicateRelations | None = None,
+    loop_carried: bool = False,
+    exit_live: dict[int, set[VReg]] | None = None,
+    fingerprint: tuple | None = None,
+) -> DependenceGraph:
+    """Content-cached :func:`build_dependence_graph`.
+
+    On a hit the stored edges are rebound onto ``ops`` (edges are index
+    based and immutable, so sharing them is sound); on a miss the graph is
+    built and its edge list stored.  ``fingerprint`` lets a caller that
+    already computed :func:`ops_fingerprint` (e.g. to key its own schedule
+    cache) avoid recomputing it.
+    """
+    if not _cache_enabled:
+        return build_dependence_graph(ops, relations=relations,
+                                      loop_carried=loop_carried,
+                                      exit_live=exit_live)
+    if fingerprint is None:
+        fingerprint = ops_fingerprint(ops)
+    key = (fingerprint, loop_carried, exit_live_fingerprint(exit_live))
+    edges = _graph_cache.get(key)
+    if edges is not None:
+        _graph_cache.move_to_end(key)
+        _cache_stats.hits += 1
+        return DependenceGraph(list(ops), list(edges))
+    _cache_stats.misses += 1
+    graph = build_dependence_graph(ops, relations=relations,
+                                   loop_carried=loop_carried,
+                                   exit_live=exit_live)
+    _graph_cache[key] = tuple(graph.edges)
+    if len(_graph_cache) > _CACHE_LIMIT:
+        _graph_cache.popitem(last=False)
+        _cache_stats.evictions += 1
     return graph
 
 

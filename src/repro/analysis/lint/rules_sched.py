@@ -11,7 +11,7 @@ the schedule alone, independent of how it was constructed.
 
 from __future__ import annotations
 
-from repro.analysis.dependence import build_dependence_graph
+from repro.analysis.dependence import dependence_graph
 from repro.analysis.liveness import liveness
 from repro.analysis.predrel import PredicateRelations
 from repro.ir.opcodes import Opcode, unit_of
@@ -113,7 +113,7 @@ def check_sched_latency(target: LintTarget, make) -> None:
             if sched is None:
                 continue
             ops = _real_ops(block)
-            graph = build_dependence_graph(
+            graph = dependence_graph(
                 ops, relations=PredicateRelations(block),
                 exit_live=exit_live_map(func, block, live))
             for edge in graph.edges:
@@ -243,7 +243,7 @@ def check_modulo_resource(target: LintTarget, make) -> None:
 def check_modulo_latency(target: LintTarget, make) -> None:
     """A kernel breaks a (possibly loop-carried) dependence latency."""
     for func, block, sched, ops in _fresh_modulo_loops(target):
-        graph = build_dependence_graph(
+        graph = dependence_graph(
             ops, relations=PredicateRelations(block), loop_carried=True)
         for edge in graph.edges:
             src, dst = ops[edge.src], ops[edge.dst]
@@ -261,7 +261,7 @@ def check_modulo_mve(target: LintTarget, make) -> None:
     """A kernel's MVE factor understates its register lifetimes — its
     buffer footprint (and register overlap across iterations) is wrong."""
     for func, block, sched, ops in _fresh_modulo_loops(target):
-        graph = build_dependence_graph(
+        graph = dependence_graph(
             ops, relations=PredicateRelations(block), loop_carried=True)
         index_times = {i: sched.times[op.uid] for i, op in enumerate(ops)}
         needed = required_mve_factor(ops, graph, index_times, sched.ii)

@@ -39,6 +39,7 @@ from repro.fuzz.oracle import (
     check_many,
     check_program,
     default_configs,
+    oracle_configs,
 )
 from repro.fuzz.reduce import DEFAULT_BUDGET, divergence_predicate, minimize
 from repro.runner.cache import default_cache
@@ -82,6 +83,10 @@ def build_parser() -> argparse.ArgumentParser:
                        default=None, metavar="NAME",
                        help="deliberately miscompile to validate the "
                             f"fuzzer ({', '.join(sorted(FAULTS))})")
+        p.add_argument("--sched-oracle", action="store_true",
+                       help="add configs that swap exact-oracle modulo "
+                            "schedules into the backend and check them "
+                            "for semantic agreement")
 
     run = sub.add_parser("run", help="fuzz N seeded random programs")
     add_grid(run)
@@ -127,8 +132,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _configs_from(args) -> tuple:
-    return default_configs(args.pipelines, args.capacities,
-                           checked=not args.no_checked)
+    configs = default_configs(args.pipelines, args.capacities,
+                              checked=not args.no_checked)
+    if getattr(args, "sched_oracle", False):
+        configs += oracle_configs(args.pipelines)
+    return configs
 
 
 def _minimize_report(report, program, configs, args):

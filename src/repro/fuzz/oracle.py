@@ -60,6 +60,7 @@ class Config:
     capacity: int | None = None
     checked: bool = False
     engine: str = "fast"
+    sched_oracle: bool = False
 
     @property
     def label(self) -> str:
@@ -67,17 +68,25 @@ class Config:
         suffix = "+checked" if self.checked else ""
         if self.engine != "fast":
             suffix += f"+{self.engine}"
+        if self.sched_oracle:
+            suffix += "+oracle"
         return f"{self.pipeline}@{cap}{suffix}"
 
     def as_dict(self) -> dict:
-        return {"pipeline": self.pipeline, "capacity": self.capacity,
+        data = {"pipeline": self.pipeline, "capacity": self.capacity,
                 "checked": self.checked, "engine": self.engine}
+        if self.sched_oracle:
+            # only serialized when set: non-oracle configs keep the cache
+            # keys (and corpus JSON shape) they had before the flag existed
+            data["sched_oracle"] = True
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "Config":
         return cls(data["pipeline"], data.get("capacity"),
                    bool(data.get("checked")),
-                   data.get("engine", "fast"))
+                   data.get("engine", "fast"),
+                   bool(data.get("sched_oracle")))
 
 
 def default_configs(
@@ -87,6 +96,21 @@ def default_configs(
 ) -> tuple[Config, ...]:
     """The full pipeline × capacity grid, checked mode on by default."""
     return tuple(Config(pipeline, capacity, checked)
+                 for pipeline in pipelines for capacity in capacities)
+
+
+def oracle_configs(
+    pipelines: Iterable[str] = ("traditional", "aggressive"),
+    capacities: Iterable[int | None] = (None, 64),
+) -> tuple[Config, ...]:
+    """Configs that swap exact-oracle modulo schedules into the backend.
+
+    Each one compiles normally, replaces every heuristic modulo schedule
+    the exact scheduler (:mod:`repro.sched.oracle`) can solve, lints the
+    swapped schedules, and simulates — so two independently derived
+    schedules are differentially checked for semantic agreement.
+    """
+    return tuple(Config(pipeline, capacity, sched_oracle=True)
                  for pipeline in pipelines for capacity in capacities)
 
 
@@ -176,6 +200,10 @@ def compiled_outcome(source: str, config: Config,
         return ("trap", type(exc).__name__)
     except Exception as exc:
         return ("compile-crash", f"{type(exc).__name__}: {exc}")
+    if config.sched_oracle:
+        compiled, error = _oracle_swap(compiled)
+        if error is not None:
+            return error
     try:
         outcome = run_compiled(compiled, max_steps=max_steps,
                                engine=config.engine)
@@ -186,6 +214,37 @@ def compiled_outcome(source: str, config: Config,
     except Exception as exc:
         return ("sim-crash", f"{type(exc).__name__}: {exc}")
     return ("value", outcome.result.value)
+
+
+#: DFS node budget for oracle-swap configs: fuzz loops are tiny, so this
+#: is generous — hitting it just leaves the heuristic schedule in place
+ORACLE_SWAP_BUDGET = 20_000
+
+
+def _oracle_swap(compiled):
+    """Swap exact-oracle modulo schedules into ``compiled``.
+
+    Returns ``(new_compiled, None)``, or ``(None, outcome)`` when the
+    swap itself crashed or produced a schedule the sanitizer rejects —
+    either one is a scheduler bug, surfaced as a divergence.
+    """
+    from repro.analysis.lint import LintTarget, errors_only, run_rules
+    from repro.sched.oracle import swap_oracle_schedules
+
+    try:
+        swapped, _ = swap_oracle_schedules(
+            compiled, node_budget=ORACLE_SWAP_BUDGET)
+    except Exception as exc:
+        return None, ("compile-crash",
+                      f"oracle-swap: {type(exc).__name__}: {exc}")
+    errors = errors_only(run_rules(
+        LintTarget(module=swapped.module, machine=swapped.machine,
+                   modulo=swapped.modulo),
+        phases=("sched",)))
+    if errors:
+        return None, ("checked-failure",
+                      f"oracle-swap: {errors[0].format()}")
+    return swapped, None
 
 
 def _judge(config: Config, reference: Outcome, observed: Outcome) -> Verdict:

@@ -13,11 +13,18 @@ hyperblock side exits (Section 3's control-speculation support).
 
 from __future__ import annotations
 
-from repro.analysis.dependence import DependenceGraph, build_dependence_graph
+from repro.analysis.dependence import (
+    DependenceGraph,
+    build_dependence_graph,
+    dependence_graph,
+    exit_live_fingerprint,
+    ops_fingerprint,
+)
 from repro.analysis.predrel import PredicateRelations
 from repro.ir.block import BasicBlock
 from repro.ir.opcodes import Opcode
 
+from . import cache as sched_cache
 from .bundle import Schedule
 from .machine import DEFAULT_MACHINE, MachineDescription
 
@@ -63,20 +70,66 @@ def schedule_block(
     exit_live: dict[int, set] | None = None,
     relations: PredicateRelations | None = None,
 ) -> Schedule:
-    """List-schedule one block; returns the bundle schedule."""
+    """List-schedule one block; returns the bundle schedule.
+
+    Placements are memoized by block content (see :mod:`repro.sched.cache`):
+    re-scheduling an identical block — a capacity-sweep deep copy, the same
+    program under another pipeline config — replays the stored placements
+    instead of re-running the scheduling search.
+    """
     ops = [op for op in block.ops if op.opcode != Opcode.NOP]
-    if relations is None:
-        relations = PredicateRelations(block)
-    graph = build_dependence_graph(ops, relations=relations,
-                                   exit_live=exit_live)
+    with sched_cache.timed("list"):
+        legacy = sched_cache.legacy_enabled()
+        key = None
+        if not legacy:
+            fingerprint = ops_fingerprint(ops)
+            key = (fingerprint, machine, exit_live_fingerprint(exit_live))
+            placements = sched_cache.list_placements_get(key)
+            if placements is not None:
+                return _replay(ops, placements)
+        if relations is None:
+            relations = PredicateRelations(block)
+        if legacy:
+            graph = build_dependence_graph(ops, relations=relations,
+                                           exit_live=exit_live)
+        else:
+            graph = dependence_graph(ops, relations=relations,
+                                     exit_live=exit_live,
+                                     fingerprint=fingerprint)
+        schedule = _schedule_ops(ops, graph, machine, block.label, legacy)
+        if key is not None:
+            sched_cache.list_placements_put(key, tuple(
+                (i, place.cycle, place.slot)
+                for i, op in enumerate(ops)
+                for place in (schedule.placement[op.uid],)
+            ))
+        return schedule
+
+
+def _replay(ops, placements) -> Schedule:
+    """Rebuild a schedule from memoized (index, cycle, slot) placements."""
+    schedule = Schedule()
+    for i, cycle, slot in sorted(placements, key=lambda p: (p[1], p[2])):
+        schedule.place(ops[i], cycle, slot)
+    return schedule
+
+
+def _schedule_ops(ops, graph, machine, label, legacy) -> Schedule:
+    """The critical-path list-scheduling loop.
+
+    ``legacy`` selects the original linear free-slot probe; the default
+    probes a per-cycle free-slot bitmask through the machine's pick
+    tables.  Both probe slots in identical (scarcest-capability-first)
+    order, so the resulting schedules are identical.
+    """
     priority = _priorities(graph)
 
     n = len(ops)
     earliest = [0] * n
     unscheduled = set(range(n))
-    issue_time: dict[int, int] = {}
     schedule = Schedule()
     cycle = 0
+    full_mask = machine.full_mask
 
     preds_remaining = [0] * n
     for edge in graph.edges:
@@ -89,26 +142,26 @@ def schedule_block(
         # candidates whose earliest start has arrived
         candidates = [i for i in ready if earliest[i] <= cycle]
         candidates.sort(key=lambda i: (-priority[i], i))
-        occupied: set[int] = {
-            slot for slot, _ in schedule.bundles[cycle].in_slot_order()
-        } if cycle < len(schedule.bundles) else set()
+        occupied: set[int] = set()
+        free = full_mask
 
-        placed_any = False
         for i in candidates:
             op = ops[i]
-            slot = next(
-                (s for s in machine.slots_for_op(op.opcode)
-                 if s not in occupied),
-                None,
-            )
+            if legacy:
+                slot = next(
+                    (s for s in machine.slots_for_op(op.opcode)
+                     if s not in occupied),
+                    None,
+                )
+            else:
+                slot = machine.pick_slot(op.opcode, free)
             if slot is None:
                 continue
             schedule.place(op, cycle, slot)
             occupied.add(slot)
-            issue_time[i] = cycle
+            free &= ~(1 << slot)
             unscheduled.discard(i)
             ready.remove(i)
-            placed_any = True
             for edge in graph.succs[i]:
                 if edge.distance != 0:
                     continue
@@ -121,7 +174,7 @@ def schedule_block(
         cycle += 1
         if cycle > 10 * (n + 8) + 64:
             raise RuntimeError(
-                f"list scheduler failed to converge on {block.label}"
+                f"list scheduler failed to converge on {label}"
             )
     return schedule
 
@@ -150,6 +203,8 @@ def schedule_function(
         return schedules
     with tracer.span(f"list:{func.name}", category="sched",
                      func=func.name) as span:
+        hits0 = sched_cache.STATS.list_hits
+        misses0 = sched_cache.STATS.list_misses
         for block in func.blocks:
             exit_live = exit_live_map(func, block, liveness_info)
             schedules[block.label] = schedule_block(
@@ -165,6 +220,8 @@ def schedule_function(
             bundles=bundles,
             slots_used=slots_used,
             slots_total=bundles * machine.width,
+            cache_hits=sched_cache.STATS.list_hits - hits0,
+            cache_misses=sched_cache.STATS.list_misses - misses0,
         )
     return schedules
 

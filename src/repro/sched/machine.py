@@ -33,6 +33,7 @@ the loop buffer's loop-back prediction removes it.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.ir.opcodes import Opcode, Unit, unit_of
 
@@ -64,14 +65,74 @@ class MachineDescription:
 
     def slots_for(self, unit: Unit) -> list[int]:
         """Issue slots that can execute ``unit``, scarcest-capability first."""
-        slots = [i for i, units in enumerate(self.slot_units) if unit in units]
-        return sorted(slots, key=lambda i: len(self.slot_units[i]))
+        return list(_slots_for(self, unit))
 
     def slots_for_op(self, opcode: Opcode) -> list[int]:
         return self.slots_for(unit_of(opcode))
 
     def unit_count(self, unit: Unit) -> int:
         return sum(1 for units in self.slot_units if unit in units)
+
+    # -- free-slot bitmasks --------------------------------------------------
+    #
+    # Slot occupancy fits an int bitmask (bit i = slot i taken), so the
+    # schedulers' per-cycle "first capable free slot" probe becomes two
+    # integer ops and a table lookup instead of a list scan.  The pick
+    # tables preserve the scarcest-capability-first probe order exactly,
+    # so mask-probed schedules are identical to linearly probed ones.
+
+    @property
+    def full_mask(self) -> int:
+        """Bitmask with one bit per issue slot."""
+        return (1 << self.width) - 1
+
+    def slot_mask(self, unit: Unit) -> int:
+        """Bitmask of the slots that can execute ``unit``."""
+        mask = 0
+        for i, units in enumerate(self.slot_units):
+            if unit in units:
+                mask |= 1 << i
+        return mask
+
+    def slot_mask_for_op(self, opcode: Opcode) -> int:
+        return self.slot_mask(unit_of(opcode))
+
+    def pick_slot(self, opcode: Opcode, free_mask: int) -> int | None:
+        """First capable slot (scarcest-capability order) in ``free_mask``.
+
+        Equivalent to probing :meth:`slots_for_op` in order and returning
+        the first slot whose bit is set, via a precomputed 2^width table.
+        """
+        table = _pick_table(self, unit_of(opcode))
+        if table is not None:
+            return table[free_mask & (len(table) - 1)]
+        for slot in _slots_for(self, unit_of(opcode)):
+            if free_mask >> slot & 1:
+                return slot
+        return None
+
+
+@lru_cache(maxsize=None)
+def _slots_for(machine: MachineDescription, unit: Unit) -> tuple[int, ...]:
+    slots = [i for i, units in enumerate(machine.slot_units) if unit in units]
+    return tuple(sorted(slots, key=lambda i: len(machine.slot_units[i])))
+
+
+#: precompute full pick tables only for realistic widths (2^width entries)
+_PICK_TABLE_MAX_WIDTH = 12
+
+
+@lru_cache(maxsize=None)
+def _pick_table(machine: MachineDescription,
+                unit: Unit) -> tuple[int | None, ...] | None:
+    """``table[free_mask] -> slot`` for every possible free-slot subset."""
+    if machine.width > _PICK_TABLE_MAX_WIDTH:
+        return None
+    ordered = _slots_for(machine, unit)
+    table: list[int | None] = []
+    for free in range(1 << machine.width):
+        table.append(next((s for s in ordered if free >> s & 1), None))
+    return tuple(table)
 
 
 DEFAULT_MACHINE = MachineDescription()

@@ -20,12 +20,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 from math import ceil
 
-from repro.analysis.dependence import DependenceGraph, build_dependence_graph
+from repro.analysis.dependence import (
+    DependenceGraph,
+    build_dependence_graph,
+    dependence_graph,
+    ops_fingerprint,
+)
 from repro.analysis.predrel import PredicateRelations
 from repro.ir.block import BasicBlock
 from repro.ir.opcodes import Opcode, Unit, unit_of
 from repro.ir.registers import VReg
 
+from . import cache as sched_cache
 from .machine import DEFAULT_MACHINE, MachineDescription
 
 
@@ -79,18 +85,46 @@ def resource_mii(ops, machine: MachineDescription) -> int:
     return mii
 
 
+#: RecMII search ceiling — a recurrence this long means the loop is not
+#: profitably pipelineable on the modeled machine anyway
+MAX_REC_MII = 512
+
+
 def recurrence_mii(graph: DependenceGraph) -> int:
     """RecMII: smallest II with no positive cycle of weight lat - II*dist.
 
     Checked by Bellman-Ford-style relaxation on longest paths; the II is
     feasible when relaxation converges (no positive-weight cycle).
+    Feasibility is monotone in II (raising II only lowers edge weights),
+    so the smallest feasible II is found by doubling to an upper bound
+    and bisecting — the legacy path scans IIs one by one instead.
+    A graph with no loop-carried edge has no cycle at all: RecMII is 1
+    without any relaxation.
     """
-    ii = 1
-    while ii < 512:
-        if _feasible(graph, ii):
-            return ii
-        ii += 1
-    raise ModuloSchedulingFailed("recurrence MII exceeds search budget")
+    if not any(edge.distance for edge in graph.edges):
+        return 1
+    if sched_cache.legacy_enabled():
+        ii = 1
+        while ii < MAX_REC_MII:
+            if _feasible(graph, ii):
+                return ii
+            ii += 1
+        raise ModuloSchedulingFailed("recurrence MII exceeds search budget")
+    if _feasible(graph, 1):
+        return 1
+    lo, hi = 1, 2  # lo is always infeasible, hi the candidate bound
+    while not _feasible(graph, hi):
+        lo, hi = hi, min(hi * 2, MAX_REC_MII - 1)
+        if lo >= MAX_REC_MII - 1:
+            raise ModuloSchedulingFailed(
+                "recurrence MII exceeds search budget")
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if _feasible(graph, mid):
+            hi = mid
+        else:
+            lo = mid
+    return hi
 
 
 def _feasible(graph: DependenceGraph, ii: int) -> bool:
@@ -138,33 +172,87 @@ def modulo_schedule(
 
 def _modulo_schedule(block, machine, max_ii, budget_factor, span=None):
     ops = [op for op in block.ops if op.opcode != Opcode.NOP]
-    relations = PredicateRelations(block)
-    graph = build_dependence_graph(ops, relations=relations, loop_carried=True)
-    res_mii = resource_mii(ops, machine)
-    rec_mii = recurrence_mii(graph)
-    mii = max(res_mii, rec_mii)
+    with sched_cache.timed("modulo"):
+        legacy = sched_cache.legacy_enabled()
+        key = None
+        if not legacy:
+            fingerprint = ops_fingerprint(ops)
+            key = (fingerprint, machine, max_ii, budget_factor)
+            cached = sched_cache.modulo_result_get(key)
+            if cached is not None:
+                return _modulo_from_cache(block, ops, cached, span)
+        relations = PredicateRelations(block)
+        if legacy:
+            graph = build_dependence_graph(ops, relations=relations,
+                                           loop_carried=True)
+        else:
+            graph = dependence_graph(ops, relations=relations,
+                                     loop_carried=True,
+                                     fingerprint=fingerprint)
+        # both lower bounds are known before any candidate schedule is
+        # attempted: the II search never starts below max(ResMII, RecMII)
+        res_mii = resource_mii(ops, machine)
+        rec_mii = recurrence_mii(graph)
+        mii = max(res_mii, rec_mii)
+        if span is not None:
+            span.annotate(min_ii=mii, resource_mii=res_mii,
+                          recurrence_mii=rec_mii, ops=len(ops))
+
+        for ii in range(mii, max_ii + 1):
+            result = _try_schedule(ops, graph, machine, ii,
+                                   budget_factor * len(ops) + 32,
+                                   legacy)
+            if result is not None:
+                times, slots = result
+                sched = ModuloSchedule(
+                    ii=ii,
+                    times={ops[i].uid: t for i, t in times.items()},
+                    slots={ops[i].uid: s for i, s in slots.items()},
+                    ops=list(ops),
+                )
+                sched.mve_factor = required_mve_factor(ops, graph, times, ii)
+                if key is not None:
+                    sched_cache.modulo_result_put(key, (
+                        "ok", ii,
+                        tuple(times[i] for i in range(len(ops))),
+                        tuple(slots[i] for i in range(len(ops))),
+                        sched.mve_factor,
+                        (mii, res_mii, rec_mii),
+                    ))
+                return sched
+        message = f"no II <= {max_ii} for {block.label}"
+        if key is not None:
+            sched_cache.modulo_result_put(key, ("fail", f"no II <= {max_ii}"))
+        raise ModuloSchedulingFailed(message)
+
+
+def _modulo_from_cache(block, ops, cached, span):
+    """Rebind a memoized modulo outcome onto this block's operations."""
+    if cached[0] == "fail":
+        raise ModuloSchedulingFailed(f"{cached[1]} for {block.label}")
+    _tag, ii, times, slots, mve, bounds = cached
     if span is not None:
+        mii, res_mii, rec_mii = bounds
         span.annotate(min_ii=mii, resource_mii=res_mii,
-                      recurrence_mii=rec_mii, ops=len(ops))
-
-    for ii in range(mii, max_ii + 1):
-        result = _try_schedule(ops, graph, machine, ii,
-                               budget_factor * len(ops) + 32)
-        if result is not None:
-            times, slots = result
-            sched = ModuloSchedule(
-                ii=ii,
-                times={ops[i].uid: t for i, t in times.items()},
-                slots={ops[i].uid: s for i, s in slots.items()},
-                ops=list(ops),
-            )
-            sched.mve_factor = required_mve_factor(ops, graph, times, ii)
-            return sched
-    raise ModuloSchedulingFailed(f"no II <= {max_ii} for {block.label}")
+                      recurrence_mii=rec_mii, ops=len(ops), cached=True)
+    sched = ModuloSchedule(
+        ii=ii,
+        times={op.uid: times[i] for i, op in enumerate(ops)},
+        slots={op.uid: slots[i] for i, op in enumerate(ops)},
+        ops=list(ops),
+        mve_factor=mve,
+    )
+    return sched
 
 
-def _try_schedule(ops, graph, machine, ii, budget):
-    """One IMS attempt at a fixed II; returns (times, slots) or None."""
+def _try_schedule(ops, graph, machine, ii, budget, legacy=False):
+    """One IMS attempt at a fixed II; returns (times, slots) or None.
+
+    The modulo reservation table is mirrored in per-modulo-cycle
+    free-slot bitmasks so the placement probe is mask arithmetic instead
+    of a per-slot dict scan; ``legacy`` keeps the original linear probe
+    (the probe order — and hence the schedule — is identical).
+    """
     n = len(ops)
     height = _heights(graph, ii)
     order = sorted(range(n), key=lambda i: (-height[i], i))
@@ -172,7 +260,9 @@ def _try_schedule(ops, graph, machine, ii, budget):
     slots: dict[int, int] = {}
     # modulo reservation table: (slot, time mod ii) -> op index
     mrt: dict[tuple[int, int], int] = {}
-    never_scheduled = set(range(n))
+    # occupancy mirror: time mod ii -> bitmask of taken slots
+    mrt_mask = [0] * ii
+    full_mask = machine.full_mask
     worklist = list(order)
     attempts = 0
 
@@ -190,9 +280,13 @@ def _try_schedule(ops, graph, machine, ii, budget):
 
         placed = False
         for t in range(lo, hi + 1):
-            slot = _free_slot(ops[i], t % ii, mrt, machine)
+            if legacy:
+                slot = _free_slot_linear(ops[i], t % ii, mrt, machine)
+            else:
+                slot = machine.pick_slot(ops[i].opcode,
+                                         full_mask & ~mrt_mask[t % ii])
             if slot is not None:
-                _place(i, t, slot, times, slots, mrt, ii)
+                _place(i, t, slot, times, slots, mrt, mrt_mask, ii)
                 placed = True
                 break
         if not placed:
@@ -205,17 +299,16 @@ def _try_schedule(ops, graph, machine, ii, budget):
                 if s == slot and m == t % ii
             ]
             for j in evicted:
-                _unplace(j, times, slots, mrt, ii)
+                _unplace(j, times, slots, mrt, mrt_mask, ii)
                 worklist.append(j)
-            _place(i, t, slot, times, slots, mrt, ii)
-        never_scheduled.discard(i)
+            _place(i, t, slot, times, slots, mrt, mrt_mask, ii)
 
         # displace successors whose constraints broke
         for edge in graph.succs[i]:
             j = edge.dst
             if j in times and j != i:
                 if times[i] + edge.latency - ii * edge.distance > times[j]:
-                    _unplace(j, times, slots, mrt, ii)
+                    _unplace(j, times, slots, mrt, mrt_mask, ii)
                     worklist.append(j)
 
     if _valid(graph, times, ii):
@@ -238,23 +331,25 @@ def _heights(graph, ii):
     return height
 
 
-def _free_slot(op, mslot_time, mrt, machine):
+def _free_slot_linear(op, mslot_time, mrt, machine):
     for slot in machine.slots_for_op(op.opcode):
         if (slot, mslot_time) not in mrt:
             return slot
     return None
 
 
-def _place(i, t, slot, times, slots, mrt, ii):
+def _place(i, t, slot, times, slots, mrt, mrt_mask, ii):
     times[i] = t
     slots[i] = slot
     mrt[(slot, t % ii)] = i
+    mrt_mask[t % ii] |= 1 << slot
 
 
-def _unplace(i, times, slots, mrt, ii):
+def _unplace(i, times, slots, mrt, mrt_mask, ii):
     t = times.pop(i)
     slot = slots.pop(i)
     mrt.pop((slot, t % ii), None)
+    mrt_mask[t % ii] &= ~(1 << slot)
 
 
 def _valid(graph, times, ii):

@@ -8,6 +8,7 @@ from repro.fuzz.oracle import (
     check_many,
     check_program,
     default_configs,
+    oracle_configs,
     reference_outcome,
 )
 from repro.runner.cache import ArtifactCache
@@ -35,6 +36,29 @@ class TestConfig:
         assert len(grid) == 2 * 3
         assert all(c.checked for c in grid)
         assert len(set(grid)) == len(grid)
+
+    def test_sched_oracle_label_and_roundtrip(self):
+        config = Config("traditional", 64, sched_oracle=True)
+        assert config.label == "traditional@64+oracle"
+        assert Config.from_dict(config.as_dict()) == config
+
+    def test_sched_oracle_off_keeps_legacy_dict_shape(self):
+        # pre-flag cache keys and corpus JSON must not change
+        assert "sched_oracle" not in Config("traditional", 64).as_dict()
+
+    def test_oracle_grid_shape(self):
+        grid = oracle_configs()
+        assert grid and all(c.sched_oracle for c in grid)
+        assert len(set(grid)) == len(grid)
+
+
+class TestSchedOracleConfig:
+    def test_oracle_swap_agrees_with_reference(self):
+        program = generate(CLEAN_SEED)
+        configs = (Config("traditional", 16, sched_oracle=True),
+                   Config("aggressive", 16, sched_oracle=True))
+        report = check_program(program, configs)
+        assert report.ok, [v.describe() for v in report.divergences]
 
 
 class TestReferenceOutcome:

@@ -1,7 +1,8 @@
 """Unit tests for the machine description (Figure 6 reconstruction)."""
 
 from repro.ir import Opcode, Unit
-from repro.sched.machine import DEFAULT_MACHINE
+from repro.ir.opcodes import unit_of
+from repro.sched.machine import DEFAULT_MACHINE, MachineDescription
 
 
 class TestUnitCounts:
@@ -53,3 +54,46 @@ class TestSlotSelection:
         assert DEFAULT_MACHINE.predicate_registers == 8
         assert DEFAULT_MACHINE.branch_penalty == 3
         assert DEFAULT_MACHINE.operation_bits == 32
+
+
+class TestSlotMasks:
+    """The free-slot bitmask probe must mirror the linear probe exactly."""
+
+    def test_full_mask_covers_width(self):
+        assert DEFAULT_MACHINE.full_mask == 0xFF
+
+    def test_slot_mask_matches_slots_for(self):
+        for unit in Unit:
+            mask = DEFAULT_MACHINE.slot_mask(unit)
+            slots = {s for s in range(DEFAULT_MACHINE.width)
+                     if mask >> s & 1}
+            assert slots == set(DEFAULT_MACHINE.slots_for(unit))
+
+    def test_pick_slot_equals_linear_probe_exhaustively(self):
+        # every unit x every possible free-slot subset: the table-driven
+        # pick must return the first capable free slot in the same
+        # scarcest-capability-first order the linear scan uses
+        for opcode in (Opcode.ADD, Opcode.MUL, Opcode.LD, Opcode.BR,
+                       Opcode.PRED_DEF, Opcode.FADD):
+            ordered = DEFAULT_MACHINE.slots_for_op(opcode)
+            for free in range(1 << DEFAULT_MACHINE.width):
+                expected = next((s for s in ordered if free >> s & 1), None)
+                assert DEFAULT_MACHINE.pick_slot(opcode, free) == expected, \
+                    (opcode, free)
+
+    def test_pick_slot_empty_mask_is_none(self):
+        assert DEFAULT_MACHINE.pick_slot(Opcode.ADD, 0) is None
+
+    def test_wide_machine_falls_back_to_linear(self):
+        # beyond the pick-table width the probe scans, same order
+        wide = MachineDescription(
+            slot_units=DEFAULT_MACHINE.slot_units * 2)
+        assert wide.width == 16
+        ordered = wide.slots_for_op(Opcode.LD)
+        free = wide.full_mask & ~(1 << ordered[0])
+        assert wide.pick_slot(Opcode.LD, free) == ordered[1]
+        assert wide.pick_slot(Opcode.LD, 0) is None
+
+    def test_slot_mask_for_op_routes_through_unit(self):
+        assert (DEFAULT_MACHINE.slot_mask_for_op(Opcode.MUL)
+                == DEFAULT_MACHINE.slot_mask(unit_of(Opcode.MUL)))

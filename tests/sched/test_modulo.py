@@ -154,3 +154,46 @@ def _assert_valid(block, sched: ModuloSchedule):
         assert key not in seen
         seen.add(key)
         assert sched.slots[op.uid] in DEFAULT_MACHINE.slots_for_op(op.opcode)
+
+
+class TestRecMIIBisection:
+    """The doubling+bisection RecMII search must match the linear scan."""
+
+    def _graphs(self):
+        yield build_dependence_graph(_counting_body(), loop_carried=True)
+        yield build_dependence_graph(_counting_body(counted=False),
+                                     loop_carried=True)
+        # chained loads: x = load(x) k times -> RecMII = 3k
+        for k in (1, 2, 4):
+            ops = [
+                Operation(Opcode.LD, [ireg((i + 1) % k)],
+                          [ireg(i), Imm(0)])
+                for i in range(k)
+            ]
+            yield build_dependence_graph(ops, loop_carried=True)
+
+    def test_matches_legacy_scan_on_known_graphs(self):
+        from repro.sched import cache as sched_cache
+
+        for graph in self._graphs():
+            with sched_cache.legacy_mode():
+                expected = recurrence_mii(graph)
+            assert recurrence_mii(graph) == expected
+
+    def test_chained_load_recurrence_known_answer(self):
+        # 4 chained latency-3 loads, one cycle of distance 1 -> RecMII 12
+        ops = [
+            Operation(Opcode.LD, [ireg((i + 1) % 4)], [ireg(i), Imm(0)])
+            for i in range(4)
+        ]
+        graph = build_dependence_graph(ops, loop_carried=True)
+        assert recurrence_mii(graph) == 12
+
+    def test_no_loop_carried_edge_short_circuits(self):
+        ops = [
+            Operation(Opcode.ADD, [ireg(1)], [ireg(0), Imm(1)]),
+            Operation(Opcode.ADD, [ireg(2)], [ireg(1), Imm(1)]),
+        ]
+        graph = build_dependence_graph(ops, loop_carried=True)
+        if not any(edge.distance for edge in graph.edges):
+            assert recurrence_mii(graph) == 1

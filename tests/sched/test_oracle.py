@@ -1,0 +1,176 @@
+"""Exact modulo-scheduling oracle: certificates, legality, agreement."""
+
+import pytest
+
+from repro.analysis.dependence import build_dependence_graph
+from repro.ir import BasicBlock, Imm, Opcode, Operation, ireg
+from repro.sched.machine import DEFAULT_MACHINE
+from repro.sched.modulo import modulo_schedule
+from repro.sched.oracle import (
+    LoopGap,
+    as_modulo_schedule,
+    certify_compiled,
+    oracle_schedule,
+    safe_horizon,
+    swap_oracle_schedules,
+)
+
+
+def _counting_loop():
+    return BasicBlock("loop", [
+        Operation(Opcode.ADD, [ireg(0)], [ireg(0), ireg(1)]),
+        Operation(Opcode.ADD, [ireg(1)], [ireg(1), Imm(1)]),
+        Operation(Opcode.BR_CLOOP, [], [],
+                  attrs={"target": "loop", "lc": "l0"}),
+    ])
+
+
+def _memory_loop():
+    ops = [
+        Operation(Opcode.LD, [ireg(10 + i)], [ireg(0), Imm(i)])
+        for i in range(6)
+    ] + [
+        Operation(Opcode.ADD, [ireg(20)], [ireg(10), ireg(11)]),
+        Operation(Opcode.BR_CLOOP, [], [],
+                  attrs={"target": "loop", "lc": "l0"}),
+    ]
+    return BasicBlock("loop", ops)
+
+
+def _recurrence_loop():
+    return BasicBlock("loop", [
+        Operation(Opcode.LD, [ireg(0)], [ireg(0), Imm(0)]),
+        Operation(Opcode.ADD, [ireg(1)], [ireg(1), Imm(1)]),
+        Operation(Opcode.BR, [], [ireg(1), Imm(10)],
+                  attrs={"cmp": "lt", "target": "loop"}),
+    ])
+
+
+def _assert_legal(block, sched):
+    """Precedence + modulo reservation constraints hold."""
+    ops = [op for op in block.ops if op.opcode != Opcode.NOP]
+    graph = build_dependence_graph(ops, loop_carried=True)
+    times = {i: sched.times[op.uid] for i, op in enumerate(ops)}
+    for edge in graph.edges:
+        assert (times[edge.src] + edge.latency
+                - sched.ii * edge.distance <= times[edge.dst]), edge
+    seen = set()
+    for op in ops:
+        key = (sched.slots[op.uid], sched.times[op.uid] % sched.ii)
+        assert key not in seen
+        seen.add(key)
+        assert sched.slots[op.uid] in DEFAULT_MACHINE.slots_for_op(op.opcode)
+
+
+class TestOracleSearch:
+    def test_counting_loop_optimal_at_one(self):
+        result = oracle_schedule(_counting_loop())
+        assert result.status == "optimal"
+        assert result.ii == 1
+        assert result.min_ii == 1
+
+    def test_memory_loop_achieves_min_ii(self):
+        result = oracle_schedule(_memory_loop())
+        assert result.status == "optimal"
+        assert result.res_mii == 2          # 6 loads over 3 memory slots
+        assert result.ii == result.min_ii   # RecMII (4) dominates here
+
+    def test_recurrence_loop_matches_recmii(self):
+        result = oracle_schedule(_recurrence_loop())
+        assert result.status == "optimal"
+        assert result.ii == result.rec_mii >= 3
+
+    def test_max_ii_below_min_ii_is_bound_proof(self):
+        result = oracle_schedule(_memory_loop(), max_ii=1)
+        assert result.status == "infeasible"
+        assert result.ii is None
+        assert result.nodes == 0
+
+    def test_too_large_is_reported_not_searched(self):
+        result = oracle_schedule(_memory_loop(), max_ops=2)
+        assert result.status == "too-large"
+        assert result.ii is None
+
+    def test_budget_exhaustion_is_unknown_not_wrong(self):
+        result = oracle_schedule(_memory_loop(), node_budget=0)
+        assert result.status == "unknown"
+        assert result.ii is None
+
+    def test_oracle_never_beats_a_proven_bound(self):
+        for block in (_counting_loop(), _memory_loop(), _recurrence_loop()):
+            result = oracle_schedule(block)
+            assert result.ii is not None
+            assert result.ii >= result.min_ii
+
+
+class TestOracleSchedules:
+    def test_solution_is_a_legal_modulo_schedule(self):
+        for make in (_counting_loop, _memory_loop, _recurrence_loop):
+            block = make()
+            result = oracle_schedule(block)
+            sched = as_modulo_schedule(block, result)
+            assert sched.ii == result.ii
+            _assert_legal(block, sched)
+
+    def test_mve_factor_recomputed_for_oracle_times(self):
+        block = _counting_loop()
+        sched = as_modulo_schedule(block, oracle_schedule(block))
+        assert sched.mve_factor >= 1
+        assert sched.buffered_op_count == (sched.kernel_op_count
+                                           * sched.mve_factor)
+
+    def test_no_solution_raises(self):
+        block = _memory_loop()
+        with pytest.raises(ValueError):
+            as_modulo_schedule(block, oracle_schedule(block, max_ii=1))
+
+
+class TestHeuristicAgreement:
+    def test_oracle_never_above_heuristic(self):
+        for make in (_counting_loop, _memory_loop, _recurrence_loop):
+            block = make()
+            heur = modulo_schedule(make())
+            result = oracle_schedule(block, max_ii=heur.ii)
+            assert result.ii is not None
+            assert result.ii <= heur.ii
+
+    def test_safe_horizon_grows_with_ops_and_ii(self):
+        ops = [op for op in _memory_loop().ops]
+        assert safe_horizon(ops, 4) > safe_horizon(ops, 2)
+        assert safe_horizon(ops, 2) > safe_horizon(ops[:2], 2)
+
+
+@pytest.mark.slow
+class TestBenchmarkLoops:
+    """Oracle-vs-heuristic agreement on real benchmark loops."""
+
+    def test_g724_enc_traditional_all_certified(self):
+        from repro.bench import all_benchmarks
+        from repro.pipeline import compile_traditional
+
+        bench = next(b for b in all_benchmarks() if b.name == "g724_enc")
+        compiled = compile_traditional(bench.build(), entry=bench.entry,
+                                       args=bench.args,
+                                       buffer_capacity=None)
+        rows = certify_compiled(compiled)
+        assert rows, "expected modulo-scheduled loops"
+        for row in rows:
+            assert isinstance(row, LoopGap)
+            assert row.certified, row.as_dict()
+            assert row.gap == 0, row.as_dict()
+            assert row.optimal_ii == row.heuristic_ii
+
+    def test_swapped_schedules_simulate_identically(self):
+        from repro.bench import all_benchmarks
+        from repro.pipeline import compile_traditional, run_compiled
+
+        bench = next(b for b in all_benchmarks() if b.name == "g724_enc")
+        compiled = compile_traditional(bench.build(), entry=bench.entry,
+                                       args=bench.args, buffer_capacity=64)
+        swapped, swaps = swap_oracle_schedules(compiled)
+        assert swaps, "oracle should solve at least one loop"
+        reference = run_compiled(compiled)
+        observed = run_compiled(swapped)
+        assert observed.result.value == reference.result.value
+        # II never worse, so neither is the cycle count
+        assert observed.cycles <= reference.cycles
