@@ -22,4 +22,4 @@ The package is organized as the paper's system is:
 - :mod:`repro.experiments` — regeneration of every table and figure.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"

@@ -17,7 +17,12 @@ See DESIGN.md for the rule catalog.  Checked mode
 after every pass and attributes the first violation to the offending pass.
 """
 
-from . import rules_buffer, rules_ir, rules_sched  # noqa: F401  (register rules)
+from . import (  # noqa: F401  (register rules)
+    rules_buffer,
+    rules_ir,
+    rules_pred,
+    rules_sched,
+)
 from .diagnostics import Diagnostic, Severity, errors_only, max_severity
 from .engine import (
     PHASES,

@@ -58,6 +58,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--rules", type=_csv, default=None,
                         metavar="ID[,ID...]",
                         help="run only these rule ids (default: all)")
+    parser.add_argument("--exclude-rules", type=_csv, default=None,
+                        metavar="ID[,ID...]",
+                        help="skip these rule ids (applied after --rules)")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalog and exit")
     parser.add_argument("--checked", action="store_true",
@@ -71,6 +74,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--json", dest="json_path", default=None,
                         metavar="FILE",
                         help="write diagnostics JSON here ('-' = stdout)")
+    parser.add_argument("--table", dest="table_path", default=None,
+                        metavar="FILE",
+                        help="also write the diagnostics + summary table "
+                             "here (a CI-artifact-friendly text report)")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-diagnostic lines and the summary "
                              "table")
@@ -102,18 +109,24 @@ def main(argv: list[str] | None = None) -> int:
             print(f"unknown pipeline {pipeline!r} (choose from "
                   f"{', '.join(PIPELINES)})", file=sys.stderr)
             return 2
-    if args.rules:
-        try:
-            for rule_id in args.rules:
-                get_rule(rule_id)
-        except KeyError as exc:
-            print(exc.args[0], file=sys.stderr)
-            return 2
+    try:
+        for rule_id in (args.rules or []) + (args.exclude_rules or []):
+            get_rule(rule_id)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    rule_ids = args.rules
+    if args.exclude_rules:
+        excluded = set(args.exclude_rules)
+        rule_ids = [r.rule_id for r in all_rules()
+                    if (args.rules is None or r.rule_id in args.rules)
+                    and r.rule_id not in excluded]
 
     cache = default_cache(args.cache_dir, enabled=not args.no_cache)
     capacity = args.capacity or None
     records = []
     rows = []
+    lines = []
     failed = False
     for name in names:
         for pipeline in args.pipelines:
@@ -124,32 +137,41 @@ def main(argv: list[str] | None = None) -> int:
                 compiled = with_buffer(base, capacity)
             except CheckedModeError as exc:
                 failed = True
+                lines.append(f"{label}: {exc}")
                 if not args.quiet:
-                    print(f"{label}: {exc}")
+                    print(lines[-1])
                 records.extend(
                     dict(d.to_dict(), benchmark=name, pipeline=pipeline)
                     for d in exc.diagnostics)
                 rows.append([name, pipeline, len(exc.diagnostics), 0,
                              f"CHECKED ({exc.pass_name})"])
                 continue
-            diags = lint_compiled(compiled, rule_ids=args.rules)
+            diags = lint_compiled(compiled, rule_ids=rule_ids)
             errors = sum(1 for d in diags if d.severity is Severity.ERROR)
             warnings = sum(1 for d in diags
                            if d.severity is Severity.WARNING)
             failed = failed or errors > 0
-            if not args.quiet:
-                for d in diags:
-                    print(f"{label}: {d.format()}")
+            for d in diags:
+                lines.append(f"{label}: {d.format()}")
+                if not args.quiet:
+                    print(lines[-1])
             records.extend(
                 dict(d.to_dict(), benchmark=name, pipeline=pipeline)
                 for d in diags)
             rows.append([name, pipeline, errors, warnings,
                          "FAIL" if errors else "ok"])
 
+    table = format_table(
+        ["benchmark", "pipeline", "errors", "warnings", "status"],
+        rows, f"lint sweep at capacity {capacity or 'none'}")
     if not args.quiet:
-        print(format_table(
-            ["benchmark", "pipeline", "errors", "warnings", "status"],
-            rows, f"lint sweep at capacity {capacity or 'none'}"))
+        print(table)
+    if args.table_path:
+        report = "\n".join([*lines, table]) + "\n"
+        if args.table_path == "-":
+            print(report, end="")
+        else:
+            Path(args.table_path).write_text(report)
     if args.json_path:
         payload = json.dumps(records, indent=2)
         if args.json_path == "-":

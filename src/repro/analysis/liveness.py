@@ -6,6 +6,15 @@ paths; similarly or-/and-/conditional-type predicate defines update their
 destination only sometimes.  Only *unconditional* writes (unguarded ops,
 and the ``ut``/``uf`` destinations of predicate defines, which Table 2
 updates regardless of guard value) enter the kill set.
+
+The fixpoint is an instance of the generic worklist engine
+(:mod:`repro.analysis.dataflow`): a backward may-problem whose meet is
+set union.  The per-block transfer walks operations rather than using a
+use/def summary because hyperblocks contain *mid-block side exits* — a
+kill below such an exit must not mask liveness on the exit path, so the
+exit target's live-in is unioned back in at the branch position (the
+transfer peeks at other blocks' outputs; the engine re-arms us when they
+move).
 """
 
 from __future__ import annotations
@@ -20,6 +29,7 @@ from repro.ir.preddef import always_writes
 from repro.ir.registers import VReg
 
 from .cfgview import CFGView
+from .dataflow import BACKWARD, DataflowProblem, DataflowResult, solve
 
 
 def op_unconditional_writes(op: Operation) -> list[VReg]:
@@ -49,50 +59,41 @@ class LivenessInfo:
         return self.live_out.get(label, set())
 
 
-def _block_use_def(block: BasicBlock) -> tuple[set[VReg], set[VReg]]:
-    """Upward-exposed uses and unconditional defs of a block."""
-    uses: set[VReg] = set()
-    defs: set[VReg] = set()
-    for op in block.ops:
-        for reg in op.reads():
-            if reg not in defs:
-                uses.add(reg)
-        # conditional writes also *use* the old value conceptually (a merge),
-        # but for register liveness it suffices that they do not kill.
-        defs.update(op_unconditional_writes(op))
-    return uses, defs
+class _LivenessProblem(DataflowProblem):
+    """Backward may-liveness: input = live-out, output = live-in."""
+
+    direction = BACKWARD
+    name = "liveness"
+
+    def __init__(self, func: Function) -> None:
+        self.func = func
+
+    def boundary(self) -> set[VReg]:
+        return set()
+
+    def meet(self, values: list[set[VReg]]) -> set[VReg]:
+        out: set[VReg] = set()
+        for value in values:
+            out |= value
+        return out
+
+    def transfer(self, label: str, value: set[VReg],
+                 result: DataflowResult) -> set[VReg]:
+        return _transfer(self.func, self.func.block(label), value,
+                         result.output)
 
 
 def liveness(func: Function, cfg: CFGView | None = None) -> LivenessInfo:
-    """Backward may-liveness over the CFG.
-
-    The per-block transfer walks operations backward rather than using a
-    use/def summary: hyperblocks (and merged blocks) contain *mid-block
-    side exits*, and a kill below such an exit must not mask liveness on
-    the exit path — the exit's target live-in is unioned back in at the
-    branch position.
-    """
+    """Backward may-liveness over the CFG."""
     if cfg is None:
         cfg = CFGView(func)
-    info = LivenessInfo(
-        live_in={label: set() for label in cfg.nodes},
-        live_out={label: set() for label in cfg.nodes},
+    result = solve(_LivenessProblem(func), cfg)
+    return LivenessInfo(
+        live_in={label: result.output.get(label, set())
+                 for label in cfg.nodes},
+        live_out={label: result.input.get(label, set())
+                  for label in cfg.nodes},
     )
-    order = cfg.reverse_postorder()
-    changed = True
-    while changed:
-        changed = False
-        for label in reversed(order):
-            block = func.block(label)
-            out: set[VReg] = set()
-            for succ in cfg.succs[label]:
-                out |= info.live_in[succ]
-            new_in = _transfer(func, block, out, info.live_in)
-            if out != info.live_out[label] or new_in != info.live_in[label]:
-                info.live_out[label] = out
-                info.live_in[label] = new_in
-                changed = True
-    return info
 
 
 def _transfer(

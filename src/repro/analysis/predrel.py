@@ -1,4 +1,4 @@
-"""Predicate relation analysis.
+"""Predicate relation analysis (block-local).
 
 Section 3 of the paper: "it is necessary for the compiler to be able to
 understand the relations among predicates to perform effective optimization
@@ -9,13 +9,22 @@ one define and are therefore *disjoint*.
 
 We track, per straight-line region, which predicate pairs are disjoint
 (never simultaneously true) and which are subsets (p true implies q true),
-derived syntactically from define patterns:
+derived from define patterns:
 
-* ``pred_def cmp p<ut>, q<uf> = a, b`` under guard ``g`` makes p,q disjoint;
-  both are subsets of ``g``.
-* a ``ut``-type define under guard ``g`` makes its dest a subset of ``g``.
-* ``ot`` accumulations make the accumulated dest a *superset* of each
-  or-term's condition-under-guard; disjointness is not inferred for them.
+* ``pred_def cmp p<ut>, q<uf> = a, b`` makes p,q disjoint (the pair is
+  written under both guard polarities); an unguarded ``ct``/``cf`` pair
+  is likewise disjoint, but a *guarded* one is not — when the guard is
+  false both destinations keep their old, unrelated values.
+* a ``ut``/``uf``-type define under guard ``g`` makes its dest a subset
+  of ``g``.
+
+Redefinitions are classified by the shared semantics in
+:mod:`repro.analysis.predfacts`: an unconditional define starts a fresh
+web (all standing facts about the destination die), while an ``ot``/``of``
+accumulation only *grows* its destination, so "x implies dest" facts
+survive it.  The flow-insensitive summary remains sound for the
+single-assignment-ish webs produced by if-conversion; the global
+:mod:`repro.analysis.predweb` analysis is the flow-sensitive refinement.
 """
 
 from __future__ import annotations
@@ -25,71 +34,64 @@ from repro.ir.block import BasicBlock
 from repro.ir.opcodes import Opcode
 from repro.ir.registers import VReg
 
+from .predfacts import (
+    close_pred_facts,
+    dfact,
+    facts_disjoint,
+    facts_subset,
+    kill_for_redefinition,
+    redefinition_kind,
+)
+
+#: complementary destination-type pairs of one define whose values can
+#: never both be 1; ``ct``/``cf`` qualify only when the define is
+#: unguarded (see module docstring).
+_ALWAYS_COMPLEMENTARY = {("ut", "uf"), ("uf", "ut")}
+_UNGUARDED_COMPLEMENTARY = {("ct", "cf"), ("cf", "ct")}
+
+
+def block_pred_facts(block: BasicBlock) -> frozenset:
+    """The closed predicate fact set of one block, over register atoms."""
+    facts: set = set()
+    for op in block.ops:
+        if op.opcode == Opcode.PRED_SET:
+            kind = redefinition_kind(op.opcode, None, op.guard is not None)
+            facts = kill_for_redefinition(facts, op.dests[0], kind)
+            continue
+        if op.opcode != Opcode.PRED_DEF:
+            for dst in op.dests:
+                if dst.is_predicate:
+                    facts = kill_for_redefinition(
+                        facts, dst, redefinition_kind(
+                            op.opcode, None, op.guard is not None))
+            continue
+        ptypes = op.attrs["ptypes"]
+        guard = op.guard
+        for dst, ptype in zip(op.dests, ptypes):
+            kind = redefinition_kind(op.opcode, ptype, guard is not None)
+            facts = kill_for_redefinition(facts, dst, kind)
+        if len(op.dests) == 2 and op.dests[0] != op.dests[1]:
+            pair = (ptypes[0], ptypes[1])
+            if pair in _ALWAYS_COMPLEMENTARY or (
+                    guard is None and pair in _UNGUARDED_COMPLEMENTARY):
+                facts.add(dfact(op.dests[0], op.dests[1]))
+        for dst, ptype in zip(op.dests, ptypes):
+            if guard is not None and ptype in ("ut", "uf"):
+                facts.add(("s", dst, guard))
+    return close_pred_facts(facts)
+
 
 class PredicateRelations:
     """Disjointness / subset facts for the predicates of one block.
 
-    The analysis is flow-insensitive within the block but invalidates a
-    predicate's facts when it is redefined, which is sound for the
-    single-assignment-ish predicate webs produced by if-conversion.
+    The analysis is flow-insensitive within the block but applies the
+    shared redefinition semantics when a predicate is rewritten, which is
+    sound for the single-assignment-ish predicate webs produced by
+    if-conversion.
     """
 
     def __init__(self, block: BasicBlock) -> None:
-        self._disjoint: set[frozenset[VReg]] = set()
-        self._subset: set[tuple[VReg, VReg]] = set()  # (sub, super)
-        self._scan(block)
-
-    def _invalidate(self, reg: VReg) -> None:
-        self._disjoint = {
-            pair for pair in self._disjoint if reg not in pair
-        }
-        self._subset = {
-            pair for pair in self._subset if reg not in pair
-        }
-
-    def _scan(self, block: BasicBlock) -> None:
-        for op in block.ops:
-            if op.opcode == Opcode.PRED_SET:
-                self._invalidate(op.dests[0])
-                continue
-            if op.opcode != Opcode.PRED_DEF:
-                continue
-            for dst in op.dests:
-                self._invalidate(dst)
-            ptypes = op.attrs["ptypes"]
-            guard = op.guard
-            # complementary unconditional pair -> disjoint
-            if len(op.dests) == 2:
-                t0, t1 = ptypes
-                d0, d1 = op.dests
-                complementary = {("ut", "uf"), ("uf", "ut"), ("ct", "cf"), ("cf", "ct")}
-                if (t0, t1) in complementary and d0 != d1:
-                    self._disjoint.add(frozenset((d0, d1)))
-            for dst, ptype in zip(op.dests, op.attrs["ptypes"]):
-                if guard is not None and ptype in ("ut", "uf"):
-                    self._subset.add((dst, guard))
-
-        # transitive closure of subsets (small sets; a simple pass suffices)
-        changed = True
-        while changed:
-            changed = False
-            for (a, b) in list(self._subset):
-                for (c, d) in list(self._subset):
-                    if b == c and (a, d) not in self._subset and a != d:
-                        self._subset.add((a, d))
-                        changed = True
-            # subset inherits disjointness: a ⊆ b and b ∦ c  =>  a ∦ c
-            for pair in list(self._disjoint):
-                b, c = tuple(pair)
-                for (a, bb) in list(self._subset):
-                    if bb == b and a != c:
-                        if frozenset((a, c)) not in self._disjoint:
-                            self._disjoint.add(frozenset((a, c)))
-                            changed = True
-                    if bb == c and a != b:
-                        if frozenset((a, b)) not in self._disjoint:
-                            self._disjoint.add(frozenset((a, b)))
-                            changed = True
+        self._facts = block_pred_facts(block)
 
     # -- queries -----------------------------------------------------------------
 
@@ -98,11 +100,11 @@ class PredicateRelations:
         execute.  ``None`` (always-true guard) is disjoint with nothing."""
         if a is None or b is None or a == b:
             return False
-        return frozenset((a, b)) in self._disjoint
+        return facts_disjoint(self._facts, a, b)
 
     def subset(self, a: VReg, b: VReg) -> bool:
         """True when ``a`` true implies ``b`` true."""
-        return a == b or (a, b) in self._subset
+        return facts_subset(self._facts, a, b)
 
     def implies_execution(self, a: VReg | None, b: VReg | None) -> bool:
         """True when op guarded by ``a`` executing implies op guarded by
@@ -115,7 +117,7 @@ class PredicateRelations:
 
     def disjoint_pairs(self) -> list[tuple[VReg, VReg]]:
         return sorted(
-            (tuple(sorted(pair, key=lambda r: (r.kind, r.index)))  # type: ignore[misc]
-             for pair in self._disjoint),
+            (tuple(sorted((a, b), key=lambda r: (r.kind, r.index)))  # type: ignore[misc]
+             for kind, a, b in self._facts if kind == "d"),
             key=lambda pair: (pair[0].index, pair[1].index),
         )

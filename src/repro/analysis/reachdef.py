@@ -12,10 +12,16 @@ arm executes; treating either write as defining keeps those (perfectly
 well-defined) webs out of the report.  The resulting analysis therefore
 *under*-reports true use-before-def, which is the right polarity for an
 error-severity rule: anything it flags is undefined along every predicate
-assignment of some path.
+assignment of some path.  (The predicate-web analysis refines this for
+predicate registers specifically: :mod:`repro.analysis.predweb` tracks
+whether a *partial* define chain can leave its destination unwritten.)
 
 Initial definitions at function entry: the parameters and the frame-base
 register (bound by the call/simulation machinery before the first block).
+
+The fixpoint is a forward must-problem on the generic worklist engine
+(:mod:`repro.analysis.dataflow`); blocks not yet constrained by any
+computed predecessor sit at TOP and are deferred.
 """
 
 from __future__ import annotations
@@ -27,6 +33,13 @@ from repro.ir.operation import Operation
 from repro.ir.registers import VReg
 
 from .cfgview import CFGView
+from .dataflow import (
+    FORWARD,
+    TOP,
+    DataflowProblem,
+    DataflowResult,
+    solve,
+)
 
 
 @dataclass
@@ -47,40 +60,44 @@ def entry_definitions(func: Function) -> set[VReg]:
     return defined
 
 
+class _MustDefinedProblem(DataflowProblem):
+    """Forward must-defined: input = defined at entry, output = at exit."""
+
+    direction = FORWARD
+    name = "must-defined"
+
+    def __init__(self, func: Function, cfg: CFGView) -> None:
+        self.func = func
+        self.block_defs: dict[str, set[VReg]] = {
+            label: {dst for op in func.block(label).ops
+                    for dst in op.writes()}
+            for label in cfg.nodes
+        }
+
+    def boundary(self) -> set[VReg]:
+        return entry_definitions(self.func)
+
+    def meet(self, values: list[set[VReg]]):
+        if not values:
+            return TOP
+        out = set(values[0])
+        for value in values[1:]:
+            out &= value
+        return out
+
+    def transfer(self, label: str, value: set[VReg],
+                 result: DataflowResult) -> set[VReg]:
+        return value | self.block_defs[label]
+
+
 def must_defined(func: Function, cfg: CFGView | None = None) -> MustDefinedInfo:
     """Forward must-defined analysis (intersection over predecessors)."""
     if cfg is None:
         cfg = CFGView(func)
-    order = cfg.reverse_postorder()
-    block_defs: dict[str, set[VReg]] = {
-        label: {dst for op in func.block(label).ops for dst in op.writes()}
-        for label in order
-    }
-    # top = "everything defined"; entry starts from params + frame base
-    defined_in: dict[str, set[VReg] | None] = {label: None for label in order}
-    defined_in[cfg.entry] = entry_definitions(func)
-
-    changed = True
-    while changed:
-        changed = False
-        for label in order:
-            if label == cfg.entry:
-                continue
-            incoming: set[VReg] | None = None
-            for pred in cfg.preds[label]:
-                pred_out = defined_in.get(pred)
-                if pred_out is None:
-                    continue  # top: no constraint yet
-                pred_out = pred_out | block_defs[pred]
-                incoming = (set(pred_out) if incoming is None
-                            else incoming & pred_out)
-            if incoming is not None and incoming != defined_in[label]:
-                defined_in[label] = incoming
-                changed = True
-
+    result = solve(_MustDefinedProblem(func, cfg), cfg)
     return MustDefinedInfo({
-        label: (defs if defs is not None else set())
-        for label, defs in defined_in.items()
+        label: set(result.input.get(label, set()))
+        for label in cfg.reverse_postorder()
     })
 
 

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 
 from repro.analysis.liveness import liveness, op_unconditional_writes
 from repro.analysis.predrel import PredicateRelations
+from repro.analysis.predweb import PredicateWeb
 from repro.ir.block import BasicBlock
 from repro.ir.function import Function
 from repro.ir.opcodes import NON_SPECULABLE, POTENTIALLY_EXCEPTING, Opcode
@@ -41,8 +42,16 @@ class PromotionStats:
 
 
 def promote_block(block: BasicBlock, func: Function,
-                  live_out=None, live_info=None) -> PromotionStats:
-    """Promote guards within one (hyper)block."""
+                  live_out=None, live_info=None,
+                  web: PredicateWeb | None = None) -> PromotionStats:
+    """Promote guards within one (hyper)block.
+
+    Implication between a consumer's guard and the promoted guard is
+    first tried against block-local :class:`PredicateRelations`; when
+    that fails, the global predicate ``web`` (built on demand) may still
+    prove it, with each guard's site set pinned at its operation's
+    position so a mid-block redefinition cannot conflate two webs.
+    """
     if live_info is None:
         live_info = liveness(func)
     if live_out is None:
@@ -50,6 +59,7 @@ def promote_block(block: BasicBlock, func: Function,
     exit_live = _exit_liveness(block, func, live_info)
     stats = PromotionStats()
     relations = PredicateRelations(block)
+    ctx = _WebContext(func, block, web)
 
     changed = True
     while changed:
@@ -61,7 +71,7 @@ def promote_block(block: BasicBlock, func: Function,
                 continue
             if not op.dests or any(d.is_predicate for d in op.dests):
                 continue
-            if _promotable(block, i, op, relations, live_out, exit_live):
+            if _promotable(block, i, op, relations, live_out, exit_live, ctx):
                 guard = op.guard
                 op.guard = None
                 if op.opcode in POTENTIALLY_EXCEPTING:
@@ -83,14 +93,44 @@ def _exit_liveness(block, func, live_info) -> dict[int, set]:
     return result
 
 
+class _WebContext:
+    """Lazy per-block view of the global predicate web.
+
+    The web is only solved when block-local relations fail to prove an
+    implication; promotion never touches predicate defines, so the
+    solved states stay valid across the promote/retry fixpoint loop.
+    """
+
+    def __init__(self, func, block, web=None):
+        self._func = func
+        self._block = block
+        self._web = web
+        self._points = None
+
+    def implies_execution(self, consumer_index, consumer_guard,
+                          def_index, guard) -> bool:
+        if consumer_guard is None:
+            return False
+        if self._points is None:
+            if self._web is None:
+                self._web = PredicateWeb(self._func)
+            self._points = self._web.points(self._block.label)
+        pts = self._points
+        return pts[consumer_index].implies_sites(
+            pts[consumer_index].sites(consumer_guard),
+            pts[def_index].sites(guard))
+
+
 def _promotable(block, index, op, relations: PredicateRelations, live_out,
-                exit_live) -> bool:
+                exit_live, ctx: _WebContext) -> bool:
     guard = op.guard
     for dest in op.dests:
         killed = False
         for j, later in enumerate(block.ops[index + 1:], start=index + 1):
             if dest in later.reads():
-                if not relations.implies_execution(later.guard, guard):
+                if not relations.implies_execution(later.guard, guard) \
+                        and not ctx.implies_execution(j, later.guard,
+                                                      index, guard):
                     return False
             # a side exit taken before the kill exposes the polluted value
             if j in exit_live and dest in exit_live[j]:
@@ -107,10 +147,12 @@ def promote_function(func: Function) -> PromotionStats:
     """Promote across all hyperblocks of ``func``."""
     info = liveness(func)
     total = PromotionStats()
+    web = PredicateWeb(func)
     for block in func.blocks:
         if not block.hyperblock:
             continue
-        got = promote_block(block, func, info.live_out[block.label], info)
+        got = promote_block(block, func, info.live_out[block.label], info,
+                            web=web)
         total.promoted += got.promoted
         total.speculative_forms += got.speculative_forms
     return total

@@ -625,19 +625,38 @@ class TraceCache:
             g0 = self._getter(fprog, op.srcs[0])
             g1 = self._getter(fprog, op.srcs[1])
             gslot = slot(op.guard) if op.guard is not None else None
-            updates = tuple(
-                (slot(dest), ptype)
-                for dest, ptype in zip(op.dests, op.attrs["ptypes"])
+            # fold Table 2 at decode: one write list per (guard, cond), so
+            # execution is a table index plus stores — no per-dest dispatch
+            table = tuple(
+                tuple(
+                    (slot(dest), update)
+                    for dest, ptype in zip(op.dests, op.attrs["ptypes"])
+                    if (update := pred_update(ptype, gc >> 1, gc & 1))
+                    is not None
+                )
+                for gc in range(4)
             )
+            if gslot is None:
+                true_writes = table[3]
+                false_writes = table[2]
 
-            def step(frame, _c=cmpfn, _g0=g0, _g1=g1, _gs=gslot, _u=updates):
+                def step(frame, _c=cmpfn, _g0=g0, _g1=g1,
+                         _t=true_writes, _f=false_writes):
+                    regs = frame.regs
+                    for dslot, value in (_t if _c(_g0(regs), _g1(regs))
+                                         else _f):
+                        regs[dslot] = value
+                    return None
+
+                return step
+
+            def step(frame, _c=cmpfn, _g0=g0, _g1=g1, _gs=gslot, _t=table):
                 regs = frame.regs
-                guard = 1 if (_gs is None or regs[_gs]) else 0
-                cond = _c(_g0(regs), _g1(regs))
-                for dslot, ptype in _u:
-                    update = pred_update(ptype, guard, cond)
-                    if update is not None:
-                        regs[dslot] = update
+                gc = 2 if regs[_gs] else 0
+                if _c(_g0(regs), _g1(regs)):
+                    gc |= 1
+                for dslot, value in _t[gc]:
+                    regs[dslot] = value
                 return None
 
             return step

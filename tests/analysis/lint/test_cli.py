@@ -28,6 +28,11 @@ def test_unknown_rule_exits_2(capsys):
     assert "unknown lint rule" in capsys.readouterr().err
 
 
+def test_unknown_exclude_rule_exits_2(capsys):
+    assert main(["--exclude-rules", "no-such-rule"]) == 2
+    assert "unknown lint rule" in capsys.readouterr().err
+
+
 def test_sweep_one_benchmark_clean(tmp_path, capsys):
     code = main(["--benchmarks", "adpcm_dec", "--pipelines", "traditional",
                  "--cache-dir", str(tmp_path), "--json", "-"])
@@ -37,3 +42,17 @@ def test_sweep_one_benchmark_clean(tmp_path, capsys):
     payload = out[out.index("["):]
     records = json.loads(payload)
     assert all(r["severity"] != "error" for r in records)
+
+
+def test_exclude_rules_and_table_artifact(tmp_path, capsys):
+    table = tmp_path / "lint-table.txt"
+    code = main(["--benchmarks", "adpcm_dec", "--pipelines", "traditional",
+                 "--cache-dir", str(tmp_path / "cache"),
+                 "--exclude-rules", "pred-cycle-disjoint",
+                 "--table", str(table), "--quiet"])
+    assert code == 0
+    report = table.read_text()
+    assert "adpcm_dec" in report
+    assert "lint sweep at capacity" in report
+    # --quiet suppresses stdout but not the artifact
+    assert "lint sweep" not in capsys.readouterr().out

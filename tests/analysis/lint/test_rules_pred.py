@@ -1,0 +1,143 @@
+"""One deliberately-broken fixture per predicate-web lint rule, plus a
+clean twin showing each rule stays quiet when the web proves the code
+correct."""
+
+from repro.analysis.lint import LintTarget, Severity, lint_module, run_rules
+from repro.ir import Function, Imm, IRBuilder, Module, ireg
+from repro.sched.bundle import Schedule
+
+
+def _module_of(func: Function) -> Module:
+    module = Module("t")
+    module.add_function(func)
+    return module
+
+
+def _run(target: LintTarget, rule_id: str):
+    return run_rules(target, rule_ids=[rule_id])
+
+
+# -- pred-undef-web -----------------------------------------------------------
+
+def test_pred_undef_web():
+    # p is only or-accumulated under a guard: the guard-false path leaves
+    # it unwritten, yet must-defined sees "a write" and stays quiet
+    func = Function("f", [ireg(0)])
+    b = IRBuilder(func, func.add_block("entry"))
+    q = func.new_pred()
+    p = func.new_pred()
+    b.pred_def("lt", ireg(0), Imm(4), [q], ["ut"])
+    b.pred_def("gt", ireg(0), Imm(0), [p], ["ot"], guard=q)
+    y = b.add(ireg(0), Imm(1), guard=p)
+    b.ret(y)
+    diags = lint_module(_module_of(func), rule_ids=["pred-undef-web"])
+    assert [d.rule for d in diags] == ["pred-undef-web"]
+    assert diags[0].severity is Severity.WARNING
+    # the must-defined rule indeed cannot see it
+    assert lint_module(_module_of(func), rule_ids=["undef-guard"]) == []
+
+
+def test_pred_undef_web_quiet_with_zero_root():
+    func = Function("f", [ireg(0)])
+    b = IRBuilder(func, func.add_block("entry"))
+    q = func.new_pred()
+    p = func.new_pred()
+    b.pred_def("lt", ireg(0), Imm(4), [q], ["ut"])
+    b.pred_set(p, 0)
+    b.pred_def("gt", ireg(0), Imm(0), [p], ["ot"], guard=q)
+    y = b.add(ireg(0), Imm(1), guard=p)
+    b.ret(y)
+    assert lint_module(_module_of(func), rule_ids=["pred-undef-web"]) == []
+
+
+# -- pred-cycle-disjoint ------------------------------------------------------
+
+def _co_issued_writers(ptypes):
+    """Two guarded writes to one register co-issued in cycle 1, guards
+    from one two-destination pred_def of the given types."""
+    func = Function("f", [ireg(0)])
+    b = IRBuilder(func, func.add_block("entry"))
+    p = func.new_pred()
+    q = func.new_pred()
+    b.pred_def("lt", ireg(0), Imm(4), [p, q], list(ptypes))
+    y = func.new_reg()
+    b.movi(1, dest=y, guard=p)
+    b.movi(2, dest=y, guard=q)
+    b.ret(y)
+    module = _module_of(func)
+    sched = Schedule()
+    ops = func.block("entry").ops
+    sched.place(ops[0], 0, 0)
+    sched.place(ops[1], 1, 0)
+    sched.place(ops[2], 1, 1)
+    sched.place(ops[3], 2, 7)
+    return LintTarget(module=module, schedules={"f": {"entry": sched}})
+
+
+def test_pred_cycle_disjoint():
+    # ot/of destinations are not complementary (both keep old values on
+    # the condition's other side), so the webs are not provably disjoint
+    target = _co_issued_writers(["ot", "of"])
+    diags = _run(target, "pred-cycle-disjoint")
+    assert [d.rule for d in diags] == ["pred-cycle-disjoint"]
+    assert diags[0].severity is Severity.WARNING
+
+
+def test_pred_cycle_disjoint_quiet_on_complement_pair():
+    target = _co_issued_writers(["ut", "uf"])
+    assert _run(target, "pred-cycle-disjoint") == []
+
+
+def test_pred_cycle_disjoint_same_guard():
+    func = Function("f", [ireg(0)])
+    b = IRBuilder(func, func.add_block("entry"))
+    p = func.new_pred()
+    b.pred_def("lt", ireg(0), Imm(4), [p], ["ut"])
+    y = func.new_reg()
+    b.movi(1, dest=y, guard=p)
+    b.movi(2, dest=y, guard=p)
+    b.ret(y)
+    module = _module_of(func)
+    sched = Schedule()
+    ops = func.block("entry").ops
+    sched.place(ops[0], 0, 0)
+    sched.place(ops[1], 1, 0)
+    sched.place(ops[2], 1, 1)
+    sched.place(ops[3], 2, 7)
+    target = LintTarget(module=module, schedules={"f": {"entry": sched}})
+    diags = _run(target, "pred-cycle-disjoint")
+    assert [d.rule for d in diags] == ["pred-cycle-disjoint"]
+
+
+# -- pred-web-redef -----------------------------------------------------------
+
+def test_pred_web_redef():
+    # p guards an op, is replaced (establishing fresh facts about its new
+    # web), then guards another op: a flow-insensitive consumer of the
+    # block facts would apply the new web's disjointness to the first use
+    func = Function("f", [ireg(0)])
+    b = IRBuilder(func, func.add_block("entry"))
+    p = func.new_pred()
+    q = func.new_pred()
+    b.pred_def("lt", ireg(0), Imm(4), [p], ["ut"])
+    y = b.add(ireg(0), Imm(1), guard=p)
+    b.pred_def("gt", ireg(0), Imm(9), [p, q], ["ut", "uf"])
+    b.add(y, Imm(2), dest=y, guard=p)
+    b.ret(y)
+    diags = lint_module(_module_of(func), rule_ids=["pred-web-redef"])
+    assert [d.rule for d in diags] == ["pred-web-redef"]
+    assert diags[0].severity is Severity.WARNING
+
+
+def test_pred_web_redef_quiet_without_reuse():
+    # the redefined predicate is never used again: nothing can conflate
+    func = Function("f", [ireg(0)])
+    b = IRBuilder(func, func.add_block("entry"))
+    p = func.new_pred()
+    q = func.new_pred()
+    b.pred_def("lt", ireg(0), Imm(4), [p], ["ut"])
+    y = b.add(ireg(0), Imm(1), guard=p)
+    b.pred_def("gt", ireg(0), Imm(9), [p, q], ["ut", "uf"])
+    b.add(y, Imm(2), dest=y, guard=q)
+    b.ret(y)
+    assert lint_module(_module_of(func), rule_ids=["pred-web-redef"]) == []

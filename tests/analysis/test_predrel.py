@@ -56,6 +56,56 @@ class TestDisjointness:
         rel = PredicateRelations(block)
         assert rel.disjoint(preg(1), preg(2))
 
+    def test_guarded_ct_cf_pair_not_disjoint(self):
+        # when the guard is false neither destination is written, so both
+        # may retain old (possibly both-true) values — no disjointness
+        block = BasicBlock("b", [
+            _pred_def([preg(3)], ["ut"]),
+            _pred_def([preg(1), preg(2)], ["ct", "cf"], guard=preg(3)),
+        ])
+        rel = PredicateRelations(block)
+        assert not rel.disjoint(preg(1), preg(2))
+
+    def test_guarded_ut_uf_pair_still_disjoint(self):
+        # u-types write under both guard polarities (0 when g is false),
+        # so the pair is complementary-or-zero regardless of the guard
+        block = BasicBlock("b", [
+            _pred_def([preg(3)], ["ut"]),
+            _pred_def([preg(1), preg(2)], ["ut", "uf"], guard=preg(3)),
+        ])
+        rel = PredicateRelations(block)
+        assert rel.disjoint(preg(1), preg(2))
+
+    def test_or_accumulation_keeps_subset_into_dest(self):
+        # p3 ⊆ p1 established, then p1 |= ... (ot): p1 only grows, so the
+        # subset fact survives the redefinition
+        block = BasicBlock("b", [
+            _pred_def([preg(1)], ["ut"]),
+            _pred_def([preg(3)], ["ut"], guard=preg(1)),
+            _pred_def([preg(1)], ["ot"], cmp="gt"),
+        ])
+        rel = PredicateRelations(block)
+        assert rel.subset(preg(3), preg(1))
+
+    def test_or_accumulation_drops_disjointness_of_dest(self):
+        # p1 ∦ p2, then p1 |= ... (ot): p1 may grow into p2's set
+        block = BasicBlock("b", [
+            _pred_def([preg(1), preg(2)], ["ut", "uf"]),
+            _pred_def([preg(1)], ["ot"], cmp="gt"),
+        ])
+        rel = PredicateRelations(block)
+        assert not rel.disjoint(preg(1), preg(2))
+
+    def test_and_accumulation_keeps_superset_facts(self):
+        # p3 ⊆ p1, then p3 &= ... (at): p3 only shrinks, still ⊆ p1
+        block = BasicBlock("b", [
+            _pred_def([preg(1)], ["ut"]),
+            _pred_def([preg(3)], ["ut"], guard=preg(1)),
+            _pred_def([preg(3)], ["at"], cmp="gt"),
+        ])
+        rel = PredicateRelations(block)
+        assert rel.subset(preg(3), preg(1))
+
     def test_or_types_not_inferred_disjoint(self):
         block = BasicBlock("b", [_pred_def([preg(1), preg(2)], ["ot", "of"])])
         rel = PredicateRelations(block)

@@ -139,3 +139,77 @@ class TestPartialDeadCode:
         b.store(func.params[0], 0, Imm(1))
         _finish(func, b, Imm(0))
         assert sink_partially_dead(func) == 0
+
+
+class TestWebEnabledSinking:
+    """Cases only the global predicate web can justify."""
+
+    def _two_block(self):
+        from repro.ir import Function, IRBuilder
+
+        func = Function("main", [])
+        module = Module()
+        module.add_function(func)
+        b = IRBuilder(func)
+        func.add_block("entry")
+        func.add_block("body")
+        b.at(func.block("entry"))
+        return func, module, b
+
+    def test_guard_defined_in_predecessor_block(self):
+        # the old syntactic check demanded p be assigned earlier in the
+        # *same* block; the web proves definedness across the edge
+        func, module, b = self._two_block()
+        x = b.movi(7)
+        p = func.new_pred()
+        b.pred_def("lt", x, Imm(10), [p], ["ut"])
+        b.at(func.block("body"))
+        t = b.mul(x, Imm(3))
+        y = b.movi(0)
+        b.add(t, Imm(1), dest=y, guard=p)
+        b.ret(y)
+        assert sink_partially_dead(func) == 1
+        mul = next(op for op in func.block("body").ops
+                   if op.opcode == Opcode.MUL)
+        assert mul.guard == p
+        verify_function(func)
+        assert run_module(module).value == 22
+
+    def test_possibly_undefined_guard_not_sunk(self):
+        # p is only or-accumulated under q: the q-false path leaves p
+        # unwritten, so guarding the define by p would read garbage
+        func, module, b = self._two_block()
+        x = b.movi(7)
+        p = func.new_pred()
+        q = func.new_pred()
+        b.pred_def("lt", x, Imm(10), [q], ["ut"])
+        b.pred_def("gt", x, Imm(0), [p], ["ot"], guard=q)
+        b.at(func.block("body"))
+        t = b.mul(x, Imm(3))
+        y = b.movi(0)
+        b.add(t, Imm(1), dest=y, guard=p)
+        b.ret(y)
+        assert sink_partially_dead(func) == 0
+
+    def test_mixed_guards_sunk_under_web_implication(self):
+        # consumers under q and p with q ⊆ p (zero-rooted or-chain):
+        # the define sinks under the covering guard p
+        func, b = single_block_function(nparams=1)
+        x = func.params[0]
+        p = func.new_pred()
+        q = func.new_pred()
+        b.pred_def("lt", x, Imm(10), [p], ["ut"])
+        b.pred_set(q, 0)
+        b.pred_def("lt", x, Imm(5), [q], ["ot"], guard=p)
+        t = b.mul(x, Imm(3))
+        y = b.movi(0)
+        b.add(t, Imm(1), dest=y, guard=p)
+        b.add(t, Imm(2), dest=y, guard=q)
+        module = _finish(func, b, y)
+        assert sink_partially_dead(func) == 1
+        mul = next(op for op in func.entry.ops if op.opcode == Opcode.MUL)
+        assert mul.guard == p
+        verify_function(func)
+        assert run_module(module, args=[3]).value == 11
+        assert run_module(module, args=[7]).value == 22
+        assert run_module(module, args=[20]).value == 0

@@ -143,3 +143,49 @@ class TestPromotion:
         guarded, total = sensitivity_stats(func)
         assert guarded == 1
         assert total == 4  # pred_def, store, add, ret
+
+
+class TestWebEnabledPromotion:
+    """Implications only the global predicate web can prove."""
+
+    def test_zero_rooted_or_chain_promotes(self):
+        # q = 0; (p) q |= x<5: block-local relations cannot see that the
+        # or-accumulation starts from zero, so q ⊆ p needs the web
+        func, b = single_block_function(nparams=1)
+        x = func.params[0]
+        p = func.new_pred()
+        q = func.new_pred()
+        b.pred_def("lt", x, Imm(10), [p], ["ut"])
+        b.pred_set(q, 0)
+        b.pred_def("lt", x, Imm(5), [q], ["ot"], guard=p)
+        t = b.mul(x, Imm(2), guard=p)
+        y = b.movi(0)
+        b.add(t, Imm(1), dest=y, guard=q)
+        b.movi(0, dest=t)  # kill: t must not escape polluted
+        module = _finish(func, b, y)
+        _mark_hyper(func)
+        stats = promote_function(func)
+        assert stats.promoted == 1
+        mul = next(op for op in func.entry.ops if op.opcode == Opcode.MUL)
+        assert mul.guard is None
+        verify_function(func)
+        assert run_module(module, args=[3]).value == 7
+        assert run_module(module, args=[7]).value == 0
+        assert run_module(module, args=[20]).value == 0
+
+    def test_unrooted_or_chain_not_promoted(self):
+        # without the zero root, q may carry a stale 1 on p-false paths:
+        # neither the block relations nor the web may claim q ⊆ p
+        func, b = single_block_function(nparams=1)
+        x = func.params[0]
+        p = func.new_pred()
+        q = func.new_pred()
+        b.pred_def("lt", x, Imm(10), [p], ["ut"])
+        b.pred_def("lt", x, Imm(5), [q], ["ot"], guard=p)
+        t = b.mul(x, Imm(2), guard=p)
+        y = b.movi(0)
+        b.add(t, Imm(1), dest=y, guard=q)
+        b.movi(0, dest=t)
+        _finish(func, b, y)
+        _mark_hyper(func)
+        assert promote_function(func).promoted == 0

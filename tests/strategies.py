@@ -11,6 +11,7 @@ fuzzer draw from the same program space.
 from hypothesis import strategies as st
 
 from repro.fuzz.gen import generate_source
+from repro.ir import Function, Imm, IRBuilder, ireg
 
 BINOPS = ["+", "-", "*", "&", "|", "^"]
 
@@ -76,3 +77,65 @@ def fuzz_program(draw):
     """
     return generate_source(draw(st.integers(min_value=0,
                                             max_value=2**32 - 1)))
+
+
+PRED_DEF_TYPES = ["ut", "uf", "ot", "of", "at", "af", "ct", "cf"]
+PRED_CMPS = ["lt", "le", "gt", "ge", "eq", "ne"]
+
+#: parameter values enumerated by the predicate-web soundness oracle;
+#: comparisons in generated functions use thresholds in {0, 1}, so this
+#: range exercises both outcomes of every comparison
+PRED_PARAM_VALUES = (-1, 0, 1, 2)
+
+
+@st.composite
+def predicated_dag_function(draw):
+    """A small branchy IR function built from predicate defines.
+
+    The CFG is a forward DAG (every branch targets a later block in
+    layout order), so every execution terminates; all comparisons test
+    an integer parameter against an immediate in {0, 1}, so enumerating
+    :data:`PRED_PARAM_VALUES` per parameter covers every path.  Returns
+    the :class:`~repro.ir.Function` — callers enumerate parameter
+    assignments and interpret it themselves.
+    """
+    nparams = draw(st.integers(min_value=1, max_value=3))
+    params = [ireg(i) for i in range(nparams)]
+    func = Function("main", params)
+    for _ in range(nparams):
+        func.new_reg()
+    pregs = [func.new_pred() for _ in range(draw(st.integers(2, 4)))]
+    n_blocks = draw(st.integers(1, 4))
+    labels = [f"b{i}" for i in range(n_blocks)]
+    blocks = [func.add_block(label) for label in labels]
+    b = IRBuilder(func)
+
+    def operand():
+        return draw(st.sampled_from(params))
+
+    def threshold():
+        return Imm(draw(st.integers(0, 1)))
+
+    def guard():
+        return draw(st.sampled_from(pregs + [None] * len(pregs)))
+
+    for bi, block in enumerate(blocks):
+        b.at(block)
+        for _ in range(draw(st.integers(1, 4))):
+            if draw(st.booleans()):
+                b.pred_set(draw(st.sampled_from(pregs)),
+                           draw(st.integers(0, 1)), guard=guard())
+            else:
+                dests = draw(st.lists(st.sampled_from(pregs), min_size=1,
+                                      max_size=2, unique=True))
+                ptypes = [draw(st.sampled_from(PRED_DEF_TYPES))
+                          for _ in dests]
+                b.pred_def(draw(st.sampled_from(PRED_CMPS)), operand(),
+                           threshold(), dests, ptypes, guard=guard())
+        if bi + 1 < n_blocks and draw(st.booleans()):
+            target = draw(st.sampled_from(labels[bi + 1:]))
+            b.br(draw(st.sampled_from(PRED_CMPS)), operand(), threshold(),
+                 target)
+    b.at(blocks[-1])
+    b.ret(Imm(0))
+    return func
