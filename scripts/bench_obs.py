@@ -1,122 +1,50 @@
 """Record BENCH_obs.json: cold-grid wall time with tracing off vs. on.
 
-Runs the full Figure 7 grid (the BENCH_runner.json grid) twice through
-`python -m repro.runner` against fresh cache dirs — once without
-`--trace`, once with — and records both wall times plus the overheads:
+Thin wrapper over the unified benchmark harness (:mod:`repro.obs.perf`).
+The measurement lives in :func:`repro.obs.perf.benches` as the
+``obs.off`` / ``obs.on`` specs plus the derived ``obs.overhead`` ratio
+(on / off, lower is better): the Figure 7 grid run through ``python -m
+repro.runner`` as a subprocess against fresh cache dirs, once without
+``--trace`` and once with.  Sample values are the runner's reported
+``wall_time_s``.  Both modes' cell summaries must match (digest group
+'obs') or the benchmark aborts (exit 2).
 
-* disabled: the traced codebase with tracing *off* vs. the recorded
-  pre-instrumentation baseline in BENCH_runner.json (target <= 2%);
-* enabled: tracing on vs. off, same codebase (target <= 10%).
+Budgets (``obs.overhead``, a *ceiling* — enforced here and by ``perf
+compare``):
 
-Wall times are min-of-``--repeat`` samples (default 2): single cold runs
-on a shared box carry several percent of scheduler noise, more than the
-disabled-overhead budget itself.
+* full grid (default): tracing must cost <= 10% (ratio <= 1.10);
+* ``--quick``: <= 1.5x, loose because the quick grid's absolute times
+  sit near scheduler-noise scale.
 
-Usage:  PYTHONPATH=src python scripts/bench_obs.py [out.json] [--repeat N]
+The output document follows the unified ``repro-bench-v1`` schema (see
+``repro.obs.perf.suite``); ``--history PATH`` also appends each result
+to the benchmark history JSONL for trend/regression tracking.
+
+Usage:  PYTHONPATH=src python scripts/bench_obs.py [out.json]
+            [--quick] [--samples N] [--history PATH]
 """
 
-import json
-import os
-import platform
-import subprocess
 import sys
-import tempfile
-import time
-from datetime import date
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
-GRID = [
-    "--pipelines", "traditional,aggressive",
-    "--capacities", "16,32,64,128,256,512,1024,2048",
-    "--workers", "1", "--quiet",
-]
+sys.path.insert(0, str(REPO / "src"))
 
+from repro.obs.perf.suite import run_suite_script  # noqa: E402
 
-def _cold_run(tmp, tag, *extra):
-    out = Path(tmp) / f"{tag}.json"
-    cmd = [sys.executable, "-m", "repro.runner", *GRID,
-           "--cache-dir", str(Path(tmp) / f"cache-{tag}"),
-           "--json", str(out), *extra]
-    env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
-    env.pop("REPRO_TRACE", None)
-    start = time.perf_counter()
-    subprocess.run(cmd, check=True, env=env, cwd=REPO)
-    elapsed = time.perf_counter() - start
-    payload = json.loads(out.read_text())
-    assert payload["run_cache_hits"] == 0, "cold run hit the cache"
-    return {
-        "wall_time_s": round(payload["wall_time_s"], 3),
-        "process_wall_s": round(elapsed, 3),
-        "compute_seconds": round(payload.get("compute_seconds", 0.0), 3),
-        "cell_count": payload["cell_count"],
-    }
-
-
-def _best_cold_run(tmp, tag, repeat, *extra):
-    samples = []
-    for i in range(repeat):
-        run_tmp = Path(tmp) / f"{tag}-{i}"
-        run_tmp.mkdir()
-        samples.append(_cold_run(run_tmp, tag, *extra))
-    best = min(samples, key=lambda s: s["wall_time_s"])
-    return dict(best, samples_s=[s["wall_time_s"] for s in samples])
+DESCRIPTION = (
+    "Observability overhead on the Figure 7 cold grid (fresh cache "
+    "dirs, --workers 1, subprocess python -m repro.runner): tracing "
+    "disabled (default) vs. enabled (--trace).  Sample values are the "
+    "runner's wall_time_s; obs.overhead = on/off, lower is better.  "
+    "Both modes' cell summaries were verified identical (digest group "
+    "'obs').")
 
 
 def main(argv):
-    argv = list(argv[1:])
-    repeat = 2
-    if "--repeat" in argv:
-        at = argv.index("--repeat")
-        repeat = int(argv[at + 1])
-        del argv[at:at + 2]
-    out_path = Path(argv[0]) if argv else REPO / "BENCH_obs.json"
-    baseline = json.loads((REPO / "BENCH_runner.json").read_text())
-    base_cold = baseline["cold"]["wall_time_s"]
-    with tempfile.TemporaryDirectory(prefix="repro-bench-obs-") as tmp:
-        off = _best_cold_run(tmp, "off", repeat)
-        on = _best_cold_run(tmp, "on", repeat,
-                            "--trace", str(Path(tmp) / "traces"))
-    disabled_overhead = (off["wall_time_s"] - base_cold) / base_cold
-    enabled_overhead = \
-        (on["wall_time_s"] - off["wall_time_s"]) / off["wall_time_s"]
-    doc = {
-        "description": (
-            "Observability overhead on the full Figure 7 cold grid (the "
-            "BENCH_runner.json grid, fresh cache dirs, --workers 1): "
-            "tracing disabled (default) vs. enabled (--trace)."),
-        "command": (
-            "python -m repro.runner --pipelines traditional,aggressive "
-            "--capacities 16,32,64,128,256,512,1024,2048 --workers 1 "
-            "--cache-dir <fresh-dir> --json <out>.json --quiet "
-            "[--trace <dir>]"),
-        "grid": baseline["grid"],
-        "baseline_cold_wall_time_s": base_cold,
-        "tracing_off": off,
-        "tracing_on": on,
-        "overhead_disabled_vs_baseline": round(disabled_overhead, 4),
-        "overhead_enabled_vs_disabled": round(enabled_overhead, 4),
-        "budget": {"disabled": 0.02, "enabled": 0.10},
-        "machine": {
-            "python": platform.python_version(),
-            "platform": platform.platform(),
-            "cpu_count": os.cpu_count(),
-            "workers": 1,
-        },
-        "date": date.today().isoformat(),
-    }
-    out_path.write_text(json.dumps(doc, indent=2) + "\n")
-    print(f"tracing off: {off['wall_time_s']:.3f}s  "
-          f"on: {on['wall_time_s']:.3f}s")
-    print(f"disabled overhead vs. baseline: {disabled_overhead:+.2%}  "
-          f"(budget +2%)")
-    print(f"enabled overhead vs. disabled:  {enabled_overhead:+.2%}  "
-          f"(budget +10%)")
-    print(f"wrote {out_path}")
-    if disabled_overhead > 0.02 or enabled_overhead > 0.10:
-        print("OVER BUDGET", file=sys.stderr)
-        return 1
-    return 0
+    return run_suite_script(
+        argv, suite="obs", headline="obs.overhead",
+        description=DESCRIPTION, default_out=REPO / "BENCH_obs.json")
 
 
 if __name__ == "__main__":

@@ -1,207 +1,56 @@
 """Record BENCH_sched.json: legacy vs. memoized/bitmask schedulers, cold.
 
-Replays the compile side of the Figure 7 grid — every benchmark x
-{traditional, aggressive}, compiled once at ``buffer_capacity=None`` and
-re-targeted through :func:`repro.pipeline.with_buffer` at every buffer
-capacity — twice: once with ``REPRO_SCHED_LEGACY`` semantics (the
-original linear-probe, unmemoized schedulers) and once on the default
-path (content-keyed dependence-graph + placement memoization, free-slot
-bitmask probes, ResMII/RecMII-pruned II search).
+Thin wrapper over the unified benchmark harness (:mod:`repro.obs.perf`).
+The measurement lives in :func:`repro.obs.perf.benches` as the
+``sched.legacy`` / ``sched.opt`` specs plus the derived
+``sched.speedup`` ratio: the compile side of the Figure 7 grid — every
+benchmark x {traditional, aggressive} compiled once at
+``buffer_capacity=None`` and re-targeted through ``with_buffer`` at
+every capacity — once under ``REPRO_SCHED_LEGACY`` semantics and once on
+the default memoized path.  Sample values are the scheduler-phase
+seconds from :data:`repro.sched.cache.STATS` (``list`` + ``modulo``),
+i.e. exactly the time inside ``schedule_block`` / ``modulo_schedule``.
+Every cell's canonicalized schedules must be *byte-identical* across
+modes or the benchmark aborts (exit 2).
 
-The scheduler phase is timed by :data:`repro.sched.cache.STATS`
-(``seconds["list"] + seconds["modulo"]``), i.e. exactly the time spent
-inside ``schedule_block`` / ``modulo_schedule``, cache replays included.
-Every cell's schedules (list placements per block and modulo schedule
-per loop) are canonicalized and compared across modes: the optimized
-path must be *byte-identical* to the legacy one, or the benchmark
-aborts.
-
-Budgets:
+Budgets (``sched.speedup``, enforced here and by ``perf compare``):
 
 * full grid (default): optimized scheduler phase must be >= 2x faster;
-* ``--quick`` (CI smoke: 2 benchmarks x 2 pipelines x 2 capacities):
-  must simply not be slower.
+* ``--quick`` (CI smoke grid): must simply not be slower.
+
+The output document follows the unified ``repro-bench-v1`` schema (see
+``repro.obs.perf.suite``); ``--history PATH`` also appends each result
+to the benchmark history JSONL for trend/regression tracking.
 
 Usage:  PYTHONPATH=src python scripts/bench_sched.py [out.json]
-            [--quick] [--repeat N]
+            [--quick] [--samples N] [--history PATH]
 """
 
-import json
-import os
-import platform
 import sys
-import time
-from datetime import date
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO / "src"))
 
-from repro.bench import all_benchmarks  # noqa: E402
-from repro.pipeline import (  # noqa: E402
-    compile_aggressive,
-    compile_traditional,
-    with_buffer,
-)
-from repro.sched import cache as sched_cache  # noqa: E402
+from repro.obs.perf.suite import run_suite_script  # noqa: E402
 
-FULL_CAPACITIES = [16, 32, 64, 128, 256, 512, 1024, 2048]
-QUICK_NAMES = ["adpcm_enc", "g724_dec"]
-QUICK_CAPACITIES = [64, 256]
-
-_COMPILERS = {
-    "traditional": compile_traditional,
-    "aggressive": compile_aggressive,
-}
-
-
-def _canonical(compiled):
-    """Schedule content of a compiled artifact, identity-comparable."""
-    placements = {}
-    for fname, schedules in compiled.schedules.items():
-        for label, sched in schedules.items():
-            ops = {op.uid: op
-                   for bundle in sched.bundles for _, op in
-                   bundle.in_slot_order()}
-            placements[(fname, label)] = tuple(sorted(
-                (place.cycle, place.slot, repr(ops[uid]))
-                for uid, place in sched.placement.items()))
-    modulo = {}
-    for key, sched in compiled.modulo.items():
-        by_uid = {op.uid: op for op in sched.ops}
-        modulo[key] = (sched.ii, sched.mve_factor, tuple(sorted(
-            (repr(by_uid[uid]), t, sched.slots[uid])
-            for uid, t in sched.times.items())))
-    return placements, modulo
-
-
-def _run_mode(legacy, names, capacities):
-    """One cold pass over the grid; returns (canonical cells, metrics)."""
-    benches = {b.name: b for b in all_benchmarks()}
-    sched_cache.clear_caches()
-    before = dict(sched_cache.STATS.seconds)
-    snapshot = (sched_cache.STATS.list_hits, sched_cache.STATS.list_misses,
-                sched_cache.STATS.modulo_hits,
-                sched_cache.STATS.modulo_misses)
-    cells = {}
-    t0 = time.perf_counter()
-    with sched_cache.legacy_mode(legacy):
-        for name in names:
-            bench = benches[name]
-            for pipeline in ("traditional", "aggressive"):
-                compiled = _COMPILERS[pipeline](
-                    bench.build(), entry=bench.entry, args=bench.args,
-                    buffer_capacity=None)
-                cells[(name, pipeline, None)] = _canonical(compiled)
-                for capacity in capacities:
-                    cells[(name, pipeline, capacity)] = _canonical(
-                        with_buffer(compiled, capacity))
-    wall = time.perf_counter() - t0
-    seconds = sched_cache.STATS.seconds
-    sched_s = sum(seconds.get(kind, 0.0) - before.get(kind, 0.0)
-                  for kind in ("list", "modulo"))
-    return cells, {
-        "sched_seconds": round(sched_s, 3),
-        "compile_wall_s": round(wall, 3),
-        "cell_count": len(cells),
-        "list_hits": sched_cache.STATS.list_hits - snapshot[0],
-        "list_misses": sched_cache.STATS.list_misses - snapshot[1],
-        "modulo_hits": sched_cache.STATS.modulo_hits - snapshot[2],
-        "modulo_misses": sched_cache.STATS.modulo_misses - snapshot[3],
-    }
-
-
-def _best_run(legacy, names, capacities, repeat):
-    cells = None
-    samples = []
-    for _ in range(repeat):
-        run_cells, sample = _run_mode(legacy, names, capacities)
-        if cells is None:
-            cells = run_cells
-        else:
-            assert run_cells == cells, \
-                "non-deterministic schedules across repeats"
-        samples.append(sample)
-    best = min(samples, key=lambda s: s["sched_seconds"])
-    return cells, dict(best, samples_s=[s["sched_seconds"] for s in samples])
+DESCRIPTION = (
+    "Scheduler benchmark: the original linear-probe, unmemoized "
+    "list/modulo schedulers (REPRO_SCHED_LEGACY) vs. the default path "
+    "(content-keyed dependence-graph and placement memoization, "
+    "free-slot bitmask probes, ResMII/RecMII-pruned II search) over the "
+    "compile side of the Figure 7 grid: each benchmark x pipeline "
+    "compiled cold at capacity=None then re-targeted per buffer "
+    "capacity.  Sample values are seconds inside "
+    "schedule_block/modulo_schedule (repro.sched.cache.STATS).  Every "
+    "cell's schedules were verified identical across modes (digest "
+    "group 'sched').")
 
 
 def main(argv):
-    argv = list(argv[1:])
-    quick = "--quick" in argv
-    if quick:
-        argv.remove("--quick")
-    repeat = 1 if quick else 2
-    if "--repeat" in argv:
-        at = argv.index("--repeat")
-        repeat = int(argv[at + 1])
-        del argv[at:at + 2]
-    out_path = Path(argv[0]) if argv else REPO / "BENCH_sched.json"
-
-    names = (QUICK_NAMES if quick
-             else [b.name for b in all_benchmarks()])
-    capacities = QUICK_CAPACITIES if quick else FULL_CAPACITIES
-    budget = 1.0 if quick else 2.0
-
-    legacy_cells, legacy = _best_run(True, names, capacities, repeat)
-    opt_cells, opt = _best_run(False, names, capacities, repeat)
-
-    if opt_cells != legacy_cells:
-        diffs = [key for key in legacy_cells
-                 if opt_cells.get(key) != legacy_cells[key]]
-        print(f"SCHEDULE DIVERGENCE on {len(diffs)} cell(s); first: "
-              f"{diffs[0]!r}", file=sys.stderr)
-        return 2
-
-    speedup = (legacy["sched_seconds"] / opt["sched_seconds"]
-               if opt["sched_seconds"] else float("inf"))
-    doc = {
-        "description": (
-            "Scheduler benchmark: the original linear-probe, unmemoized "
-            "list/modulo schedulers (REPRO_SCHED_LEGACY) vs. the default "
-            "path (content-keyed dependence-graph and placement "
-            "memoization, free-slot bitmask probes, ResMII/RecMII-pruned "
-            "II search) over the compile side of the Figure 7 grid: "
-            "each benchmark x pipeline compiled cold at capacity=None "
-            "then re-targeted per buffer capacity.  sched_seconds is "
-            "time inside schedule_block/modulo_schedule "
-            "(repro.sched.cache.STATS).  Every cell's schedules were "
-            "verified identical across modes."),
-        "command": (
-            "PYTHONPATH=src python scripts/bench_sched.py"
-            + (" --quick" if quick else "")),
-        "mode": "quick" if quick else "full",
-        "grid": {
-            "benchmarks": list(names),
-            "pipelines": ["traditional", "aggressive"],
-            "capacities": [None] + list(capacities),
-            "cells": legacy["cell_count"],
-        },
-        "legacy": legacy,
-        "optimized": opt,
-        "speedup_sched": round(speedup, 2),
-        "budget_min_speedup": budget,
-        "machine": {
-            "python": platform.python_version(),
-            "platform": platform.platform(),
-            "cpu_count": os.cpu_count(),
-        },
-        "date": date.today().isoformat(),
-    }
-    out_path.write_text(json.dumps(doc, indent=2) + "\n")
-    print(f"legacy:    {legacy['sched_seconds']:.3f}s sched "
-          f"({legacy['compile_wall_s']:.1f}s compile wall, "
-          f"{legacy['cell_count']} cells)")
-    print(f"optimized: {opt['sched_seconds']:.3f}s sched "
-          f"({opt['compile_wall_s']:.1f}s compile wall, "
-          f"hits list={opt['list_hits']} modulo={opt['modulo_hits']})")
-    print(f"speedup: {speedup:.2f}x scheduler phase "
-          f"(budget >= {budget:.1f}x, schedules identical)")
-    print(f"wrote {out_path}")
-    if speedup < budget:
-        print("UNDER BUDGET", file=sys.stderr)
-        return 1
-    return 0
+    return run_suite_script(
+        argv, suite="sched", headline="sched.speedup",
+        description=DESCRIPTION, default_out=REPO / "BENCH_sched.json")
 
 
 if __name__ == "__main__":

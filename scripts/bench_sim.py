@@ -1,156 +1,48 @@
 """Record BENCH_sim.json: reference vs. fast simulator engine, cold grid.
 
-Runs the Figure 7 grid in-process through :func:`repro.runner.parallel.
-run_grid` twice — once with ``engine="ref"`` (the original per-op
-interpreter/VLIW) and once with ``engine="fast"`` (predecoded blocks +
-trace cache, :mod:`repro.sim.engine`) — against fresh cache dirs, and
-records both compute times plus the speedup.  The two engines' summary
-lists must be *identical* (same cycles, fetch splits, bubbles on every
-cell); any difference aborts the benchmark.
+Thin wrapper over the unified benchmark harness (:mod:`repro.obs.perf`).
+The actual measurement lives in :func:`repro.obs.perf.benches` as the
+``sim.ref`` / ``sim.fast`` specs plus the derived ``sim.speedup`` ratio:
+the Figure 7 grid run in-process through ``run_grid`` against fresh
+cache dirs, once per engine, timing ``compute_seconds`` (the per-cell
+compile+retarget+simulate stage sum, which is what the engine
+accelerates).  The two engines' summary lists must be *identical*; any
+difference aborts the benchmark (exit 2).
 
-Times are min-of-``--repeat`` samples (default 2) of ``compute_seconds``
-— the sum of per-cell compile+retarget+simulate stage time, which is
-what the engine accelerates — with wall time recorded alongside.
-
-Budgets:
+Budgets (``sim.speedup``, enforced here and by ``perf compare``):
 
 * full grid (default): fast must be >= 2x the reference;
-* ``--quick`` (CI smoke: 2 benchmarks x 2 pipelines x 2 capacities,
-  1 repeat by default): fast must simply not be slower than the
-  reference.
+* ``--quick`` (CI smoke grid): fast must simply not be slower.
+
+The output document follows the unified ``repro-bench-v1`` schema (see
+``repro.obs.perf.suite``); ``--history PATH`` also appends each result
+to the benchmark history JSONL for trend/regression tracking.
 
 Usage:  PYTHONPATH=src python scripts/bench_sim.py [out.json]
-            [--quick] [--repeat N]
+            [--quick] [--samples N] [--history PATH]
 """
 
-import json
-import os
-import platform
 import sys
-import tempfile
-import time
-from datetime import date
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO / "src"))
 
-from repro.bench import benchmark_names  # noqa: E402
-from repro.runner.cache import ArtifactCache  # noqa: E402
-from repro.runner.metrics import MetricsRecorder  # noqa: E402
-from repro.runner.parallel import expand_grid, run_grid  # noqa: E402
+from repro.obs.perf.suite import run_suite_script  # noqa: E402
 
-FULL_CAPACITIES = [16, 32, 64, 128, 256, 512, 1024, 2048]
-QUICK_NAMES = ["adpcm_enc", "mpeg2_dec"]
-QUICK_CAPACITIES = [64, 256]
-
-
-def _cold_run(engine, cells, tmp, tag):
-    cache = ArtifactCache(Path(tmp) / f"cache-{tag}")
-    metrics = MetricsRecorder()
-    start = time.perf_counter()
-    summaries = run_grid(cells, workers=1, cache=cache, metrics=metrics,
-                         engine=engine)
-    elapsed = time.perf_counter() - start
-    payload = metrics.as_dict()
-    assert payload["run_cache_hits"] == 0, "cold run hit the cache"
-    return summaries, {
-        "compute_seconds": round(payload["compute_seconds"], 3),
-        "wall_time_s": round(elapsed, 3),
-        "cell_count": payload["cell_count"],
-    }
-
-
-def _best_cold_run(engine, cells, tmp, repeat):
-    summaries = None
-    samples = []
-    for i in range(repeat):
-        run_summaries, sample = _cold_run(engine, cells, tmp, f"{engine}-{i}")
-        if summaries is None:
-            summaries = run_summaries
-        else:
-            assert run_summaries == summaries, \
-                f"{engine}: non-deterministic summaries across repeats"
-        samples.append(sample)
-    best = min(samples, key=lambda s: s["compute_seconds"])
-    return summaries, dict(best,
-                           samples_s=[s["compute_seconds"] for s in samples])
+DESCRIPTION = (
+    "Simulator engine benchmark: the reference per-op interpreter/VLIW "
+    "(engine=ref) vs. the predecoded fast path (engine=fast, "
+    "repro.sim.engine) on a cold grid, fresh cache dirs, serial "
+    "in-process via run_grid.  Sample values are compute_seconds — the "
+    "per-cell compile+retarget+simulate stage sum.  The engines' cell "
+    "summaries were verified identical (digest group 'sim').")
 
 
 def main(argv):
-    argv = list(argv[1:])
-    quick = "--quick" in argv
-    if quick:
-        argv.remove("--quick")
-    repeat = 1 if quick else 2
-    if "--repeat" in argv:
-        at = argv.index("--repeat")
-        repeat = int(argv[at + 1])
-        del argv[at:at + 2]
-    out_path = Path(argv[0]) if argv else REPO / "BENCH_sim.json"
-
-    names = QUICK_NAMES if quick else benchmark_names()
-    capacities = QUICK_CAPACITIES if quick else FULL_CAPACITIES
-    cells = expand_grid(names, ("traditional", "aggressive"), capacities)
-    budget = 1.0 if quick else 2.0
-
-    with tempfile.TemporaryDirectory(prefix="repro-bench-sim-") as tmp:
-        ref_summaries, ref = _best_cold_run("ref", cells, tmp, repeat)
-        fast_summaries, fast = _best_cold_run("fast", cells, tmp, repeat)
-
-    if fast_summaries != ref_summaries:
-        diffs = [(r, f) for r, f in zip(ref_summaries, fast_summaries)
-                 if r != f]
-        print(f"ENGINE DIVERGENCE on {len(diffs)} cell(s); first: "
-              f"ref={diffs[0][0]!r} fast={diffs[0][1]!r}", file=sys.stderr)
-        return 2
-
-    speedup = (ref["compute_seconds"] / fast["compute_seconds"]
-               if fast["compute_seconds"] else float("inf"))
-    doc = {
-        "description": (
-            "Simulator engine benchmark: the reference per-op "
-            "interpreter/VLIW (engine=ref) vs. the predecoded fast path "
-            "(engine=fast, repro.sim.engine) on a cold grid, fresh cache "
-            "dirs, serial in-process via run_grid.  compute_seconds is "
-            "the per-cell compile+retarget+simulate stage sum.  The "
-            "engines' cell summaries were verified identical."),
-        "command": (
-            "PYTHONPATH=src python scripts/bench_sim.py"
-            + (" --quick" if quick else "")),
-        "mode": "quick" if quick else "full",
-        "grid": {
-            "benchmarks": list(names),
-            "pipelines": ["traditional", "aggressive"],
-            "capacities": list(capacities),
-            "cells": len(cells),
-        },
-        "ref": ref,
-        "fast": fast,
-        "speedup_compute": round(speedup, 2),
-        "speedup_wall": round(ref["wall_time_s"] / fast["wall_time_s"], 2)
-        if fast["wall_time_s"] else None,
-        "budget_min_speedup": budget,
-        "machine": {
-            "python": platform.python_version(),
-            "platform": platform.platform(),
-            "cpu_count": os.cpu_count(),
-            "workers": 1,
-        },
-        "date": date.today().isoformat(),
-    }
-    out_path.write_text(json.dumps(doc, indent=2) + "\n")
-    print(f"ref:  {ref['compute_seconds']:.3f}s compute "
-          f"({ref['wall_time_s']:.3f}s wall, {ref['cell_count']} cells)")
-    print(f"fast: {fast['compute_seconds']:.3f}s compute "
-          f"({fast['wall_time_s']:.3f}s wall)")
-    print(f"speedup: {speedup:.2f}x compute "
-          f"(budget >= {budget:.1f}x, summaries identical)")
-    print(f"wrote {out_path}")
-    if speedup < budget:
-        print("UNDER BUDGET", file=sys.stderr)
-        return 1
-    return 0
+    return run_suite_script(
+        argv, suite="sim", headline="sim.speedup",
+        description=DESCRIPTION, default_out=REPO / "BENCH_sim.json")
 
 
 if __name__ == "__main__":

@@ -9,9 +9,17 @@ Subcommands::
     python -m repro.obs report .repro_trace
     python -m repro.obs report .repro_trace/report.json --json
 
+    # span-level profiling: slowest spans, flamegraph export
+    python -m repro.obs report .repro_trace --top 10
+    python -m repro.obs report .repro_trace --flame out.folded
+
+    # benchmark observability (see repro.obs.perf)
+    python -m repro.obs perf record|compare|trend|list
+
 The ``report`` command accepts the runner's trace directory, its flat
 ``report.json``, or the Perfetto ``trace.json`` (pass totals are then
-re-derived from the span events).
+re-derived from the span events).  ``--top``/``--flame`` need span-level
+data, so they require the trace directory or ``trace.json`` itself.
 """
 
 from __future__ import annotations
@@ -50,6 +58,23 @@ def _resolve_report(path: Path) -> dict:
     return doc
 
 
+def _resolve_trace_doc(path: Path) -> dict:
+    """A Chrome trace document (span-level data for --top/--flame)."""
+    if path.is_dir():
+        trace = path / TRACE_FILENAME
+        if trace.exists():
+            return _load(trace)
+        raise FileNotFoundError(
+            f"{path}: no {TRACE_FILENAME} (span-level output needs the "
+            "trace itself, not the flat report)")
+    doc = _load(path)
+    if "traceEvents" not in doc:
+        raise ValueError(
+            f"{path}: not a Chrome trace; --top/--flame need "
+            f"{TRACE_FILENAME} or its directory")
+    return doc
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs",
@@ -68,6 +93,15 @@ def build_parser() -> argparse.ArgumentParser:
                         help="trace directory, report.json or trace.json")
     report.add_argument("--json", action="store_true",
                         help="emit the flat report as JSON instead of tables")
+    report.add_argument("--top", type=int, default=None, metavar="N",
+                        help="also list the N slowest individual spans")
+    report.add_argument("--flame", type=Path, default=None, metavar="OUT",
+                        help="write collapsed stacks (flamegraph.pl / "
+                             "speedscope format); '-' for stdout")
+
+    from repro.obs.perf.cli import add_perf_parser
+
+    add_perf_parser(sub)
     return parser
 
 
@@ -92,6 +126,11 @@ def main(argv: list[str] | None = None) -> int:
         print(f"{path}: valid Chrome trace ({len(events)} events)")
         return 0
 
+    if args.command == "perf":
+        from repro.obs.perf.cli import main_perf
+
+        return main_perf(args)
+
     assert args.command == "report"
     try:
         report = _resolve_report(args.path)
@@ -102,6 +141,37 @@ def main(argv: list[str] | None = None) -> int:
         print(json.dumps(report, indent=2, sort_keys=True))
     else:
         print(render_report(report))
+
+    if args.top is not None or args.flame is not None:
+        from repro.obs.perf.profile import PhaseProfile
+        from repro.runner.summary import format_table
+
+        try:
+            profile = PhaseProfile.from_chrome_trace(
+                _resolve_trace_doc(args.path))
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if args.top is not None:
+            rows = [
+                [";".join(span.path[:-1]) or "-", span.name,
+                 span.wall_us / 1e6, span.self_us / 1e6]
+                for span in profile.top_spans(args.top)
+            ]
+            print()
+            print(format_table(
+                ["under", "span", "wall s", "self s"], rows,
+                f"top {args.top} slowest spans",
+                align=["l", "l", "r", "r"]))
+        if args.flame is not None:
+            lines = profile.collapsed_lines()
+            if str(args.flame) == "-":
+                for line in lines:
+                    print(line)
+            else:
+                args.flame.parent.mkdir(parents=True, exist_ok=True)
+                args.flame.write_text("\n".join(lines) + "\n")
+                print(f"\nflame: {args.flame} ({len(lines)} stacks)")
     return 0
 
 

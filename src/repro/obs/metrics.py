@@ -9,11 +9,16 @@ per-cell record (:class:`repro.runner.metrics.CellMetrics`).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 #: histogram bucket upper bounds (seconds-flavoured, but unit-agnostic)
 DEFAULT_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0,
                    float("inf"))
+
+#: raw observations retained per label set for exact quantiles; past this
+#: the cell falls back to bucket interpolation (and drops the raw list)
+VALUE_CAP = 512
 
 
 def _label_key(labels: dict) -> tuple:
@@ -62,7 +67,15 @@ class Gauge(_Instrument):
 
 
 class Histogram(_Instrument):
-    """Cumulative-bucket histogram per label set."""
+    """Cumulative-bucket histogram per label set.
+
+    Quantiles come in two precisions: while a label set has seen at most
+    :data:`VALUE_CAP` observations the raw values are retained and
+    quantiles are **exact** (nearest-rank on the sorted values); past the
+    cap the raw list is dropped and quantiles fall back to linear
+    interpolation inside the cumulative buckets (the Prometheus
+    estimate — the open-ended last bucket clamps to its lower bound).
+    """
 
     def __init__(self, name: str, help: str = "",
                  buckets: tuple = DEFAULT_BUCKETS) -> None:
@@ -77,12 +90,19 @@ class Histogram(_Instrument):
         if cell is None:
             cell = self._data[key] = {
                 "count": 0, "sum": 0.0, "buckets": [0] * len(self.buckets),
+                "values": [],
             }
         cell["count"] += 1
         cell["sum"] += value
         for i, bound in enumerate(self.buckets):
             if value <= bound:
                 cell["buckets"][i] += 1
+        values = cell.get("values")
+        if values is not None:
+            if cell["count"] <= VALUE_CAP:
+                values.append(value)
+            else:
+                cell["values"] = None  # clipped: bucket estimates only
 
     def count(self, **labels) -> int:
         cell = self._data.get(_label_key(labels))
@@ -92,13 +112,57 @@ class Histogram(_Instrument):
         cell = self._data.get(_label_key(labels))
         return cell["sum"] if cell else 0.0
 
+    def quantile(self, q: float, **labels) -> float | None:
+        """The q-quantile (0 <= q <= 1) of one label set, or ``None`` if
+        it has no observations.  Exact while the raw values are retained,
+        bucket-interpolated after (see class docstring)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        cell = self._data.get(_label_key(labels))
+        if not cell or not cell["count"]:
+            return None
+        values = cell.get("values")
+        if values:
+            ordered = sorted(values)
+            # nearest-rank: the smallest value with rank >= q * count
+            rank = max(int(math.ceil(q * len(ordered))), 1)
+            return ordered[rank - 1]
+        return self._bucket_quantile(cell, q)
+
+    def quantiles(self, qs: tuple = (0.5, 0.95, 0.99),
+                  **labels) -> dict[float, float] | None:
+        """Several quantiles at once; ``None`` with no observations."""
+        if self.count(**labels) == 0:
+            return None
+        return {q: self.quantile(q, **labels) for q in qs}
+
+    def _bucket_quantile(self, cell: dict, q: float) -> float:
+        target = q * cell["count"]
+        cumulative = cell["buckets"]
+        previous_bound = 0.0
+        previous_count = 0
+        for bound, count in zip(self.buckets, cumulative):
+            if count >= target:
+                if bound == float("inf"):
+                    # open-ended: clamp to the last finite edge
+                    return previous_bound
+                in_bucket = count - previous_count
+                if in_bucket <= 0:
+                    return bound
+                fraction = (target - previous_count) / in_bucket
+                return previous_bound + fraction * (bound - previous_bound)
+            previous_bound, previous_count = bound, count
+        return previous_bound
+
     def samples(self) -> list[dict]:
-        return [
-            {"labels": dict(key),
-             "value": {"count": cell["count"], "sum": cell["sum"],
-                       "buckets": list(cell["buckets"])}}
-            for key, cell in sorted(self._data.items())
-        ]
+        out = []
+        for key, cell in sorted(self._data.items()):
+            value = {"count": cell["count"], "sum": cell["sum"],
+                     "buckets": list(cell["buckets"])}
+            if cell.get("values"):
+                value["values"] = list(cell["values"])
+            out.append({"labels": dict(key), "value": value})
+        return out
 
 
 class MetricsRegistry:
@@ -167,10 +231,24 @@ class MetricsRegistry:
                     key = _label_key(sample["labels"])
                     cell = hist._data.setdefault(
                         key, {"count": 0, "sum": 0.0,
-                              "buckets": [0] * len(hist.buckets)})
+                              "buckets": [0] * len(hist.buckets),
+                              "values": []})
+                    count_before = cell["count"]
                     cell["count"] += value["count"]
                     cell["sum"] += value["sum"]
                     for i, n in enumerate(value["buckets"][:len(hist.buckets)]):
                         cell["buckets"][i] += n
+                    # exact quantiles survive a merge only while both
+                    # sides kept every raw value and the union stays
+                    # under the cap; otherwise bucket estimates take over
+                    incoming = value.get("values")
+                    have_all = (cell.get("values") is not None
+                                and len(cell["values"]) == count_before
+                                and incoming is not None
+                                and len(incoming) == value["count"])
+                    if have_all and cell["count"] <= VALUE_CAP:
+                        cell["values"] = cell["values"] + list(incoming)
+                    else:
+                        cell["values"] = None
             else:
                 raise ValueError(f"unknown metric kind {kind!r} for {name!r}")

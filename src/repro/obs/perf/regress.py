@@ -1,0 +1,303 @@
+"""Noise-aware regression and drift detection over benchmark series.
+
+The gate never fires on a single noisy sample.  A fresh
+:class:`~repro.obs.perf.harness.BenchResult` (itself several samples) is
+compared to the stored baseline by *medians*, and the allowed movement is
+the larger of a relative budget and a multiple of the *baseline's* noise
+scale::
+
+    allowed = max(budget * |baseline_median|, mad_k * base_mad)
+
+so a quiet baseline is held to the relative budget while a noisy one
+must move beyond its own noise floor to alarm.  Only the baseline MAD
+counts: letting the fresh run's spread widen the gate would let a
+regression that arrives with extra variance mask itself.  Direction-aware: ``lower``
+benches (seconds) regress upward, ``higher`` benches (speedup ratios)
+regress downward.  When a regression fires and both sides carry phase
+series, the verdict names the phase with the largest worsening — the
+difference between *detectable* and *diagnosable*.
+
+:func:`trend` guards the other failure mode: a slow drift where every
+step stays under the gate but the series walks away over weeks.  It
+compares the median of the newest ``window`` records against the oldest
+``window`` across the stored trajectory and alarms on cumulative
+movement beyond the budget.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+
+from repro.obs.perf.harness import BenchResult, mad
+
+#: default relative movement allowed before the gate fires (ratios —
+#: dimensionless, so run-to-run machine noise mostly divides out)
+DEFAULT_BUDGET = 0.25
+#: default budget for absolute-unit (seconds) benches: machine load
+#: moves raw wall/CPU seconds by tens of percent run-to-run even on one
+#: box, and the in-run MAD cannot see that between-run component, so
+#: seconds get a wide gross-error budget while the ratio benches and
+#: the absolute budget floors carry the tight contract
+DEFAULT_SECONDS_BUDGET = 0.5
+#: default noise multiplier: movement must also exceed mad_k * noise
+DEFAULT_MAD_K = 5.0
+#: absolute floor under the noise term, so an all-zero MAD series
+#: (timer-resolution-flat samples) still tolerates timer jitter
+NOISE_FLOOR_S = 1e-4
+
+OK = "ok"
+REGRESSION = "regression"
+IMPROVEMENT = "improvement"
+NO_BASELINE = "no-baseline"
+ENV_MISMATCH = "env-mismatch"
+BUDGET_FAIL = "budget-fail"
+
+#: statuses that fail the gate
+FAILING = (REGRESSION, BUDGET_FAIL)
+
+
+@dataclass
+class Verdict:
+    """One bench's comparison outcome."""
+
+    bench: str
+    status: str = OK
+    unit: str = "s"
+    direction: str = "lower"
+    new_median: float = 0.0
+    base_median: float | None = None
+    ratio: float | None = None
+    allowed: float = 0.0
+    noise: float = 0.0
+    phase: str | None = None
+    detail: str = ""
+
+    @property
+    def failed(self) -> bool:
+        return self.status in FAILING
+
+    def as_dict(self) -> dict:
+        return {
+            "bench": self.bench,
+            "status": self.status,
+            "unit": self.unit,
+            "direction": self.direction,
+            "new_median": round(self.new_median, 6),
+            "base_median": (round(self.base_median, 6)
+                            if self.base_median is not None else None),
+            "ratio": (round(self.ratio, 4)
+                      if self.ratio is not None else None),
+            "allowed": round(self.allowed, 6),
+            "noise": round(self.noise, 6),
+            "phase": self.phase,
+            "detail": self.detail,
+        }
+
+
+def _phase_series(record_or_result) -> dict[str, list[float]]:
+    if isinstance(record_or_result, BenchResult):
+        return record_or_result.phases
+    phases = record_or_result.get("phases", {})
+    return {name: list(entry.get("samples", []))
+            for name, entry in phases.items()}
+
+
+def _blame_phase(new: BenchResult, baseline: dict,
+                 direction: str) -> tuple[str | None, str]:
+    """Name the phase whose median moved the most in the worse direction."""
+    base_phases = _phase_series(baseline)
+    worst_name, worst_delta, worst_line = None, 0.0, ""
+    for name, series in new.phases.items():
+        base_series = base_phases.get(name)
+        if not series or not base_series:
+            continue
+        new_med = statistics.median(series)
+        base_med = statistics.median(base_series)
+        delta = new_med - base_med
+        if direction == "higher":
+            delta = -delta  # a drop is the worsening direction
+        if delta > worst_delta:
+            worst_name, worst_delta = name, delta
+            sign = "-" if direction == "higher" else "+"
+            worst_line = (f"phase {name!r}: {base_med:.3f} -> "
+                          f"{new_med:.3f} ({sign}{abs(worst_delta):.3f})")
+    return worst_name, worst_line
+
+
+def compare_result(new: BenchResult, baseline: dict | None,
+                   env_match: bool = True,
+                   budget: float | None = None,
+                   mad_k: float = DEFAULT_MAD_K) -> Verdict:
+    """Gate one fresh result against its stored baseline record.
+
+    ``baseline=None`` is the first run of a series: record it, never
+    alarm.  ``env_match=False`` (the baseline was taken on a different
+    machine) demotes absolute-unit benches to informational — only
+    dimensionless ratio benches stay gateable across environments.
+    ``budget=None`` picks the per-unit default
+    (:data:`DEFAULT_BUDGET` for ratios, :data:`DEFAULT_SECONDS_BUDGET`
+    for absolute units).
+    """
+    if budget is None:
+        budget = DEFAULT_BUDGET if new.unit == "x" \
+            else DEFAULT_SECONDS_BUDGET
+    verdict = Verdict(bench=new.name, unit=new.unit,
+                      direction=new.direction, new_median=new.median)
+    if baseline is None:
+        verdict.status = NO_BASELINE
+        verdict.detail = "first run for this (bench, config); recorded"
+        return verdict
+    if not env_match and new.unit != "x":
+        verdict.status = ENV_MISMATCH
+        verdict.base_median = baseline.get("median")
+        verdict.detail = (
+            "baseline was recorded on a different environment "
+            f"({baseline.get('env_fingerprint')}); absolute "
+            f"{new.unit} not gated")
+        return verdict
+
+    base_median = float(baseline.get("median", 0.0))
+    base_mad = float(baseline.get("mad", 0.0))
+    new_median = new.median
+    noise = max(base_mad, NOISE_FLOOR_S)
+    allowed = max(budget * abs(base_median), mad_k * noise)
+    delta = new_median - base_median
+    if new.direction == "higher":
+        delta = -delta  # for ratios, going *down* is the regression
+
+    verdict.base_median = base_median
+    verdict.ratio = (new_median / base_median) if base_median else None
+    verdict.allowed = allowed
+    verdict.noise = noise
+    if delta > allowed:
+        verdict.status = REGRESSION
+        phase, line = _blame_phase(new, baseline, new.direction)
+        verdict.phase = phase
+        arrow = f"{base_median:.3f} -> {new_median:.3f}{new.unit}"
+        verdict.detail = (
+            f"median {arrow} exceeds allowance {allowed:.3f} "
+            f"(budget {budget:.0%}, noise {noise:.4f})"
+            + (f"; {line}" if line else ""))
+    elif -delta > allowed:
+        verdict.status = IMPROVEMENT
+        verdict.detail = (f"median {base_median:.3f} -> "
+                          f"{new_median:.3f}{new.unit}; consider "
+                          "re-recording the baseline")
+    else:
+        verdict.status = OK
+        verdict.detail = (f"median {new_median:.3f}{new.unit} within "
+                          f"{allowed:.3f} of baseline {base_median:.3f}")
+    return verdict
+
+
+# ---------------------------------------------------------------------------
+# drift over the stored trajectory
+
+
+@dataclass
+class TrendVerdict:
+    """Cumulative-drift outcome for one stored series."""
+
+    bench: str
+    mode: str
+    config_hash: str
+    status: str
+    points: int
+    first_median: float | None = None
+    last_median: float | None = None
+    drift: float | None = None
+    detail: str = ""
+    rows: list = field(default_factory=list)
+
+    @property
+    def failed(self) -> bool:
+        return self.status == REGRESSION
+
+    def as_dict(self) -> dict:
+        return {
+            "bench": self.bench,
+            "mode": self.mode,
+            "config_hash": self.config_hash,
+            "status": self.status,
+            "points": self.points,
+            "first_median": self.first_median,
+            "last_median": self.last_median,
+            "drift": (round(self.drift, 4)
+                      if self.drift is not None else None),
+            "detail": self.detail,
+        }
+
+
+def trend(records: list[dict], budget: float | None = None,
+          mad_k: float = DEFAULT_MAD_K, window: int = 3) -> TrendVerdict:
+    """Detect slow drift across one series' stored records (time order).
+
+    The oldest and newest ``window`` medians are themselves medianed, so
+    a single outlier record at either end cannot fake (or mask) a drift;
+    the alarm uses the same budget-or-noise allowance as the step gate
+    (per-unit default, like :func:`compare_result`), applied to the
+    cumulative movement.
+    """
+    if budget is None and records:
+        budget = DEFAULT_BUDGET if records[0].get("unit") == "x" \
+            else DEFAULT_SECONDS_BUDGET
+    elif budget is None:
+        budget = DEFAULT_BUDGET
+    if not records:
+        return TrendVerdict("?", "?", "?", NO_BASELINE, 0,
+                            detail="empty series")
+    head = records[0]
+    bench = head.get("bench", "?")
+    verdict = TrendVerdict(
+        bench=bench,
+        mode=head.get("mode", "?"),
+        config_hash=head.get("config_hash", "?"),
+        status=OK,
+        points=len(records),
+    )
+    medians = [float(r.get("median", 0.0)) for r in records]
+    verdict.rows = [
+        [r.get("recorded_at", "?"), r.get("git_sha") or "?",
+         float(r.get("median", 0.0)), float(r.get("mad", 0.0)),
+         len(r.get("samples", []))]
+        for r in records
+    ]
+    if len(records) < 2:
+        verdict.status = NO_BASELINE
+        verdict.detail = "need >= 2 records to measure drift"
+        return verdict
+
+    window = max(1, min(window, len(medians) // 2 or 1))
+    first = statistics.median(medians[:window])
+    last = statistics.median(medians[-window:])
+    direction = head.get("direction", "lower")
+    # run-to-run noise from consecutive differences (a steady drift has
+    # near-constant steps, so it contributes ~nothing here — using the
+    # spread of the medians themselves would let the drift inflate its
+    # own allowance and mask itself), floored by the in-run MADs
+    steps = [b - a for a, b in zip(medians, medians[1:])]
+    noise = max(max(float(r.get("mad", 0.0)) for r in records),
+                mad(steps), NOISE_FLOOR_S)
+    allowed = max(budget * abs(first), mad_k * noise)
+    delta = last - first
+    if direction == "higher":
+        delta = -delta
+
+    verdict.first_median = first
+    verdict.last_median = last
+    verdict.drift = (last - first) / first if first else None
+    if delta > allowed:
+        verdict.status = REGRESSION
+        verdict.detail = (
+            f"cumulative drift {first:.3f} -> {last:.3f} over "
+            f"{len(records)} records exceeds allowance {allowed:.3f} "
+            f"(budget {budget:.0%}, noise {noise:.4f})")
+    elif -delta > allowed:
+        verdict.status = IMPROVEMENT
+        verdict.detail = (f"series improved {first:.3f} -> {last:.3f} "
+                          f"over {len(records)} records")
+    else:
+        verdict.detail = (f"drift {first:.3f} -> {last:.3f} within "
+                          f"allowance {allowed:.3f}")
+    return verdict

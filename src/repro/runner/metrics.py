@@ -13,10 +13,14 @@ import json
 import time
 from dataclasses import dataclass, field
 
+from repro.obs.metrics import Histogram
 from repro.runner.cache import CacheStats
 from repro.runner.summary import format_table
 
 __all__ = ["CellMetrics", "MetricsRecorder", "format_table"]
+
+#: latency percentiles reported in tables and JSON payloads
+LATENCY_QUANTILES = (0.5, 0.95, 0.99)
 
 
 @dataclass
@@ -70,9 +74,36 @@ class MetricsRecorder:
         self._t0 = time.perf_counter()
         self.wall_time_s = 0.0
         self.workers = 1
+        #: per-stage wall-time distribution over cells that did work
+        #: (cache-served cells contribute nothing); stages: "compile"
+        #: (base compiles only) and "run" (retarget + simulate)
+        self.latency = Histogram(
+            "runner_cell_latency_s",
+            "per-cell stage wall time distribution (seconds)")
 
     def add_cell(self, cell: CellMetrics) -> None:
         self.cells.append(cell)
+        if "compile" in cell.stages:
+            self.latency.observe(cell.stages["compile"], stage="compile")
+        if "retarget" in cell.stages or "simulate" in cell.stages:
+            self.latency.observe(
+                cell.stages.get("retarget", 0.0)
+                + cell.stages.get("simulate", 0.0), stage="run")
+
+    def latency_quantiles(self) -> dict[str, dict[str, float]]:
+        """{"compile"/"run": {"count", "p50", "p95", "p99"}} for every
+        stage with at least one observation."""
+        out: dict[str, dict[str, float]] = {}
+        for stage in ("compile", "run"):
+            count = self.latency.count(stage=stage)
+            if not count:
+                continue
+            entry = {"count": count}
+            for q in LATENCY_QUANTILES:
+                entry[f"p{int(q * 100)}"] = round(
+                    self.latency.quantile(q, stage=stage), 6)
+            out[stage] = entry
+        return out
 
     def merge_cache_stats(self, stats: CacheStats) -> None:
         self.cache.hits += stats.hits
@@ -98,6 +129,7 @@ class MetricsRecorder:
             "cell_count": len(self.cells),
             "run_cache_hits": self.run_cache_hits,
             "compute_seconds": round(sum(c.seconds for c in self.cells), 6),
+            "latency": self.latency_quantiles(),
         }
 
     def to_json(self, indent: int | None = 2) -> str:
@@ -138,4 +170,12 @@ class MetricsRecorder:
             f"cache: {self.cache.hits} hits / {self.cache.misses} misses / "
             f"{self.cache.evictions} evicted"
         )
+        quantiles = self.latency_quantiles()
+        if quantiles:
+            parts = []
+            for stage, entry in quantiles.items():
+                parts.append(
+                    f"{stage} p50={entry['p50']:.3f} "
+                    f"p95={entry['p95']:.3f} p99={entry['p99']:.3f}")
+            summary += "\nstage latency s: " + "  |  ".join(parts)
         return table + "\n\n" + summary

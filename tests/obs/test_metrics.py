@@ -42,6 +42,85 @@ class TestInstruments:
         assert "x" in reg and len(reg) == 1
 
 
+class TestHistogramQuantiles:
+    def test_exact_small_sample_nearest_rank(self):
+        h = MetricsRegistry().histogram("lat")
+        for v in (5.0, 1.0, 3.0, 2.0, 4.0):
+            h.observe(v)
+        assert h.quantile(0.5) == 3.0
+        assert h.quantile(0.0) == 1.0
+        assert h.quantile(1.0) == 5.0
+        # nearest-rank, not interpolated: p90 of 5 values is the 5th
+        assert h.quantile(0.9) == 5.0
+
+    def test_labels_are_independent(self):
+        h = MetricsRegistry().histogram("lat")
+        h.observe(1.0, stage="compile")
+        h.observe(9.0, stage="run")
+        assert h.quantile(0.5, stage="compile") == 1.0
+        assert h.quantile(0.5, stage="run") == 9.0
+
+    def test_empty_and_out_of_range(self):
+        h = MetricsRegistry().histogram("lat")
+        assert h.quantile(0.5) is None
+        assert h.quantiles() is None
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_quantiles_batch(self):
+        h = MetricsRegistry().histogram("lat")
+        for v in range(1, 101):
+            h.observe(float(v))
+        qs = h.quantiles()
+        assert qs[0.5] == 50.0
+        assert qs[0.95] == 95.0
+        assert qs[0.99] == 99.0
+
+    def test_bucket_path_past_value_cap(self):
+        from repro.obs.metrics import VALUE_CAP
+        h = MetricsRegistry().histogram("lat", buckets=(1.0, 2.0, 4.0))
+        for _ in range(VALUE_CAP + 88):
+            h.observe(1.5)
+        (sample,) = h.samples()
+        assert "values" not in sample["value"]  # raw list dropped
+        # all mass in (1, 2]: linear interpolation inside that bucket
+        assert h.quantile(0.5) == pytest.approx(1.5)
+        assert h.quantile(1.0) == pytest.approx(2.0)
+
+    def test_bucket_path_inf_clamps_to_last_finite_bound(self):
+        from repro.obs.metrics import VALUE_CAP
+        h = MetricsRegistry().histogram("lat", buckets=(1.0,))
+        for _ in range(VALUE_CAP + 1):
+            h.observe(50.0)
+        assert h.quantile(0.9) == 1.0
+
+    def test_merge_keeps_exact_values_under_cap(self):
+        a = MetricsRegistry()
+        a.histogram("h").observe(1.0)
+        b = MetricsRegistry()
+        b.histogram("h").observe(3.0)
+        b.merge_snapshot(a.snapshot())
+        assert b.histogram("h").count() == 2
+        assert b.histogram("h").quantile(1.0) == 3.0  # exact, not bucket
+
+    def test_merge_drops_values_when_incoming_incomplete(self):
+        incoming = {"h": {"kind": "histogram", "samples": [{
+            "labels": {}, "value": {
+                "count": 2, "sum": 4.0,
+                "buckets": [0, 0, 0, 2, 2, 2, 2, 2, 2, 2],
+                # no "values": the sender clipped its raw list
+            }}]}}
+        reg = MetricsRegistry()
+        reg.histogram("h").observe(1.0)
+        reg.merge_snapshot(incoming)
+        h = reg.histogram("h")
+        assert h.count() == 3
+        (sample,) = h.samples()
+        assert "values" not in sample["value"]
+        # quantiles still answer, from the buckets
+        assert h.quantile(0.5) is not None
+
+
 class TestSnapshotMerge:
     def _snapshot(self):
         reg = MetricsRegistry()

@@ -1,0 +1,152 @@
+"""Noise-aware regression gate against synthetic benchmark series."""
+
+import statistics
+
+from repro.obs.perf.harness import BenchResult, config_hash, mad
+from repro.obs.perf.regress import (
+    ENV_MISMATCH,
+    IMPROVEMENT,
+    NO_BASELINE,
+    OK,
+    REGRESSION,
+    compare_result,
+    trend,
+)
+
+
+def _result(samples, phases=None, unit="s", direction="lower",
+            name="t.a", env="e1"):
+    return BenchResult(
+        name=name, unit=unit, direction=direction, mode="quick",
+        samples=list(samples), phases=phases or {},
+        config={"toy": True}, config_hash=config_hash({"toy": True}),
+        env={}, env_fingerprint=env, git_sha=None)
+
+
+def _baseline(samples, phases=None, env="e1", **extra):
+    return {
+        "bench": "t.a", "median": statistics.median(samples),
+        "mad": mad(samples), "samples": list(samples),
+        "env_fingerprint": env,
+        "phases": {name: {"samples": series,
+                          "median": statistics.median(series)}
+                   for name, series in (phases or {}).items()},
+        **extra,
+    }
+
+
+class TestStepGate:
+    def test_flat_with_noise_does_not_alarm(self):
+        # jitter well inside mad_k * MAD: no alarm on either side
+        baseline = _baseline([1.00, 1.04, 0.97, 1.02, 0.99])
+        verdict = compare_result(_result([1.03, 0.98, 1.05]), baseline)
+        assert verdict.status == OK
+        assert not verdict.failed
+
+    def test_step_regression_alarms_and_blames_phase(self):
+        baseline = _baseline(
+            [1.00, 1.01, 0.99],
+            phases={"list": [0.70, 0.71, 0.69],
+                    "modulo": [0.30, 0.30, 0.30]})
+        new = _result(
+            [2.02, 2.00, 2.01],
+            phases={"list": [1.72, 1.70, 1.71],
+                    "modulo": [0.30, 0.30, 0.30]})
+        verdict = compare_result(new, baseline)
+        assert verdict.status == REGRESSION and verdict.failed
+        assert verdict.phase == "list"
+        assert "list" in verdict.detail
+
+    def test_missing_baseline_records_without_alarm(self):
+        verdict = compare_result(_result([1.0]), None)
+        assert verdict.status == NO_BASELINE
+        assert not verdict.failed
+
+    def test_improvement_is_flagged_not_failed(self):
+        verdict = compare_result(_result([0.4, 0.4, 0.4]),
+                                 _baseline([1.0, 1.0, 1.0]))
+        assert verdict.status == IMPROVEMENT
+        assert not verdict.failed
+
+    def test_noisy_baseline_widens_the_allowance(self):
+        # the same +20% step at the same explicit budget: a quiet
+        # baseline alarms, a noisy one's mad_k * MAD swallows it
+        quiet = compare_result(_result([1.2, 1.2, 1.2]),
+                               _baseline([1.0, 1.0, 1.0]), budget=0.1)
+        assert quiet.status == REGRESSION
+        noisy = compare_result(
+            _result([1.2, 1.2, 1.2]),
+            _baseline([1.0, 0.7, 1.3, 0.8, 1.2]), budget=0.1)
+        assert noisy.status == OK
+
+    def test_seconds_get_the_wide_default_budget(self):
+        # +40% on an absolute-seconds bench stays inside the 50%
+        # gross-error budget (machine load moves raw seconds that much
+        # run-to-run); the same move on a ratio bench alarms at 25%
+        seconds = compare_result(_result([1.4, 1.4, 1.4]),
+                                 _baseline([1.0, 1.0, 1.0]))
+        assert seconds.status == OK
+        ratio = compare_result(
+            _result([1.4, 1.4, 1.4], unit="x", direction="lower"),
+            _baseline([1.0, 1.0, 1.0]))
+        assert ratio.status == REGRESSION
+
+    def test_ratio_regresses_downward(self):
+        baseline = _baseline([4.0, 4.0, 4.1])
+        verdict = compare_result(
+            _result([2.0, 2.0, 2.1], unit="x", direction="higher"),
+            baseline)
+        assert verdict.status == REGRESSION
+        # and going *up* is an improvement, not a regression
+        verdict = compare_result(
+            _result([8.0, 8.0, 8.1], unit="x", direction="higher"),
+            baseline)
+        assert verdict.status == IMPROVEMENT
+
+    def test_env_mismatch_demotes_seconds_but_not_ratios(self):
+        baseline = _baseline([1.0], env="other-env")
+        seconds = compare_result(_result([5.0]), baseline, env_match=False)
+        assert seconds.status == ENV_MISMATCH and not seconds.failed
+        ratio = compare_result(
+            _result([1.0], unit="x", direction="higher"),
+            _baseline([4.0], env="other-env"), env_match=False)
+        assert ratio.status == REGRESSION
+
+
+class TestTrend:
+    def _series(self, medians, mad_value=0.002, unit="x"):
+        return [{"bench": "t.a", "mode": "quick", "config_hash": "c1",
+                 "unit": unit, "direction": "lower", "median": m,
+                 "mad": mad_value, "samples": [m], "recorded_at": f"T{i}"}
+                for i, m in enumerate(medians)]
+
+    def test_slow_drift_alarms_on_cumulative_movement(self):
+        # +2% per record: every step is inside the 25% budget, but the
+        # cumulative 1.0 -> 1.4 walk is not
+        medians = [1.0 + 0.02 * i for i in range(21)]
+        for prev, cur in zip(medians, medians[1:]):
+            step = compare_result(
+                _result([cur], unit="x", direction="lower"),
+                _baseline([prev], bench="t.a"))
+            assert step.status == OK  # the step gate never fires
+        verdict = trend(self._series(medians))
+        assert verdict.status == REGRESSION and verdict.failed
+        assert verdict.drift > 0.25
+
+    def test_flat_series_is_ok(self):
+        verdict = trend(self._series([1.0, 1.01, 0.99, 1.0, 1.02]))
+        assert verdict.status == OK
+
+    def test_single_record_needs_more_data(self):
+        verdict = trend(self._series([1.0]))
+        assert verdict.status == NO_BASELINE and not verdict.failed
+
+    def test_windowing_resists_endpoint_outliers(self):
+        # one bad final record must not fake a drift: the newest-window
+        # median absorbs it
+        verdict = trend(self._series([1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 2.0]))
+        assert verdict.status == OK
+
+    def test_improving_series_reports_improvement(self):
+        verdict = trend(self._series([2.0, 1.8, 1.5, 1.2, 1.0, 0.9]))
+        assert verdict.status == IMPROVEMENT and not verdict.failed

@@ -63,6 +63,26 @@ class TestToTable:
         table = metrics.to_table()
         assert "total (" not in table
 
+    def test_latency_quantiles_in_payload_and_summary(self):
+        metrics = self._recorder()
+        latency = metrics.as_dict()["latency"]
+        assert latency["compile"]["count"] == 1
+        assert latency["compile"]["p50"] == 1.5
+        # "run" pools retarget + simulate; both cells contribute
+        assert latency["run"]["count"] == 2
+        assert latency["run"]["p50"] == 0.5
+        assert latency["run"]["p99"] == 0.5
+        summary = metrics.to_table().split("\n\n")[-1]
+        assert "stage latency s: compile p50=1.500" in summary
+        assert "run p50=0.500" in summary
+
+    def test_cache_served_cells_contribute_no_latency(self):
+        metrics = MetricsRecorder()
+        metrics.add_cell(CellMetrics("a", "p", 1, run_cache_hit=True))
+        metrics.finish()
+        assert metrics.latency_quantiles() == {}
+        assert "stage latency" not in metrics.to_table()
+
     def test_as_dict_trace_fields(self):
         cm = CellMetrics("a", "p", 1)
         assert "traced" not in cm.as_dict()
