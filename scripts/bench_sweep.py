@@ -1,0 +1,57 @@
+"""Record BENCH_sweep.json: deep-copy vs. zero-copy capacity retarget.
+
+Thin wrapper over the unified benchmark harness (:mod:`repro.obs.perf`).
+The measurement lives in :func:`repro.obs.perf.benches` as the
+``sweep.legacy`` / ``sweep.overlay`` specs plus the derived
+``sweep.speedup`` ratio: every benchmark x {traditional, aggressive}
+compiled once at ``buffer_capacity=None``, then re-targeted through
+``with_buffer`` at every Figure 7 capacity — once under the historical
+whole-module deep-copy implementation (``REPRO_RETARGET=legacy``) and
+once on the default zero-copy overlay path, which materializes only the
+preheader blocks that gain ``rec`` directives.  Sample values are the
+``with_buffer`` wall seconds (retarget phase only; base compiles are
+excluded).  Every cell's retargeted artifacts — assignment table,
+``rec`` sites, canonical schedules — must be *byte-identical* across
+modes or the benchmark aborts (exit 2).
+
+Budgets (``sweep.speedup``, enforced here and by ``perf compare``):
+
+* full grid (default) and ``--quick`` (CI smoke grid): the overlay
+  must re-target >= 3x faster than the deep-copy path.
+
+The output document follows the unified ``repro-bench-v1`` schema (see
+``repro.obs.perf.suite``); ``--history PATH`` also appends each result
+to the benchmark history JSONL for trend/regression tracking.
+
+Usage:  PYTHONPATH=src python scripts/bench_sweep.py [out.json]
+            [--quick] [--samples N] [--history PATH]
+"""
+
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.obs.perf.suite import run_suite_script  # noqa: E402
+
+DESCRIPTION = (
+    "Capacity-sweep retarget benchmark: the historical deep-copy "
+    "with_buffer (REPRO_RETARGET=legacy) vs. the default zero-copy "
+    "overlay (copy-on-write at block granularity, only rec'd "
+    "preheaders materialized and rescheduled) over the Figure 7 "
+    "capacity sweep: each benchmark x pipeline compiled cold at "
+    "capacity=None then re-targeted per buffer capacity.  Sample "
+    "values are with_buffer wall seconds.  Every cell's retargeted "
+    "artifacts were verified identical across modes (digest group "
+    "'sweep').")
+
+
+def main(argv):
+    return run_suite_script(
+        argv, suite="sweep", headline="sweep.speedup",
+        description=DESCRIPTION, default_out=REPO / "BENCH_sweep.json")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -15,6 +15,11 @@ from __future__ import annotations
 import argparse
 import os
 
+from repro.loopbuffer.overlay import (
+    ENV_RETARGET,
+    RETARGET_MODES,
+    retarget_choice,
+)
 from repro.pipeline import Compiled
 from repro.runner import metrics as _metrics_mod
 from repro.runner.cache import ArtifactCache, default_cache
@@ -44,7 +49,9 @@ HEADLINE_CAPACITY = 256
 _CACHE: ArtifactCache | None = None
 _METRICS = _metrics_mod.MetricsRecorder()
 _BASE_MEMO: dict[tuple[str, str], Compiled] = {}
-_RUN_MEMO: dict[tuple[str, str, int | None], RunSummary] = {}
+#: keyed by (name, pipeline, capacity, retarget-mode) so flipping
+#: REPRO_RETARGET mid-process never serves the other mode's memo entry
+_RUN_MEMO: dict[tuple[str, str, int | None, str], RunSummary] = {}
 
 
 def experiment_args(description: str | None = None,
@@ -55,14 +62,22 @@ def experiment_args(description: str | None = None,
     facade (and in pool workers) runs the per-pass semantic sanitizer;
     see :mod:`repro.analysis.lint`.  Note checked compiles use distinct
     cache keys, so the first such run recompiles everything.
+    ``--retarget`` exports ``REPRO_RETARGET`` the same way, selecting the
+    ``with_buffer`` implementation for the whole sweep (overlay default,
+    ``legacy`` for the deep-copy differential reference).
     """
     parser = argparse.ArgumentParser(description=description)
     parser.add_argument("--checked", action="store_true",
                         help="run the semantic sanitizer after every "
                              "compiler pass (also: REPRO_CHECKED=1)")
+    parser.add_argument("--retarget", choices=RETARGET_MODES, default=None,
+                        help="with_buffer implementation (also: "
+                             f"{ENV_RETARGET}=overlay|legacy)")
     args = parser.parse_args(argv)
     if args.checked:
         os.environ["REPRO_CHECKED"] = "1"
+    if args.retarget:
+        os.environ[ENV_RETARGET] = args.retarget
     return args
 
 
@@ -96,15 +111,18 @@ def compiled_base(name: str, pipeline: str) -> Compiled:
     return _BASE_MEMO[key]
 
 
-def run_at_capacity(name: str, pipeline: str, capacity: int | None) -> RunSummary:
+def run_at_capacity(name: str, pipeline: str, capacity: int | None,
+                    retarget: str | None = None) -> RunSummary:
     """Compile (cached), retarget at ``capacity``, simulate, summarize."""
-    key = (name, pipeline, capacity)
+    mode = retarget_choice(retarget)
+    key = (name, pipeline, capacity, mode)
     if key not in _RUN_MEMO:
         _RUN_MEMO[key] = run_cell(
             name, pipeline, capacity,
             cache=_cache(),
             base=_BASE_MEMO.get((name, pipeline)),
             metrics=_METRICS,
+            retarget=mode,
         )
     return _RUN_MEMO[key]
 
@@ -114,6 +132,7 @@ def prewarm(
     pipelines=("traditional", "aggressive"),
     capacities=(HEADLINE_CAPACITY,),
     workers: int | None = None,
+    retarget: str | None = None,
 ) -> list[RunSummary]:
     """Fan a (benchmark × pipeline × capacity) grid out over the runner.
 
@@ -122,14 +141,15 @@ def prewarm(
     for free — from the pool when cold, from disk when warm.  Cells
     already memoized are skipped.
     """
+    mode = retarget_choice(retarget)
     cells = [
         cell for cell in expand_grid(names, pipelines, capacities)
-        if (cell.name, cell.pipeline, cell.capacity) not in _RUN_MEMO
+        if (cell.name, cell.pipeline, cell.capacity, mode) not in _RUN_MEMO
     ]
     if not cells:
         return []
     summaries = run_grid(cells, workers=workers, cache=_cache(),
-                         metrics=_METRICS)
+                         metrics=_METRICS, retarget=mode)
     for cell, summary in zip(cells, summaries):
-        _RUN_MEMO[(cell.name, cell.pipeline, cell.capacity)] = summary
+        _RUN_MEMO[(cell.name, cell.pipeline, cell.capacity, mode)] = summary
     return summaries

@@ -40,6 +40,7 @@ from repro.fuzz.oracle import (
     check_program,
     default_configs,
     oracle_configs,
+    retarget_configs,
 )
 from repro.fuzz.reduce import DEFAULT_BUDGET, divergence_predicate, minimize
 from repro.runner.cache import default_cache
@@ -87,6 +88,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="add configs that swap exact-oracle modulo "
                             "schedules into the backend and check them "
                             "for semantic agreement")
+        p.add_argument("--retarget", action="store_true",
+                       help="add configs that retarget a capacity-"
+                            "independent base through with_buffer under "
+                            "both the overlay and legacy implementations")
 
     run = sub.add_parser("run", help="fuzz N seeded random programs")
     add_grid(run)
@@ -136,6 +141,8 @@ def _configs_from(args) -> tuple:
                               checked=not args.no_checked)
     if getattr(args, "sched_oracle", False):
         configs += oracle_configs(args.pipelines)
+    if getattr(args, "retarget", False):
+        configs += retarget_configs(args.pipelines)
     return configs
 
 

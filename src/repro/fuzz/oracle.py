@@ -27,6 +27,7 @@ from repro.pipeline import (
     compile_aggressive,
     compile_traditional,
     run_compiled,
+    with_buffer,
 )
 from repro.runner.cache import ArtifactCache, cache_key
 from repro.runner.parallel import resolve_workers
@@ -61,6 +62,10 @@ class Config:
     checked: bool = False
     engine: str = "fast"
     sched_oracle: bool = False
+    #: "direct" bakes the capacity into the pipeline call (historical
+    #: behaviour); "overlay"/"legacy" compile a capacity-independent base
+    #: and retarget it through ``with_buffer`` under that implementation
+    retarget: str = "direct"
 
     @property
     def label(self) -> str:
@@ -70,6 +75,8 @@ class Config:
             suffix += f"+{self.engine}"
         if self.sched_oracle:
             suffix += "+oracle"
+        if self.retarget != "direct":
+            suffix += f"+{self.retarget}"
         return f"{self.pipeline}@{cap}{suffix}"
 
     def as_dict(self) -> dict:
@@ -79,6 +86,9 @@ class Config:
             # only serialized when set: non-oracle configs keep the cache
             # keys (and corpus JSON shape) they had before the flag existed
             data["sched_oracle"] = True
+        if self.retarget != "direct":
+            # same compatibility rule as sched_oracle
+            data["retarget"] = self.retarget
         return data
 
     @classmethod
@@ -86,7 +96,8 @@ class Config:
         return cls(data["pipeline"], data.get("capacity"),
                    bool(data.get("checked")),
                    data.get("engine", "fast"),
-                   bool(data.get("sched_oracle")))
+                   bool(data.get("sched_oracle")),
+                   data.get("retarget", "direct"))
 
 
 def default_configs(
@@ -112,6 +123,22 @@ def oracle_configs(
     """
     return tuple(Config(pipeline, capacity, sched_oracle=True)
                  for pipeline in pipelines for capacity in capacities)
+
+
+def retarget_configs(
+    pipelines: Iterable[str] = ("traditional", "aggressive"),
+    capacities: Iterable[int | None] = (16, 64),
+) -> tuple[Config, ...]:
+    """Configs that retarget a capacity-independent base per capacity.
+
+    Each pipeline × capacity point appears twice — once under the
+    zero-copy overlay implementation of ``with_buffer`` and once under
+    the deep-copy legacy one — so the two retarget paths are
+    differentially checked against each other *and* the interpreter.
+    """
+    return tuple(Config(pipeline, capacity, retarget=mode)
+                 for pipeline in pipelines for capacity in capacities
+                 for mode in ("overlay", "legacy"))
 
 
 #: (status, payload) pairs — payload is the return value for ``"value"``,
@@ -188,10 +215,21 @@ def compiled_outcome(source: str, config: Config,
     except Exception as exc:
         return ("frontend-error", f"{type(exc).__name__}: {exc}")
     try:
-        compiled = _COMPILERS[config.pipeline](
-            module, buffer_capacity=config.capacity,
-            max_steps=max_steps, checked=config.checked,
-            engine=config.engine)
+        if config.retarget != "direct":
+            # compile a capacity-independent base, then retarget it the
+            # way the experiment harness does (overlay or legacy path)
+            compiled = _COMPILERS[config.pipeline](
+                module, buffer_capacity=None,
+                max_steps=max_steps, checked=config.checked,
+                engine=config.engine)
+            compiled = with_buffer(compiled, config.capacity,
+                                   checked=config.checked,
+                                   retarget=config.retarget)
+        else:
+            compiled = _COMPILERS[config.pipeline](
+                module, buffer_capacity=config.capacity,
+                max_steps=max_steps, checked=config.checked,
+                engine=config.engine)
     except CheckedModeError as exc:
         return ("checked-failure",
                 f"{exc.pass_name}: {exc.diagnostics[0].format()}"

@@ -125,18 +125,26 @@ def assign_buffer(
     footprint: dict[tuple[str, str], int] | None = None,
     overhead_aware: bool = True,
     tracer=None,
+    get_block=None,
 ) -> AssignmentResult:
-    """Choose buffer offsets for the module's loops and rewrite the IR."""
+    """Choose buffer offsets for the module's loops and rewrite the IR.
+
+    ``get_block`` redirects the rewrite: ``get_block(func_name, label)``
+    returns the block whose op list the ``rec`` directives land in.  The
+    default edits ``module`` in place; a capacity-symbolic overlay
+    (:mod:`repro.loopbuffer.overlay`) passes a copy-on-write getter so
+    the shared base module is analyzed but never mutated.
+    """
     if tracer is None:
         from repro.obs import get_tracer
         tracer = get_tracer()
     if not tracer.enabled:
         return _assign_buffer(module, profile, capacity, footprint,
-                              overhead_aware)
+                              overhead_aware, get_block)
     with tracer.span("assign_buffer", category="pass",
                      capacity=capacity) as span:
         result = _assign_buffer(module, profile, capacity, footprint,
-                                overhead_aware)
+                                overhead_aware, get_block)
         span.annotate(
             assigned=len(result.assigned),
             unassigned=len(result.unassigned),
@@ -145,7 +153,8 @@ def assign_buffer(
         return result
 
 
-def _assign_buffer(module, profile, capacity, footprint, overhead_aware):
+def _assign_buffer(module, profile, capacity, footprint, overhead_aware,
+                   get_block=None):
     candidates = collect_candidates(module, profile, capacity, footprint)
     if overhead_aware:
         candidates.sort(key=lambda c: (c.benefit, c.recording_overhead),
@@ -168,7 +177,7 @@ def _assign_buffer(module, profile, capacity, footprint, overhead_aware):
         placed.append((assignment, cand))
         result.assigned.append(assignment)
 
-    _rewrite_ir(module, result)
+    _rewrite_ir(module, result, get_block)
     return result
 
 
@@ -205,14 +214,23 @@ def _cheapest_overlap(placed, length: int, capacity: int) -> int:
     return best_offset
 
 
-def _rewrite_ir(module: Module, result: AssignmentResult) -> None:
+def _rewrite_ir(module: Module, result: AssignmentResult,
+                get_block=None) -> None:
     """Install rec_cloop / rec_wloop operations for assigned loops.
 
     A loop that offers no place to record (no preheader, or a counted loop
     whose ``cloop_set`` cannot be found) is dropped from the assignment
     table rather than left as an orphan entry the hardware residency table
     would never match.
+
+    Loop analysis always reads ``module``; the block actually edited comes
+    from ``get_block`` (defaulting to in-place).  Successive assignments
+    sharing a preheader see each other's edits either way, because the
+    getter must return the same (copied) block for the same key.
     """
+    if get_block is None:
+        def get_block(fname, label):
+            return module.function(fname).block(label)
     orphans: list[Assignment] = []
     for assignment in result.assigned:
         func = module.function(assignment.func)
@@ -225,7 +243,7 @@ def _rewrite_ir(module: Module, result: AssignmentResult) -> None:
         if pre_label is None:
             orphans.append(assignment)
             continue
-        pre = func.block(pre_label)
+        pre = get_block(assignment.func, pre_label)
         block = func.block(assignment.header)
         term = block.terminator
 

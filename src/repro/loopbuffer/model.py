@@ -48,6 +48,11 @@ class BufferStats:
     records_skipped: int = 0   # residency table hit: loop still intact
     invalidations: int = 0
 
+    def as_tuple(self) -> tuple[int, int, int]:
+        """Canonical value form, for differential comparison and hashing."""
+        return (self.records_started, self.records_skipped,
+                self.invalidations)
+
 
 class LoopBuffer:
     """Hardware state of one loop buffer.

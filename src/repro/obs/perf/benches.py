@@ -10,6 +10,11 @@ derived machine-portable ratio:
   seconds (``repro.sched.cache.STATS``) over the compile side of the
   grid, legacy linear-probe vs. memoized/bitmask path, with canonical
   schedules verified identical (``digest_group="sched"``).
+* ``sweep.legacy`` / ``sweep.overlay`` / ``sweep.speedup`` —
+  ``with_buffer`` seconds over a capacity sweep, deep-copy vs. zero-copy
+  overlay retarget, with the retargeted artifacts (assignment tables,
+  ``rec`` sites, canonical schedules) verified identical
+  (``digest_group="sweep"``).
 * ``obs.off`` / ``obs.on`` / ``obs.overhead`` — cold-grid wall seconds
   with tracing disabled vs. enabled; the ratio is the instrumentation
   overhead (lower is better, ceiling-budgeted).
@@ -45,6 +50,8 @@ QUICK_SCHED = {"benchmarks": ("adpcm_enc", "g724_dec"),
                "capacities": (64, 256)}
 QUICK_OBS = {"benchmarks": ("adpcm_enc", "mpeg2_dec"),
              "capacities": (256,)}
+QUICK_SWEEP = {"benchmarks": ("adpcm_enc", "mpeg2_dec"),
+               "capacities": (16, 64, 256, 1024)}
 
 def _digest(obj) -> str:
     return hashlib.sha256(repr(obj).encode()).hexdigest()[:16]
@@ -179,6 +186,79 @@ def _sched_sample(mode: str, legacy: bool) -> Sample:
 
 
 # ---------------------------------------------------------------------------
+# sweep: legacy deep-copy vs. zero-copy overlay with_buffer, retarget only
+
+
+def _canonical_retarget(compiled) -> tuple:
+    """Retarget-visible content of a compiled artifact.
+
+    Assignment table, every ``rec_*`` site in the rewritten module and
+    the canonical schedules — everything the two ``with_buffer``
+    implementations must agree on byte-for-byte.
+    """
+    from repro.ir.opcodes import Opcode
+
+    assigned = tuple(sorted(
+        (a.func, a.header, a.offset, a.length, a.counted)
+        for a in compiled.assignment.assigned)) if compiled.assignment else ()
+    unassigned = tuple(sorted(compiled.assignment.unassigned)) \
+        if compiled.assignment else ()
+    recs = []
+    for func in compiled.module.functions.values():
+        for block in func.blocks:
+            for index, op in enumerate(block.ops):
+                if op.opcode in (Opcode.REC_CLOOP, Opcode.REC_WLOOP):
+                    recs.append((func.name, block.label, index, repr(op)))
+    return (assigned, unassigned, tuple(sorted(recs)),
+            _canonical_schedules(compiled))
+
+
+def _sweep_config(mode: str, retarget: str) -> dict:
+    config = _grid_config(QUICK_SWEEP, mode)
+    return dict(config, retarget=retarget)
+
+
+def _sweep_sample(mode: str, retarget: str) -> Sample:
+    from repro.bench import all_benchmarks
+    from repro.pipeline import (
+        compile_aggressive,
+        compile_traditional,
+        with_buffer,
+    )
+    from repro.sched import cache as sched_cache
+
+    compilers = {"traditional": compile_traditional,
+                 "aggressive": compile_aggressive}
+    config = _sweep_config(mode, retarget)
+    benches = {b.name: b for b in all_benchmarks()}
+    sched_cache.clear_caches()
+    cells = []
+    compile_wall = 0.0
+    retarget_wall = 0.0
+    for name in config["benchmarks"]:
+        bench = benches[name]
+        for pipeline in PIPELINES:
+            t0 = time.perf_counter()
+            base = compilers[pipeline](
+                bench.build(), entry=bench.entry, args=bench.args,
+                buffer_capacity=None)
+            compile_wall += time.perf_counter() - t0
+            for capacity in config["capacities"]:
+                t0 = time.perf_counter()
+                retargeted = with_buffer(base, capacity, retarget=retarget)
+                retarget_wall += time.perf_counter() - t0
+                cells.append(((name, pipeline, capacity),
+                              _canonical_retarget(retargeted)))
+    return Sample(
+        value=retarget_wall,
+        phases={"retarget": retarget_wall},
+        meta={"digest": _digest(cells), "cells": len(cells),
+              "compile_wall_s": round(compile_wall, 3)},
+        check=cells,
+    )
+
+
+# ---------------------------------------------------------------------------
 # obs: tracing disabled vs. enabled, cold grid wall time
 
 
@@ -219,7 +299,8 @@ def _obs_sample(mode: str, trace: bool) -> Sample:
 
 
 #: the CI gate's default suite (every ratio pulls in its inputs)
-DEFAULT_SUITE = ("sim.speedup", "sched.speedup", "obs.overhead")
+DEFAULT_SUITE = ("sim.speedup", "sched.speedup", "sweep.speedup",
+                 "obs.overhead")
 
 
 def ensure_registered() -> None:
@@ -259,6 +340,22 @@ def ensure_registered() -> None:
         "sched.speedup", "sched.legacy", "sched.opt",
         budgets={"quick": 1.0, "full": 2.0},
         help="scheduler speedup (legacy/optimized phase seconds)"))
+
+    register(BenchSpec(
+        "sweep.legacy", lambda mode: _sweep_sample(mode, "legacy"),
+        lambda mode: _sweep_config(mode, "legacy"),
+        digest_group="sweep",
+        help="with_buffer seconds over a capacity sweep, deep-copy path"))
+    register(BenchSpec(
+        "sweep.overlay", lambda mode: _sweep_sample(mode, "overlay"),
+        lambda mode: _sweep_config(mode, "overlay"),
+        digest_group="sweep",
+        help="with_buffer seconds over a capacity sweep, zero-copy "
+             "overlay path"))
+    register(RatioSpec(
+        "sweep.speedup", "sweep.legacy", "sweep.overlay",
+        budgets={"quick": 3.0, "full": 3.0},
+        help="retarget speedup (legacy/overlay with_buffer seconds)"))
 
     register(BenchSpec(
         "obs.off", lambda mode: _obs_sample(mode, False),

@@ -47,6 +47,12 @@ from repro.ir.module import Module
 from repro.obs import get_tracer
 from repro.ir.verify import VerificationError, verify_module
 from repro.loopbuffer.assign import AssignmentResult, assign_buffer
+from repro.loopbuffer.overlay import (
+    CapacityOverlay,
+    RetargetError,
+    retarget_choice,
+    retarget_overlay,
+)
 from repro.looptrans.cloop import convert_counted_loops
 from repro.looptrans.collapse import collapse_nested_loops
 from repro.looptrans.peel import peel_short_loops
@@ -84,6 +90,10 @@ class Compiled:
     args: list[int]
     stats: dict[str, object] = field(default_factory=dict)
     buffer_capacity: int | None = None
+    #: set when this artifact is a zero-copy retarget of a shared base
+    #: (``with_buffer`` overlay mode); ``None`` for direct compiles and
+    #: legacy deep-copy retargets.
+    overlay: CapacityOverlay | None = None
 
     @property
     def static_ops(self) -> int:
@@ -551,49 +561,53 @@ def convert_counted_loops_all(module: Module):
 def with_buffer(compiled: Compiled, capacity: int | None,
                 overhead_aware: bool = True,
                 checked: bool | None = None,
-                tracer=None) -> Compiled:
+                tracer=None,
+                retarget: str | None = None) -> Compiled:
     """Re-target a compiled program at a different buffer capacity.
 
-    Buffer assignment is capacity-dependent (offsets, which loops fit), so
-    a Figure 7-style size sweep re-runs assignment and scheduling per
-    size.  The input should have been compiled with
-    ``buffer_capacity=None`` (no ``rec`` ops installed yet); the original
-    ``Compiled`` is left untouched.  Checked mode lints the re-targeted
-    artifact across all phases before returning it.
+    Buffer assignment is capacity-dependent (offsets, which loops fit),
+    so a Figure 7-style size sweep re-runs assignment per size.  The
+    input must have been compiled with ``buffer_capacity=None`` (no
+    ``rec`` ops installed yet); re-targeting an already-buffered artifact
+    raises :class:`RetargetError` — re-running assignment over installed
+    ``rec`` ops would silently stack directives.  The original
+    ``Compiled`` is never mutated.
+
+    ``retarget`` selects the implementation (default per
+    ``REPRO_RETARGET``, else ``"overlay"``):
+
+    * ``"overlay"`` — zero-copy: only preheaders that gain ``rec``
+      directives are materialized (copy-on-write at block granularity)
+      and rescheduled; everything else, including ``capacity=None``
+      (which returns a pure view), shares the base artifact's objects.
+    * ``"legacy"`` — the historical whole-module deepcopy plus full
+      reschedule, kept as the differential reference.
+
+    Both paths produce byte-identical run summaries.  Checked mode lints
+    the re-targeted artifact across all phases before returning it.
     """
+    mode = retarget_choice(retarget)
+    if compiled.buffer_capacity is not None:
+        raise RetargetError(
+            f"cannot retarget an artifact already buffered at capacity "
+            f"{compiled.buffer_capacity}; recompile with "
+            f"buffer_capacity=None and re-target that base instead"
+        )
     tracer = tracer if tracer is not None else get_tracer()
     with tracer.span("with_buffer", category="pipeline",
-                     capacity=capacity):
-        module = copy.deepcopy(compiled.module)
-        # deepcopy preserves op uids and labels, so the existing profile
-        # stays valid — no re-profiling per buffer size.  The modulo
-        # schedules are likewise capacity-independent (they were computed
-        # before any buffer assignment, and both the simulator and the
-        # footprint calculation read only schedule-shape properties keyed
-        # by (function, label)), so a sweep reuses them instead of
-        # re-running modulo scheduling per size.
-        profile = compiled.profile
-
-        modulo = dict(compiled.modulo)
-        footprint = {key: sched.buffered_op_count
-                     for key, sched in modulo.items()}
-
-        assignment = None
-        if capacity:
-            assignment = assign_buffer(module, profile, capacity,
-                                       footprint=footprint,
-                                       overhead_aware=overhead_aware,
-                                       tracer=tracer)
-        with tracer.span("list_schedule"):
-            schedules = {
-                func.name: schedule_function(func, compiled.machine,
-                                             tracer=tracer)
-                for func in module.functions.values()
-            }
-        result = Compiled(module, profile, schedules, modulo, assignment,
-                          compiled.machine, compiled.entry,
-                          list(compiled.args), dict(compiled.stats),
-                          buffer_capacity=capacity)
+                     capacity=capacity, retarget=mode):
+        if mode == "legacy":
+            result = _with_buffer_legacy(compiled, capacity, overhead_aware,
+                                         tracer)
+        else:
+            module, assignment, schedules, overlay = retarget_overlay(
+                compiled, capacity, overhead_aware=overhead_aware,
+                tracer=tracer, assign=assign_buffer)
+            result = Compiled(module, compiled.profile, schedules,
+                              dict(compiled.modulo), assignment,
+                              compiled.machine, compiled.entry,
+                              list(compiled.args), dict(compiled.stats),
+                              buffer_capacity=capacity, overlay=overlay)
         if checked_enabled(checked):
             errors = errors_only(lint_compiled(result))
             if errors:
@@ -601,6 +615,41 @@ def with_buffer(compiled: Compiled, capacity: int | None,
                     "with_buffer",
                     [replace(d, passname="with_buffer") for d in errors])
         return result
+
+
+def _with_buffer_legacy(compiled: Compiled, capacity: int | None,
+                        overhead_aware: bool, tracer) -> Compiled:
+    """The deep-copy retarget path (``REPRO_RETARGET=legacy``)."""
+    module = copy.deepcopy(compiled.module)
+    # deepcopy preserves op uids and labels, so the existing profile
+    # stays valid — no re-profiling per buffer size.  The modulo
+    # schedules are likewise capacity-independent (they were computed
+    # before any buffer assignment, and both the simulator and the
+    # footprint calculation read only schedule-shape properties keyed
+    # by (function, label)), so a sweep reuses them instead of
+    # re-running modulo scheduling per size.
+    profile = compiled.profile
+
+    modulo = dict(compiled.modulo)
+    footprint = {key: sched.buffered_op_count
+                 for key, sched in modulo.items()}
+
+    assignment = None
+    if capacity:
+        assignment = assign_buffer(module, profile, capacity,
+                                   footprint=footprint,
+                                   overhead_aware=overhead_aware,
+                                   tracer=tracer)
+    with tracer.span("list_schedule"):
+        schedules = {
+            func.name: schedule_function(func, compiled.machine,
+                                         tracer=tracer)
+            for func in module.functions.values()
+        }
+    return Compiled(module, profile, schedules, modulo, assignment,
+                    compiled.machine, compiled.entry,
+                    list(compiled.args), dict(compiled.stats),
+                    buffer_capacity=capacity)
 
 
 def run_compiled(

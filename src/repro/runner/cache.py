@@ -26,7 +26,9 @@ from pathlib import Path
 import repro
 
 #: bump to invalidate every existing cache entry on format changes
-CACHE_FORMAT = 1
+#: (2: ``Compiled`` gained the ``overlay`` field and run keys gained the
+#: retarget axis — pre-overlay base pickles and run entries are stale)
+CACHE_FORMAT = 2
 
 #: default cache location, relative to the working directory (gitignored)
 DEFAULT_CACHE_DIR = ".repro_cache"

@@ -40,6 +40,7 @@ from repro.runner.cache import default_cache
 from repro.runner.metrics import MetricsRecorder
 from repro.runner.parallel import PIPELINES, expand_grid, run_grid
 from repro.runner.summary import format_table
+from repro.loopbuffer.overlay import ENV_RETARGET, RETARGET_MODES
 from repro.sim.engine import ENGINES, ENV_ENGINE
 
 
@@ -90,6 +91,12 @@ def build_parser() -> argparse.ArgumentParser:
                              "into thunk lists, 'ref' is the reference "
                              "interpreter; both are bit-identical (default: "
                              f"{ENV_ENGINE} or 'fast')")
+    parser.add_argument("--retarget", choices=RETARGET_MODES, default=None,
+                        help="with_buffer implementation: 'overlay' shares "
+                             "the base module and materializes only rec'd "
+                             "preheaders, 'legacy' deep-copies the module "
+                             "per capacity; summaries are byte-identical "
+                             f"(default: {ENV_RETARGET} or 'overlay')")
     parser.add_argument("--trace", dest="trace_dir", nargs="?",
                         const=DEFAULT_TRACE_DIR,
                         default=trace_dir_from_env(), metavar="DIR",
@@ -130,7 +137,8 @@ def main(argv: list[str] | None = None) -> int:
                              metrics=metrics,
                              checked=args.checked or None,
                              trace=bool(args.trace_dir),
-                             engine=args.engine)
+                             engine=args.engine,
+                             retarget=args.retarget)
     except AssertionError as exc:
         print(f"CHECKSUM MISMATCH: {exc}", file=sys.stderr)
         return 1

@@ -36,6 +36,7 @@ from repro.pipeline import (
     run_compiled,
     with_buffer,
 )
+from repro.loopbuffer.overlay import retarget_choice
 from repro.runner.cache import ArtifactCache, cache_key, default_cache
 from repro.runner.metrics import CellMetrics, MetricsRecorder
 from repro.runner.summary import RunSummary
@@ -136,11 +137,17 @@ def base_key(name: str, pipeline: str, checked: bool | None = None,
 
 
 def run_key(name: str, pipeline: str, capacity: int | None,
-            checked: bool | None = None, engine: str | None = None) -> str:
+            checked: bool | None = None, engine: str | None = None,
+            retarget: str | None = None) -> str:
+    # ``retarget`` is part of the key for the same reason ``engine`` is:
+    # overlay and legacy summaries are verified byte-identical, but a
+    # differential sweep must never have one mode's artifacts satisfy the
+    # other's cells.
     bench = benchmark(name)
     flags = _base_flags(bench, checked_enabled(checked),
                         engine_choice(engine))
     flags["capacity"] = capacity
+    flags["retarget"] = retarget_choice(retarget)
     return cache_key(bench.source, pipeline, flags)
 
 
@@ -203,6 +210,7 @@ def _execute_cell(
     checked: bool = False,
     trace: bool = False,
     engine: str = "fast",
+    retarget: str = "overlay",
 ) -> tuple[RunSummary, CellMetrics, Compiled | None]:
     """Run one cell end to end; raises AssertionError on checksum mismatch.
 
@@ -214,7 +222,8 @@ def _execute_cell(
     so the stored one stays valid).
     """
     cm = CellMetrics(cell.name, cell.pipeline, cell.capacity)
-    key = run_key(cell.name, cell.pipeline, cell.capacity, checked, engine)
+    key = run_key(cell.name, cell.pipeline, cell.capacity, checked, engine,
+                  retarget)
     if cache is not None:
         cached = cache.load(key, "run")
         if isinstance(cached, RunSummary):
@@ -240,7 +249,8 @@ def _execute_cell(
     tracer = Tracer() if trace else None
     with obs_use(tracer) if trace else nullcontext():
         t0 = time.perf_counter()
-        compiled = with_buffer(base, cell.capacity, checked=checked)
+        compiled = with_buffer(base, cell.capacity, checked=checked,
+                               retarget=retarget)
         t1 = time.perf_counter()
         outcome = run_compiled(compiled, engine=engine)
     cm.stages["retarget"] = t1 - t0
@@ -308,11 +318,13 @@ def run_cell(
     checked: bool | None = None,
     trace: bool = False,
     engine: str | None = None,
+    retarget: str | None = None,
 ) -> RunSummary:
     """The single-cell entry point the experiments facade builds on."""
     summary, cm, _ = _execute_cell(Cell(name, pipeline, capacity), cache, base,
                                    checked_enabled(checked), trace,
-                                   engine_choice(engine))
+                                   engine_choice(engine),
+                                   retarget_choice(retarget))
     if metrics is not None:
         metrics.add_cell(cm)
         if cache is not None:
@@ -336,10 +348,12 @@ def _worker_base(name: str, pipeline: str, cache_dir: str,
 
 def _worker_cell(cell: Cell, base_blob: bytes | None, cache_dir: str,
                  cache_enabled: bool, checked: bool = False,
-                 trace: bool = False, engine: str = "fast") -> bytes:
+                 trace: bool = False, engine: str = "fast",
+                 retarget: str = "overlay") -> bytes:
     cache = ArtifactCache(cache_dir, enabled=cache_enabled)
     base = pickle.loads(base_blob) if base_blob is not None else None
-    summary, cm, _ = _execute_cell(cell, cache, base, checked, trace, engine)
+    summary, cm, _ = _execute_cell(cell, cache, base, checked, trace, engine,
+                                   retarget)
     cm.worker = f"pid{os.getpid()}"
     return pickle.dumps((summary, cm, cache.stats))
 
@@ -357,6 +371,7 @@ def run_grid(
     checked: bool | None = None,
     trace: bool = False,
     engine: str | None = None,
+    retarget: str | None = None,
 ) -> list[RunSummary]:
     """Execute every cell, returning summaries in input-cell order.
 
@@ -375,7 +390,10 @@ def run_grid(
     :mod:`repro.obs.export` for the exporters).  ``engine`` selects the
     simulator engine (``"ref"``/``"fast"``, default per ``REPRO_ENGINE``);
     it is part of every cache key, so sweeping both engines against one
-    cache directory keeps their artifacts separate.
+    cache directory keeps their artifacts separate.  ``retarget`` selects
+    the ``with_buffer`` implementation (``"overlay"``/``"legacy"``,
+    default per ``REPRO_RETARGET``) and is likewise part of every run
+    key.
     """
     if cache == "default":
         cache = default_cache()
@@ -385,14 +403,16 @@ def run_grid(
     cells = list(cells)
     checked = checked_enabled(checked)
     engine = engine_choice(engine)
+    retarget = retarget_choice(retarget)
 
     try:
         if workers <= 1 or len(cells) <= 1:
             results = _run_serial(cells, cache, metrics, checked=checked,
-                                  trace=trace, engine=engine)
+                                  trace=trace, engine=engine,
+                                  retarget=retarget)
         else:
             results = _run_pool(cells, workers, timeout, cache, metrics,
-                                checked, trace, engine)
+                                checked, trace, engine, retarget)
     finally:
         metrics.finish()
         if cache is not None:
@@ -404,8 +424,10 @@ def run_grid(
 def _run_serial(cells: Sequence[Cell], cache: ArtifactCache | None,
                 metrics: MetricsRecorder,
                 _execute=None, checked: bool = False,
-                trace: bool = False, engine: str = "fast") -> list[RunSummary]:
-    execute = _execute or partial(_execute_cell, trace=trace, engine=engine)
+                trace: bool = False, engine: str = "fast",
+                retarget: str = "overlay") -> list[RunSummary]:
+    execute = _execute or partial(_execute_cell, trace=trace, engine=engine,
+                                  retarget=retarget)
     bases: dict[tuple[str, str], Compiled] = {}
     results: list[RunSummary] = []
     for cell in cells:
@@ -428,7 +450,8 @@ def _run_pool(cells: Sequence[Cell], workers: int, timeout: float | None,
               cache: ArtifactCache | None,
               metrics: MetricsRecorder,
               checked: bool = False,
-              trace: bool = False, engine: str = "fast") -> list[RunSummary]:
+              trace: bool = False, engine: str = "fast",
+              retarget: str = "overlay") -> list[RunSummary]:
     cache_dir = str(cache.root) if cache is not None else ""
     cache_enabled = cache is not None and cache.enabled
     groups = list(dict.fromkeys(cell.group for cell in cells))
@@ -473,7 +496,8 @@ def _run_pool(cells: Sequence[Cell], workers: int, timeout: float | None,
         try:
             cell_futures = [
                 pool.submit(_worker_cell, cell, base_blobs[cell.group],
-                            cache_dir, cache_enabled, checked, trace, engine)
+                            cache_dir, cache_enabled, checked, trace, engine,
+                            retarget)
                 for cell in cells
             ]
         except BrokenExecutor:
@@ -481,7 +505,7 @@ def _run_pool(cells: Sequence[Cell], workers: int, timeout: float | None,
             for index, cell in enumerate(cells):
                 base = pickle.loads(base_blobs[cell.group])
                 summary, cm, _ = _execute_cell(cell, cache, base, checked,
-                                               trace, engine)
+                                               trace, engine, retarget)
                 _attach_base_trace(cell, cm)
                 metrics.add_cell(cm)
                 results[index] = summary
@@ -498,7 +522,7 @@ def _run_pool(cells: Sequence[Cell], workers: int, timeout: float | None,
                 # retry once in the parent, serially
                 base = pickle.loads(base_blobs[cell.group])
                 summary, cm, _ = _execute_cell(cell, cache, base, checked,
-                                               trace, engine)
+                                               trace, engine, retarget)
                 cm.attempts = 2
                 stats = None
             _attach_base_trace(cell, cm)

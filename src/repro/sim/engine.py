@@ -19,6 +19,16 @@ This module mirrors the loop-buffer idea at the host level:
   keyed by ``(function, block label)``, with explicit invalidation hooks
   (:meth:`TraceCache.invalidate`) plus a cheap per-pass staleness check
   (``len(block.ops)``) that catches op insertion/removal between passes.
+* On the VLIW, the pure part of a decode (compute/branch thunks whose
+  operands are registers or immediates, plus the per-block metadata) is
+  additionally published to a process-wide **shared decode store** keyed
+  weakly by block object, so a capacity-sweep's overlay artifacts —
+  which share every untouched ``BasicBlock`` with their base (see
+  :mod:`repro.loopbuffer.overlay`) — decode each shared block once
+  across all capacities.  Entries are validated by op identity and by
+  schedule/modulo/machine object identity, and ops that bind simulator
+  state (``ld``/``st``/``call``/``rec``, or global-ref operands) are
+  always re-decoded per simulator.
 * Profile counts (block passes, op fetches, edge traversals, taken
   branches) are accumulated in flat per-block arrays and folded into the
   :class:`~repro.analysis.profile.Profile` once at the end of the run —
@@ -42,6 +52,7 @@ explicit ``engine=`` argument threaded through ``run_module`` /
 from __future__ import annotations
 
 import os
+import weakref
 
 from repro.ir.opcodes import Opcode
 from repro.ir.preddef import pred_update
@@ -62,10 +73,12 @@ __all__ = [
     "ENV_ENGINE",
     "FastInterpreter",
     "FastVLIWSimulator",
+    "SHARED_DECODE_STATS",
     "TraceCache",
     "engine_choice",
     "make_interpreter",
     "make_vliw_simulator",
+    "reset_shared_decode",
 ]
 
 ENV_ENGINE = "REPRO_ENGINE"
@@ -196,6 +209,110 @@ def _nop_step(frame):
 
 
 # --------------------------------------------------------------------------
+# shared VLIW decode store (cross-simulator, cross-capacity)
+
+
+#: ops whose thunks close over simulator state (memory, call stack, the
+#: loop buffer) and therefore can never be shared across simulators
+_SIM_BOUND_OPS = frozenset({
+    Opcode.LD, Opcode.ST, Opcode.CALL, Opcode.REC_CLOOP, Opcode.REC_WLOOP,
+})
+
+
+def _shareable_op(op) -> bool:
+    """True when the op's thunk is pure w.r.t. the simulator instance.
+
+    Global-ref operands are excluded too: their addresses are folded at
+    decode time through the simulator's loader.
+    """
+    if op.opcode in _SIM_BOUND_OPS:
+        return False
+    for src in op.srcs:
+        if not isinstance(src, (VReg, Imm, FImm)):
+            return False
+    return True
+
+
+class SharedDecodeStats:
+    """Process-wide counters for the shared VLIW decode store."""
+
+    __slots__ = ("block_hits", "block_misses", "thunks_shared",
+                 "thunks_rebuilt")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.block_hits = 0
+        self.block_misses = 0
+        self.thunks_shared = 0
+        self.thunks_rebuilt = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+SHARED_DECODE_STATS = SharedDecodeStats()
+
+
+class _SharedBlock:
+    """The simulator-independent product of one VLIW block decode.
+
+    ``thunks`` holds the pure op thunks (``None`` where the op binds
+    simulator state and must be re-decoded per simulator).  An entry is
+    only reusable when the block's op list is id-identical and the
+    schedule/modulo-schedule/machine objects the metadata was derived
+    from are the very objects the requesting simulator holds.
+    """
+
+    __slots__ = (
+        "ops_ids", "sched", "mod", "machine", "thunks", "next_label", "n",
+        "uid_at", "is_cond", "executed_at", "key", "buffer_key",
+        "mod_ii", "mod_len", "cycles_at", "sched_len",
+        "is_counted", "is_loop_block", "is_brcloop", "penalty",
+    )
+
+
+class _SharedFunction:
+    """Per-function shared decode state, keyed by the *origin* function.
+
+    Overlay clones (:func:`repro.loopbuffer.overlay._clone_function`)
+    point at their base via ``_decode_origin`` and are guaranteed to
+    have identical register populations, so base and all clones share
+    one slot layout (``slots`` is grow-only and adopted by every
+    :class:`FunctionProgram` built over the family).  ``seen`` tracks
+    which block op-lists have been folded into the layout; ``progs``
+    holds the reusable block decodes, weakly keyed by block object so
+    retired overlay blocks drop their entries.
+    """
+
+    __slots__ = ("slots", "seen", "progs")
+
+    def __init__(self) -> None:
+        self.slots: dict[VReg, int] = {}
+        self.seen: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+        self.progs: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+_SHARED_VLIW: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def reset_shared_decode() -> None:
+    """Drop every shared decode entry (test isolation hook)."""
+    _SHARED_VLIW.clear()
+    SHARED_DECODE_STATS.reset()
+
+
+def _shared_function(func) -> _SharedFunction:
+    origin = getattr(func, "_decode_origin", func)
+    shared = _SHARED_VLIW.get(origin)
+    if shared is None:
+        shared = _SharedFunction()
+        _SHARED_VLIW[origin] = shared
+    return shared
+
+
+# --------------------------------------------------------------------------
 # decoded programs
 
 
@@ -228,7 +345,8 @@ class FunctionProgram:
     """Per-function register slot assignment and decoded block store."""
 
     __slots__ = ("cache", "func", "name", "entry_label", "param_slots",
-                 "frame_base_slot", "nslots", "calls", "progs", "_slots")
+                 "frame_base_slot", "nslots", "calls", "progs", "_slots",
+                 "_shared")
 
     def __init__(self, cache: "TraceCache", func) -> None:
         self.cache = cache
@@ -236,13 +354,31 @@ class FunctionProgram:
         self.name = func.name
         self.progs: dict[str, BlockProgram] = {}
         self.calls = 0
-        self._slots: dict[VReg, int] = {}
+        if cache.vliw:
+            # adopt the family-wide slot layout; only blocks whose op
+            # lists haven't been folded in yet are scanned (for a base
+            # that was already decoded once, this is a no-op; for an
+            # overlay clone, only its materialized preheaders — whose
+            # rec rewrite introduces no new registers — are walked)
+            shared = _shared_function(func)
+            self._shared = shared
+            self._slots = shared.slots
+        else:
+            # the functional engine decodes mid-pipeline IR that passes
+            # mutate between profile runs; it never shares decode state
+            self._shared = None
+            self._slots = {}
         slot = self.slot
         for param in func.params:
             slot(param)
         if func.frame_base is not None:
             slot(func.frame_base)
+        seen = self._shared.seen if self._shared is not None else None
         for block in func.blocks:
+            if seen is not None:
+                ids = tuple(map(id, block.ops))
+                if seen.get(block) == ids:
+                    continue
             for op in block.ops:
                 if op.guard is not None:
                     slot(op.guard)
@@ -251,6 +387,8 @@ class FunctionProgram:
                 for src in op.srcs:
                     if isinstance(src, VReg):
                         slot(src)
+            if seen is not None:
+                seen[block] = ids
         self.nslots = len(self._slots)
         self.param_slots = tuple(self._slots[p] for p in func.params)
         self.frame_base_slot = (self._slots[func.frame_base]
@@ -305,17 +443,42 @@ class TraceCache:
 
     def invalidate(self, func: str | None = None,
                    label: str | None = None) -> None:
-        """Drop decoded programs: everything, one function, or one block."""
+        """Drop decoded programs: everything, one function, or one block.
+
+        Shared decode entries for the affected blocks are purged too, so
+        an invalidate-then-rerun over mutated IR re-decodes from the
+        current op lists exactly as it did before the shared store
+        existed (in-place attribute edits included, which the op-identity
+        validation alone would not catch).
+        """
         if func is None:
+            for fprog in self.functions.values():
+                self._purge_shared(fprog)
             self.functions.clear()
             return
         fprog = self.functions.get(func)
         if fprog is None:
             return
+        self._purge_shared(fprog, label)
         if label is None:
             del self.functions[func]
         else:
             fprog.progs.pop(label, None)
+
+    @staticmethod
+    def _purge_shared(fprog: FunctionProgram,
+                      label: str | None = None) -> None:
+        shared = fprog._shared
+        if shared is None:
+            return
+        if label is None:
+            shared.progs.clear()
+            shared.seen.clear()
+            return
+        if fprog.func.has_block(label):
+            block = fprog.func.block(label)
+            shared.progs.pop(block, None)
+            shared.seen.pop(block, None)
 
     # -- profile finalization ------------------------------------------------
 
@@ -365,6 +528,101 @@ class TraceCache:
     # -- block decoding ------------------------------------------------------
 
     def decode_block(self, fprog: FunctionProgram, block) -> BlockProgram:
+        shared = fprog._shared
+        if shared is not None:
+            sb = shared.progs.get(block)
+            if sb is not None:
+                sim = self.sim
+                sched = sim.schedules.get(fprog.name, {}).get(block.label)
+                mod = sim.modulo.get((fprog.name, block.label))
+                if (sb.ops_ids == tuple(map(id, block.ops))
+                        and sb.sched is sched and sb.mod is mod
+                        and sb.machine is sim.machine):
+                    return self._stamp_shared(fprog, block, sb)
+            prog = self._decode_block_full(fprog, block)
+            shared.progs[block] = self._publish_shared(prog, block)
+            SHARED_DECODE_STATS.block_misses += 1
+            return prog
+        return self._decode_block_full(fprog, block)
+
+    def _stamp_shared(self, fprog: FunctionProgram, block,
+                      sb: _SharedBlock) -> BlockProgram:
+        """Build this simulator's BlockProgram from a shared decode: pure
+        thunks and immutable metadata are reused; sim-bound thunks and the
+        per-run accounting state are always fresh."""
+        prog = BlockProgram()
+        prog.label = block.label
+        prog.block = block
+        prog.n = sb.n
+        label = block.label
+        decode_op = self._decode_op
+        rebuilt = 0
+        thunks = []
+        for thunk, op in zip(sb.thunks, block.ops):
+            if thunk is None:
+                thunk = decode_op(fprog, op, label)
+                rebuilt += 1
+            thunks.append(thunk)
+        prog.thunks = thunks
+        prog.next_label = sb.next_label
+        prog.passes = 0
+        prog.prefix_counts = [0] * sb.n
+        prog.taken_counts = [0] * sb.n
+        prog.edge_counts = {}
+        prog.uid_at = sb.uid_at
+        prog.is_cond = sb.is_cond
+        prog.executed_at = sb.executed_at
+        prog.key = sb.key
+        prog.buffer_key = sb.buffer_key
+        prog.mod_ii = sb.mod_ii
+        prog.mod_len = sb.mod_len
+        prog.cycles_at = sb.cycles_at
+        prog.sched_len = sb.sched_len
+        prog.is_counted = sb.is_counted
+        prog.is_loop_block = sb.is_loop_block
+        prog.is_brcloop = sb.is_brcloop
+        prog.penalty = sb.penalty
+        prog.stats = None
+        prog.lstats = None
+        self.decoded_blocks += 1
+        self.decoded_ops += sb.n
+        stats = SHARED_DECODE_STATS
+        stats.block_hits += 1
+        stats.thunks_shared += sb.n - rebuilt
+        stats.thunks_rebuilt += rebuilt
+        return prog
+
+    def _publish_shared(self, prog: BlockProgram, block) -> _SharedBlock:
+        sim = self.sim
+        ops = block.ops
+        sb = _SharedBlock()
+        sb.ops_ids = tuple(map(id, ops))
+        sb.sched = sim.schedules.get(prog.key[0], {}).get(block.label)
+        sb.mod = sim.modulo.get(prog.key)
+        sb.machine = sim.machine
+        sb.thunks = tuple(
+            thunk if _shareable_op(op) else None
+            for thunk, op in zip(prog.thunks, ops)
+        )
+        sb.next_label = prog.next_label
+        sb.n = prog.n
+        sb.uid_at = prog.uid_at
+        sb.is_cond = prog.is_cond
+        sb.executed_at = prog.executed_at
+        sb.key = prog.key
+        sb.buffer_key = prog.buffer_key
+        sb.mod_ii = prog.mod_ii
+        sb.mod_len = prog.mod_len
+        sb.cycles_at = prog.cycles_at
+        sb.sched_len = prog.sched_len
+        sb.is_counted = prog.is_counted
+        sb.is_loop_block = prog.is_loop_block
+        sb.is_brcloop = prog.is_brcloop
+        sb.penalty = prog.penalty
+        return sb
+
+    def _decode_block_full(self, fprog: FunctionProgram,
+                           block) -> BlockProgram:
         sim = self.sim
         ops = block.ops
         prog = BlockProgram()

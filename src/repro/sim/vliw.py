@@ -66,6 +66,12 @@ class LoopFetchStats:
             return 0.0
         return self.ops_from_buffer / fetched
 
+    def as_tuple(self) -> tuple[int, int, int, int, int, int, int]:
+        """Canonical value form, for differential comparison and hashing."""
+        return (self.records, self.residency_hits, self.evictions,
+                self.passes, self.buffered_passes,
+                self.ops_from_buffer, self.ops_from_memory)
+
 
 @dataclass
 class SimCounters:
@@ -89,6 +95,12 @@ class SimCounters:
 
     def loop_stats(self, key: str) -> LoopFetchStats:
         return self.per_loop.setdefault(key, LoopFetchStats())
+
+    def loop_table(self) -> tuple[tuple[str, tuple[int, ...]], ...]:
+        """Sorted ``(loop key, counters)`` rows — a canonical per-loop
+        snapshot two simulations can be compared (or hashed) by."""
+        return tuple((key, self.per_loop[key].as_tuple())
+                     for key in sorted(self.per_loop))
 
 
 class VLIWSimulator(Interpreter):

@@ -10,6 +10,7 @@ from repro.fuzz.oracle import (
     default_configs,
     oracle_configs,
     reference_outcome,
+    retarget_configs,
 )
 from repro.runner.cache import ArtifactCache
 
@@ -51,6 +52,23 @@ class TestConfig:
         assert grid and all(c.sched_oracle for c in grid)
         assert len(set(grid)) == len(grid)
 
+    def test_retarget_label_and_roundtrip(self):
+        config = Config("aggressive", 64, retarget="overlay")
+        assert config.label == "aggressive@64+overlay"
+        assert Config.from_dict(config.as_dict()) == config
+
+    def test_retarget_direct_keeps_legacy_dict_shape(self):
+        # pre-flag cache keys and corpus JSON must not change
+        assert "retarget" not in Config("traditional", 64).as_dict()
+
+    def test_retarget_grid_shape(self):
+        grid = retarget_configs()
+        # both with_buffer implementations per pipeline x capacity point
+        assert len(grid) == 2 * 2 * 2
+        assert {c.retarget for c in grid} == {"overlay", "legacy"}
+        assert all(c.capacity for c in grid)
+        assert len(set(grid)) == len(grid)
+
 
 class TestSchedOracleConfig:
     def test_oracle_swap_agrees_with_reference(self):
@@ -58,6 +76,13 @@ class TestSchedOracleConfig:
         configs = (Config("traditional", 16, sched_oracle=True),
                    Config("aggressive", 16, sched_oracle=True))
         report = check_program(program, configs)
+        assert report.ok, [v.describe() for v in report.divergences]
+
+
+class TestRetargetConfig:
+    def test_retarget_agrees_with_reference(self):
+        program = generate(CLEAN_SEED)
+        report = check_program(program, retarget_configs(capacities=(16,)))
         assert report.ok, [v.describe() for v in report.divergences]
 
 

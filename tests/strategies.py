@@ -79,6 +79,25 @@ def fuzz_program(draw):
                                             max_value=2**32 - 1)))
 
 
+#: capacities worth sweeping in retarget properties: tiny (nothing
+#: fits), the Figure 7 interior, and huge (everything fits)
+SWEEP_CAPACITIES = (4, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096)
+
+
+@st.composite
+def capacity_sweeps(draw):
+    """A random capacity subset in a random order (possibly repeating).
+
+    Drives the overlay order-independence property: retargeting one
+    shared base at these capacities, in this order, must produce
+    artifacts that depend only on each capacity — never on sweep order
+    or on which retargets happened before.
+    """
+    caps = draw(st.lists(st.sampled_from(SWEEP_CAPACITIES),
+                         min_size=1, max_size=6))
+    return tuple(caps)
+
+
 PRED_DEF_TYPES = ["ut", "uf", "ot", "of", "at", "af", "ct", "cf"]
 PRED_CMPS = ["lt", "le", "gt", "ge", "eq", "ne"]
 
