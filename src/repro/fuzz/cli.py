@@ -41,6 +41,7 @@ from repro.fuzz.oracle import (
     default_configs,
     oracle_configs,
     retarget_configs,
+    service_configs,
 )
 from repro.fuzz.reduce import DEFAULT_BUDGET, divergence_predicate, minimize
 from repro.runner.cache import default_cache
@@ -92,6 +93,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="add configs that retarget a capacity-"
                             "independent base through with_buffer under "
                             "both the overlay and legacy implementations")
+        p.add_argument("--service", action="store_true",
+                       help="add configs whose compiled half is routed "
+                            "through an in-process repro.serve service, "
+                            "checking the full request path against the "
+                            "interpreter")
 
     run = sub.add_parser("run", help="fuzz N seeded random programs")
     add_grid(run)
@@ -143,6 +149,8 @@ def _configs_from(args) -> tuple:
         configs += oracle_configs(args.pipelines)
     if getattr(args, "retarget", False):
         configs += retarget_configs(args.pipelines)
+    if getattr(args, "service", False):
+        configs += service_configs(args.pipelines)
     return configs
 
 

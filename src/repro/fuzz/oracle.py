@@ -66,6 +66,11 @@ class Config:
     #: behaviour); "overlay"/"legacy" compile a capacity-independent base
     #: and retarget it through ``with_buffer`` under that implementation
     retarget: str = "direct"
+    #: route this config's compiled half through an in-process
+    #: :class:`repro.serve.Service` instead of calling the pipeline
+    #: directly, so the service's compile/retarget/simulate path is
+    #: differentially checked against the interpreter
+    service: bool = False
 
     @property
     def label(self) -> str:
@@ -77,6 +82,8 @@ class Config:
             suffix += "+oracle"
         if self.retarget != "direct":
             suffix += f"+{self.retarget}"
+        if self.service:
+            suffix += "+serve"
         return f"{self.pipeline}@{cap}{suffix}"
 
     def as_dict(self) -> dict:
@@ -89,6 +96,9 @@ class Config:
         if self.retarget != "direct":
             # same compatibility rule as sched_oracle
             data["retarget"] = self.retarget
+        if self.service:
+            # same compatibility rule again
+            data["service"] = True
         return data
 
     @classmethod
@@ -97,7 +107,8 @@ class Config:
                    bool(data.get("checked")),
                    data.get("engine", "fast"),
                    bool(data.get("sched_oracle")),
-                   data.get("retarget", "direct"))
+                   data.get("retarget", "direct"),
+                   bool(data.get("service")))
 
 
 def default_configs(
@@ -139,6 +150,23 @@ def retarget_configs(
     return tuple(Config(pipeline, capacity, retarget=mode)
                  for pipeline in pipelines for capacity in capacities
                  for mode in ("overlay", "legacy"))
+
+
+def service_configs(
+    pipelines: Iterable[str] = ("traditional", "aggressive"),
+    capacities: Iterable[int | None] = (None, 64),
+) -> tuple[Config, ...]:
+    """Configs whose compiled half is served by ``repro.serve``.
+
+    The service compiles a capacity-independent base and retargets it
+    through ``with_buffer`` (the overlay path), exactly like the batch
+    runner — so these configs differentially check the *whole service
+    request path* (coalescing, affinity, caching included) against the
+    reference interpreter.
+    """
+    return tuple(Config(pipeline, capacity, retarget="overlay",
+                        service=True)
+                 for pipeline in pipelines for capacity in capacities)
 
 
 #: (status, payload) pairs — payload is the return value for ``"value"``,
@@ -210,6 +238,8 @@ def compiled_outcome(source: str, config: Config,
     reported as ``("trap", cls)`` so a program that traps identically in
     reference and compiled form is *not* a divergence.
     """
+    if config.service:
+        return _service_outcome(source, config, max_steps)
     try:
         module = compile_source(source)
     except Exception as exc:
@@ -252,6 +282,52 @@ def compiled_outcome(source: str, config: Config,
     except Exception as exc:
         return ("sim-crash", f"{type(exc).__name__}: {exc}")
     return ("value", outcome.result.value)
+
+
+#: lazily-created in-process service shared by every ``service=True``
+#: config in this process; no disk cache (check_many already caches
+#: whole reports), warmth comes from the workers' base memos
+_SERVICE = None
+
+
+def _service() -> "object":
+    global _SERVICE
+    if _SERVICE is None:
+        from repro.serve.service import Service, ServiceConfig
+
+        _SERVICE = Service(ServiceConfig(workers=2, cache_dir=None))
+    return _SERVICE
+
+
+def _service_outcome(source: str, config: Config,
+                     max_steps: int) -> Outcome:
+    """The compiled half of the differential, via the service."""
+    from repro.serve.protocol import Request
+
+    try:
+        # mirror the direct path's frontend-error contract exactly (the
+        # service would report a rejection as a generic compile error)
+        compile_source(source)
+    except Exception as exc:
+        return ("frontend-error", f"{type(exc).__name__}: {exc}")
+    response = _service().request(Request(
+        kind="run", source=source, pipeline=config.pipeline,
+        capacity=config.capacity, checked=config.checked,
+        engine=config.engine,
+        retarget=None if config.retarget == "direct" else config.retarget,
+        max_steps=max_steps))
+    if response.status == "ok":
+        return ("value", (response.payload or {}).get("value"))
+    if response.status == "trap":
+        return ("trap", response.error)
+    if response.status == "checked-failure":
+        return ("checked-failure", response.error)
+    error = response.error or response.status
+    if error.startswith("compile:"):
+        return ("compile-crash", error[len("compile:"):].strip())
+    if error.startswith("simulate:"):
+        return ("sim-crash", error[len("simulate:"):].strip())
+    return ("sim-crash", error)
 
 
 #: DFS node budget for oracle-swap configs: fuzz loops are tiny, so this

@@ -300,14 +300,16 @@ def _obs_sample(mode: str, trace: bool) -> Sample:
 
 #: the CI gate's default suite (every ratio pulls in its inputs)
 DEFAULT_SUITE = ("sim.speedup", "sched.speedup", "sweep.speedup",
-                 "obs.overhead")
+                 "obs.overhead", "serve.speedup", "serve.hitrate")
 
 
 def ensure_registered() -> None:
     """Register the built-in specs (idempotent; keyed on the registry
     itself, so a test that snapshots and restores it re-triggers)."""
     from repro.obs.perf.harness import _REGISTRY
+    from repro.serve import benches as serve_benches
 
+    serve_benches.ensure_registered()
     if "sim.ref" in _REGISTRY:
         return
 

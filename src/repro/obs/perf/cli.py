@@ -164,6 +164,7 @@ def cmd_list(args) -> int:
                 "unit": spec.unit,
                 "direction": spec.direction,
                 "budgets": dict(spec.budgets),
+                "gate_budget": spec.gate_budget,
                 "help": spec.help,
             })
         print(json.dumps(specs, indent=2))
@@ -210,8 +211,14 @@ def cmd_compare(args) -> int:
     for result in results.values():
         baseline, env_match = history.baseline(
             result.name, result.config_hash, result.env_fingerprint)
+        # --budget overrides everything; otherwise a spec may carry its
+        # own gate budget (serve.speedup: cold and warm noise sources
+        # are independent, so the ratio is wider than engine-vs-engine
+        # speedups); None falls through to the per-unit default
+        budget = args.budget if args.budget is not None \
+            else harness.get_spec(result.name).gate_budget
         verdict = compare_result(result, baseline, env_match,
-                                 budget=args.budget, mad_k=args.mad_k)
+                                 budget=budget, mad_k=args.mad_k)
         budget_msg = check_budget(result)
         if budget_msg and not verdict.failed:
             verdict.status = BUDGET_FAIL

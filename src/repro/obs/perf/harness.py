@@ -125,6 +125,10 @@ class BenchSpec:
     ``digest_group`` names an equivalence class: every spec in the group
     must produce byte-identical ``meta["digest"]`` values in one suite
     run (e.g. ref and fast engine summaries must agree).
+    ``gate_budget`` overrides the regression gate's per-unit relative
+    budget for this spec alone — for benches whose between-run noise is
+    wider than their unit's default assumes (``None`` keeps the
+    default).
     """
 
     name: str
@@ -134,6 +138,7 @@ class BenchSpec:
     direction: str = "lower"
     digest_group: str | None = None
     budgets: dict = field(default_factory=dict)
+    gate_budget: float | None = None
     help: str = ""
 
 
@@ -147,6 +152,7 @@ class RatioSpec:
     unit: str = "x"
     direction: str = "higher"
     budgets: dict = field(default_factory=dict)
+    gate_budget: float | None = None
     help: str = ""
 
 

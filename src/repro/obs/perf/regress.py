@@ -46,6 +46,11 @@ DEFAULT_MAD_K = 5.0
 #: (timer-resolution-flat samples) still tolerates timer jitter
 NOISE_FLOOR_S = 1e-4
 
+#: dimensionless units — speedup ratios ("x") and fractions like cache
+#: hit rates ("frac") — are machine-portable, so they keep the tight
+#: ratio budget and stay gateable across environment changes
+PORTABLE_UNITS = ("x", "frac")
+
 OK = "ok"
 REGRESSION = "regression"
 IMPROVEMENT = "improvement"
@@ -140,7 +145,7 @@ def compare_result(new: BenchResult, baseline: dict | None,
     for absolute units).
     """
     if budget is None:
-        budget = DEFAULT_BUDGET if new.unit == "x" \
+        budget = DEFAULT_BUDGET if new.unit in PORTABLE_UNITS \
             else DEFAULT_SECONDS_BUDGET
     verdict = Verdict(bench=new.name, unit=new.unit,
                       direction=new.direction, new_median=new.median)
@@ -148,7 +153,7 @@ def compare_result(new: BenchResult, baseline: dict | None,
         verdict.status = NO_BASELINE
         verdict.detail = "first run for this (bench, config); recorded"
         return verdict
-    if not env_match and new.unit != "x":
+    if not env_match and new.unit not in PORTABLE_UNITS:
         verdict.status = ENV_MISMATCH
         verdict.base_median = baseline.get("median")
         verdict.detail = (

@@ -35,12 +35,15 @@ SCHEMA = "repro-bench-v1"
 
 
 def run_suite_script(argv: list[str], *, suite: str, headline: str,
-                     description: str, default_out: Path) -> int:
+                     description: str, default_out: Path,
+                     extras: tuple[str, ...] = ()) -> int:
     """The whole life of one bench script; returns its exit code.
 
     Args: ``[out.json] [--quick] [--samples N | --repeat N]
-    [--history PATH]``.  Exit codes: 0 ok, 1 under budget, 2 the
-    benchmark itself failed (divergent artifacts, bad usage).
+    [--history PATH]``.  ``extras`` names additional specs to run and
+    record beside the headline (e.g. an ungated throughput series).
+    Exit codes: 0 ok, 1 under budget, 2 the benchmark itself failed
+    (divergent artifacts, bad usage).
     """
     argv = list(argv[1:])
     quick = "--quick" in argv
@@ -61,7 +64,7 @@ def run_suite_script(argv: list[str], *, suite: str, headline: str,
     mode = "quick" if quick else "full"
 
     try:
-        results = run_suite([headline], mode, samples,
+        results = run_suite([headline, *extras], mode, samples,
                             progress=lambda line: print(f"  {line}"))
     except BenchError as exc:
         print(f"BENCH FAILED: {exc}", file=sys.stderr)

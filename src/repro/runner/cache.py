@@ -22,6 +22,7 @@ import pickle
 import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Iterable
 
 import repro
 
@@ -120,6 +121,12 @@ class ArtifactCache:
             self.stats.misses += 1
             return None
         self.stats.hits += 1
+        try:
+            # refresh mtime so it doubles as an access stamp: the LRU gc
+            # (gc_lru, the serve shards, `runner cache gc`) evicts by it
+            os.utime(path)
+        except OSError:
+            pass
         return value
 
     def store(self, key: str, kind: str, value) -> Path | None:
@@ -151,6 +158,100 @@ class ArtifactCache:
             self.stats.evictions += 1
         except OSError:
             pass
+
+
+# --------------------------------------------------------------------------
+# maintenance: scanning, usage accounting and LRU garbage collection
+#
+# These operate on the on-disk layout directly (root/<key[:2]>/<key>.<kind>
+# .pkl), so they work on any cache directory regardless of which process
+# wrote it.  ``load`` refreshes an entry's mtime on every hit, making mtime
+# an access-recency proxy; ``gc_lru`` evicts oldest-accessed-first.  The
+# sharded service cache (:mod:`repro.serve.shards`) and the ``python -m
+# repro.runner cache`` subcommand both build on these.
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One on-disk cache file, as seen by the maintenance tools."""
+
+    key: str
+    kind: str
+    bytes: int
+    mtime: float
+    path: Path
+
+
+def iter_entries(root: str | os.PathLike,
+                 prefixes: Iterable[str] | None = None) -> list[CacheEntry]:
+    """Every parseable entry under ``root``, unsorted.
+
+    ``prefixes`` restricts the scan to those two-hex-digit key prefixes
+    (the per-shard domains).  Temp files from in-flight atomic writes
+    (``<name>.pkl.XXXX``) and anything else that doesn't parse as
+    ``<key>.<kind>.pkl`` are skipped, not errors.
+    """
+    root = Path(root)
+    if not root.is_dir():
+        return []
+    wanted = set(prefixes) if prefixes is not None else None
+    entries: list[CacheEntry] = []
+    for sub in root.iterdir():
+        if not sub.is_dir() or len(sub.name) != 2:
+            continue
+        if wanted is not None and sub.name not in wanted:
+            continue
+        for path in sub.iterdir():
+            parts = path.name.split(".")
+            if len(parts) != 3 or parts[2] != "pkl":
+                continue
+            key, kind = parts[0], parts[1]
+            if not key.startswith(sub.name):
+                continue
+            try:
+                stat = path.stat()
+            except OSError:
+                continue  # raced with an eviction
+            entries.append(CacheEntry(key, kind, stat.st_size,
+                                      stat.st_mtime, path))
+    return entries
+
+
+def usage_by_kind(entries: Iterable[CacheEntry]) -> dict[str, dict[str, int]]:
+    """``{kind: {"entries": n, "bytes": total}}``, sorted by kind."""
+    out: dict[str, dict[str, int]] = {}
+    for entry in entries:
+        bucket = out.setdefault(entry.kind, {"entries": 0, "bytes": 0})
+        bucket["entries"] += 1
+        bucket["bytes"] += entry.bytes
+    return dict(sorted(out.items()))
+
+
+def gc_lru(root: str | os.PathLike, max_bytes: int,
+           prefixes: Iterable[str] | None = None,
+           dry_run: bool = False) -> tuple[list[CacheEntry], int]:
+    """Evict least-recently-used entries until the total fits ``max_bytes``.
+
+    Returns ``(evicted, kept_bytes)``.  Eviction order is oldest mtime
+    first (``load`` touches entries on every hit, so mtime tracks
+    access).  ``dry_run`` reports what would go without unlinking.
+    A concurrent writer can race the scan; a file that vanishes under us
+    counts as already evicted.
+    """
+    entries = sorted(iter_entries(root, prefixes), key=lambda e: e.mtime)
+    total = sum(e.bytes for e in entries)
+    evicted: list[CacheEntry] = []
+    for entry in entries:
+        if total <= max_bytes:
+            break
+        if not dry_run:
+            try:
+                entry.path.unlink()
+            except OSError:
+                pass
+        evicted.append(entry)
+        total -= entry.bytes
+    return evicted, total
 
 
 def default_cache(cache_dir: str | os.PathLike | None = None,

@@ -14,6 +14,10 @@ Examples::
     python -m repro.runner --benchmarks mpg123 --pipelines aggressive \\
         --capacities 128 --trace /tmp/repro-trace
 
+    # cache maintenance: per-kind usage, then evict LRU past 256 MiB
+    python -m repro.runner cache stats
+    python -m repro.runner cache gc --max-bytes 256m
+
 Exit status is non-zero on any checksum mismatch.  ``--json`` writes the
 :class:`~repro.runner.metrics.MetricsRecorder` payload (wall time,
 per-cell stage timings, cache hits/misses/evictions) for machine
@@ -23,6 +27,8 @@ consumption; the human table always prints unless ``--quiet``.
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from pathlib import Path
 
@@ -36,7 +42,14 @@ from repro.obs.export import (
     write_json,
 )
 from repro.pipeline import CheckedModeError
-from repro.runner.cache import default_cache
+from repro.runner.cache import (
+    DEFAULT_CACHE_DIR,
+    ENV_CACHE_DIR,
+    default_cache,
+    gc_lru,
+    iter_entries,
+    usage_by_kind,
+)
 from repro.runner.metrics import MetricsRecorder
 from repro.runner.parallel import PIPELINES, expand_grid, run_grid
 from repro.runner.summary import format_table
@@ -113,7 +126,101 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+# --------------------------------------------------------------------------
+# cache maintenance: ``python -m repro.runner cache stats|gc``
+
+
+def _size(value: str) -> int:
+    """Byte count with an optional k/m/g suffix (binary multiples)."""
+    value = value.strip().lower()
+    factor = 1
+    for suffix, mult in (("k", 1 << 10), ("m", 1 << 20), ("g", 1 << 30)):
+        if value.endswith(suffix):
+            value, factor = value[:-1], mult
+            break
+    return int(float(value) * factor)
+
+
+def build_cache_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runner cache",
+        description="Artifact-cache maintenance: per-kind usage "
+                    "accounting and LRU eviction.",
+    )
+    parser.add_argument("--cache-dir", default=None,
+                        help="cache directory (default: REPRO_CACHE_DIR "
+                             f"or {DEFAULT_CACHE_DIR})")
+    sub = parser.add_subparsers(dest="cache_command", required=True)
+    stats = sub.add_parser(
+        "stats", help="entry count and bytes per artifact kind")
+    stats.add_argument("--json", dest="json_path", default=None,
+                       metavar="FILE",
+                       help="write the usage payload here ('-' = stdout)")
+    gc = sub.add_parser(
+        "gc", help="evict least-recently-used entries past a size bound")
+    gc.add_argument("--max-bytes", type=_size, required=True, metavar="N",
+                    help="target total size; accepts k/m/g suffixes "
+                         "(e.g. 256m)")
+    gc.add_argument("--dry-run", action="store_true",
+                    help="report what would be evicted without deleting")
+    gc.add_argument("--json", dest="json_path", default=None, metavar="FILE",
+                    help="write the eviction payload here ('-' = stdout)")
+    return parser
+
+
+def _emit_json(payload: dict, json_path: str | None) -> None:
+    if not json_path:
+        return
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if json_path == "-":
+        print(text)
+    else:
+        Path(json_path).write_text(text + "\n")
+
+
+def cache_main(argv: list[str]) -> int:
+    args = build_cache_parser().parse_args(argv)
+    root = Path(args.cache_dir or os.environ.get(ENV_CACHE_DIR)
+                or DEFAULT_CACHE_DIR)
+
+    if args.cache_command == "stats":
+        entries = iter_entries(root)
+        usage = usage_by_kind(entries)
+        total_bytes = sum(e.bytes for e in entries)
+        rows: list = [[kind, bucket["entries"], bucket["bytes"]]
+                      for kind, bucket in usage.items()]
+        if rows:
+            rows.append("-")
+        rows.append([f"total ({root})", len(entries), total_bytes])
+        print(format_table(["kind", "entries", "bytes"], rows,
+                           "artifact cache usage", align=["l", "r", "r"]))
+        _emit_json({"root": str(root), "kinds": usage,
+                    "entries": len(entries), "bytes": total_bytes},
+                   args.json_path)
+        return 0
+
+    assert args.cache_command == "gc"
+    evicted, kept_bytes = gc_lru(root, args.max_bytes, dry_run=args.dry_run)
+    verb = "would evict" if args.dry_run else "evicted"
+    print(f"{verb} {len(evicted)} entr{'y' if len(evicted) == 1 else 'ies'} "
+          f"({sum(e.bytes for e in evicted)} bytes); {kept_bytes} bytes "
+          f"kept (bound {args.max_bytes})")
+    _emit_json({
+        "root": str(root),
+        "max_bytes": args.max_bytes,
+        "dry_run": args.dry_run,
+        "evicted": [{"key": e.key, "kind": e.kind, "bytes": e.bytes}
+                    for e in evicted],
+        "evicted_bytes": sum(e.bytes for e in evicted),
+        "kept_bytes": kept_bytes,
+    }, args.json_path)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv[:1] == ["cache"]:
+        return cache_main(argv[1:])
     args = build_parser().parse_args(argv)
     names = args.benchmarks or benchmark_names()
     for pipeline in args.pipelines:

@@ -439,6 +439,7 @@ def _run_serial(cells: Sequence[Cell], cache: ArtifactCache | None,
         except Exception:
             summary, cm, used = execute(cell, cache, base, checked)  # retry
             cm.attempts = 2
+            cm.retries = 1
         metrics.add_cell(cm)
         results.append(summary)
         if used is not None:
@@ -524,6 +525,7 @@ def _run_pool(cells: Sequence[Cell], workers: int, timeout: float | None,
                 summary, cm, _ = _execute_cell(cell, cache, base, checked,
                                                trace, engine, retarget)
                 cm.attempts = 2
+                cm.retries = 1
                 stats = None
             _attach_base_trace(cell, cm)
             metrics.add_cell(cm)

@@ -1,0 +1,575 @@
+"""The compile/simulate service: coalescing, deadlines, asyncio front end.
+
+Request lifecycle (``submit`` returns a ``concurrent.futures.Future``
+resolving to a :class:`~repro.serve.protocol.Response`):
+
+1. **Front-door cache probe.**  A ``run`` request whose summary is
+   already in the sharded content-addressed cache answers immediately —
+   no queue, no worker.  Named-benchmark keys are *the runner's own*
+   (:func:`repro.runner.parallel.run_key`), so a grid the batch runner
+   executed yesterday serves warm today and vice versa.
+2. **Coalescing.**  Concurrent requests with equal semantic identity
+   (:meth:`Request.coalesce_key`) collapse into one
+   :class:`~repro.serve.pool.Computation`; every waiter gets its own
+   response (with ``meta.coalesced`` set) off the shared result.
+3. **Affinity dispatch.**  The computation routes to the worker that
+   owns its ``(benchmark, pipeline)`` group on the consistent-hash
+   ring.  A full worker queue sheds the request with an ``overloaded``
+   response instead of queueing unboundedly; an expired deadline
+   answers ``timeout`` without computing.
+4. **Batched execution.**  The worker takes every queued computation of
+   the group in one batch, obtains the compiled base once (its warm
+   memo → the cache → a cold compile) and retargets/simulates each
+   capacity against that single base — one overlay sweep for the lot.
+
+Every request lands in the obs metrics histograms
+(``serve_request_latency_s`` labeled by kind and temperature) and opens
+tracer spans, so a traced service emits the same Chrome-trace/Perfetto
+artifacts as the runner.
+
+The asyncio front end (:func:`serve_forever`, ``python -m repro.serve
+serve``) speaks the JSON-lines protocol over a unix or TCP socket; each
+connection is sequential, concurrency comes from connections.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import Future
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.obs import Counter, Histogram, MetricsRegistry, get_tracer
+from repro.pipeline import CheckedModeError, run_compiled, with_buffer
+from repro.runner.cache import DEFAULT_CACHE_DIR, cache_key
+from repro.runner.parallel import (
+    _COMPILERS,
+    _compile_base_timed,
+    run_key,
+)
+from repro.runner.summary import RunSummary
+from repro.serve.pool import (
+    DEFAULT_BATCH_LIMIT,
+    DEFAULT_QUEUE_DEPTH,
+    Computation,
+    QueueFull,
+    WorkerPool,
+)
+from repro.serve.protocol import (
+    Request,
+    Response,
+    summary_to_dict,
+)
+from repro.serve.shards import DEFAULT_SHARDS, ShardedArtifactCache
+from repro.sim.engine import engine_choice
+from repro.sim.interp import SimError
+
+from repro.loopbuffer.overlay import retarget_choice
+
+
+@dataclass
+class ServiceConfig:
+    """Knobs for one service instance."""
+
+    workers: int = 2
+    queue_depth: int = DEFAULT_QUEUE_DEPTH
+    batch_limit: int = DEFAULT_BATCH_LIMIT
+    shards: int = DEFAULT_SHARDS
+    cache_dir: str | None = DEFAULT_CACHE_DIR
+    #: total cache size bound (bytes) enforced by the per-shard LRU gc
+    max_cache_bytes: int | None = None
+    #: default per-request deadline when the request doesn't carry one
+    deadline_s: float | None = None
+    #: compiled bases kept warm per worker (LRU beyond that)
+    base_memo_size: int = 32
+
+
+@dataclass
+class ServiceStats:
+    """Service-level counters (cache traffic lives on the cache)."""
+
+    requests: int = 0
+    ok: int = 0
+    traps: int = 0
+    errors: int = 0
+    overloaded: int = 0
+    timeouts: int = 0
+    #: requests that attached to an in-flight identical computation
+    coalesced: int = 0
+    #: computations actually executed (coalescing makes this < requests)
+    computations: int = 0
+    #: computations executed in a batch with >= 2 members
+    batched: int = 0
+    run_cache_hits: int = 0
+    base_memo_hits: int = 0
+    base_cache_hits: int = 0
+    base_compiles: int = 0
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+class Service:
+    """A running compile/simulate service (see module docstring)."""
+
+    def __init__(self, config: ServiceConfig | None = None) -> None:
+        self.config = config or ServiceConfig()
+        self.cache: ShardedArtifactCache | None = None
+        if self.config.cache_dir:
+            self.cache = ShardedArtifactCache(
+                Path(self.config.cache_dir), shards=self.config.shards,
+                max_bytes=self.config.max_cache_bytes)
+        self.stats = ServiceStats()
+        self.metrics = MetricsRegistry()
+        self.latency: Histogram = self.metrics.histogram(
+            "serve_request_latency_s",
+            "service request wall latency (seconds)")
+        self.requests_total: Counter = self.metrics.counter(
+            "serve_requests_total", "requests by kind and status")
+        self._lock = threading.Lock()
+        self._pending: dict[tuple, Computation] = {}
+        self._memos: list[OrderedDict] = [
+            OrderedDict() for _ in range(self.config.workers)]
+        self.pool = WorkerPool(
+            self.config.workers, self._execute_batch,
+            queue_depth=self.config.queue_depth,
+            batch_limit=self.config.batch_limit)
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self.pool.close()
+
+    def __enter__(self) -> "Service":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, request: Request) -> "Future[Response]":
+        t0 = time.perf_counter()
+        out: Future = Future()
+        self.stats.requests += 1
+        try:
+            request.validate()
+        except Exception as exc:
+            self._finish(out, request, t0, Response(
+                status="error", error=f"bad request: {exc}"))
+            return out
+
+        if request.kind == "ping":
+            self._finish(out, request, t0,
+                         Response(status="ok", payload={"pong": True}))
+            return out
+        if request.kind == "stats":
+            self._finish(out, request, t0,
+                         Response(status="ok", payload=self.snapshot()))
+            return out
+
+        # 1. front-door cache probe: a warm request never queues
+        hit = self._probe(request)
+        if hit is not None:
+            hit.meta.update(temperature="warm", served="run-cache")
+            self._finish(out, request, t0, hit)
+            return out
+
+        # 2. coalesce with an identical in-flight computation
+        key = request.coalesce_key()
+        deadline = request.deadline_s
+        if deadline is None:
+            deadline = self.config.deadline_s
+        with self._lock:
+            comp = self._pending.get(key)
+            coalesced = comp is not None
+            if comp is None:
+                comp = Computation(
+                    key=key, group=request.group, request=request,
+                    deadline_at=(time.perf_counter() + deadline
+                                 if deadline is not None else None))
+                # register before dispatch so a concurrent identical
+                # request can never miss the pending entry
+                self._pending[key] = comp
+            else:
+                comp.waiters += 1
+                self.stats.coalesced += 1
+        if not coalesced:
+            # 3. affinity dispatch with backpressure
+            try:
+                self.pool.submit(comp)
+            except QueueFull as exc:
+                with self._lock:
+                    self._pending.pop(key, None)
+                # resolve through the computation so any request that
+                # coalesced in the meantime also hears "overloaded"
+                if not comp.future.done():
+                    comp.future.set_result(Response(
+                        status="overloaded", error=str(exc),
+                        meta={"queue_depths": self.pool.queue_depths()}))
+
+        def _deliver(fut) -> None:
+            exc = fut.exception()
+            if exc is not None:
+                response = Response(status="error",
+                                    error=f"{type(exc).__name__}: {exc}")
+            else:
+                template = fut.result()
+                response = Response(
+                    status=template.status, payload=template.payload,
+                    error=template.error, meta=dict(template.meta))
+            response.meta["coalesced"] = coalesced
+            self._finish(out, request, t0, response)
+
+        comp.future.add_done_callback(_deliver)
+        return out
+
+    def request(self, request: Request, timeout: float | None = None
+                ) -> Response:
+        """Synchronous convenience over :meth:`submit`."""
+        return self.submit(request).result(timeout=timeout)
+
+    def _finish(self, out, request: Request, t0: float,
+                response: Response) -> None:
+        latency = time.perf_counter() - t0
+        response.id = request.id
+        response.meta.setdefault("temperature", "cold")
+        response.meta["latency_s"] = round(latency, 6)
+        temperature = response.meta["temperature"]
+        self.latency.observe(latency, kind=request.kind,
+                             temperature=temperature)
+        self.requests_total.inc(kind=request.kind, status=response.status)
+        bucket = {"ok": "ok", "trap": "traps", "checked-failure": "errors",
+                  "overloaded": "overloaded", "timeout": "timeouts",
+                  "error": "errors"}[response.status]
+        if response.status == "ok":
+            self.stats.ok += 1
+        else:
+            setattr(self.stats, bucket, getattr(self.stats, bucket) + 1)
+        if response.meta.get("served") == "run-cache":
+            self.stats.run_cache_hits += 1
+        if not out.done():
+            out.set_result(response)
+
+    # -- cache keys --------------------------------------------------------
+
+    def _run_key(self, request: Request) -> tuple[str, str]:
+        """(key, kind) for a run result in the content-addressed cache."""
+        if request.benchmark is not None:
+            return run_key(request.benchmark, request.pipeline,
+                           request.capacity, request.checked,
+                           request.engine, request.retarget), "run"
+        flags = {
+            "capacity": request.capacity,
+            "checked": request.checked,
+            "engine": engine_choice(request.engine),
+            "retarget": retarget_choice(request.retarget),
+            "max_steps": request.max_steps,
+            "serve": "run",
+        }
+        return cache_key(request.source or "", request.pipeline,
+                         flags), "serve"
+
+    def _probe(self, request: Request) -> Response | None:
+        if self.cache is None or request.kind != "run":
+            return None
+        key, kind = self._run_key(request)
+        cached = self.cache.load(key, kind)
+        if kind == "run" and isinstance(cached, RunSummary):
+            from repro.bench import benchmark
+
+            return Response(status="ok", payload={
+                "summary": summary_to_dict(cached),
+                "value": benchmark(request.benchmark).expected(),
+            })
+        if kind == "serve" and isinstance(cached, dict) \
+                and "status" in cached:
+            return Response(status=cached["status"],
+                            payload=cached.get("payload"),
+                            error=cached.get("error"))
+        return None
+
+    # -- execution (worker threads) ----------------------------------------
+
+    def _execute_batch(self, worker: int, batch: list[Computation]) -> None:
+        tracer = get_tracer()
+        live: list[Computation] = []
+        try:
+            for comp in batch:
+                if comp.expired:
+                    self.stats.computations += 1
+                    self._resolve(comp, Response(
+                        status="timeout",
+                        error="deadline expired before execution",
+                        meta={"worker": worker}))
+                else:
+                    live.append(comp)
+            if not live:
+                return
+            group = live[0].group
+            with tracer.span("serve_batch", category="serve",
+                             worker=worker, group=repr(group),
+                             size=len(live)):
+                base, base_how, failure = self._base_for(
+                    worker, live[0].request)
+                for comp in live:
+                    self.stats.computations += 1
+                    if len(live) > 1:
+                        self.stats.batched += 1
+                    if failure is not None:
+                        response = Response(status=failure[0],
+                                            error=failure[1])
+                        if comp.request.kind == "run":
+                            # a trap during profiling is as deterministic
+                            # as one at run time — cache the verdict
+                            key, kind = self._run_key(comp.request)
+                            self._store_verdict(key, kind, response)
+                    elif comp.request.kind == "compile":
+                        response = Response(status="ok", payload={
+                            "warm": base_how != "compiled"})
+                    else:
+                        response = self._run_one(comp.request, base)
+                    response.meta.update(
+                        worker=worker, served="computed", base=base_how,
+                        batched=len(live) > 1, batch_size=len(live))
+                    self._resolve(comp, response)
+        except BaseException as exc:
+            for comp in batch:
+                if not comp.future.done():
+                    with self._lock:
+                        self._pending.pop(comp.key, None)
+                    comp.future.set_exception(exc)
+
+    def _resolve(self, comp: Computation, response: Response) -> None:
+        with self._lock:
+            self._pending.pop(comp.key, None)
+        if not comp.future.done():
+            comp.future.set_result(response)
+
+    def _base_for(self, worker: int, request: Request):
+        """``(base, how, failure)`` — the compiled base for a group.
+
+        ``failure`` is ``(status, error)`` when compilation itself
+        trapped/crashed (inline sources can do that); the batch then
+        answers every member with it.
+        """
+        memo = self._memos[worker]
+        group = request.group
+        if group in memo:
+            memo.move_to_end(group)
+            self.stats.base_memo_hits += 1
+            return memo[group], "memo", None
+        try:
+            base, hit = self._compile_base(request)
+        except CheckedModeError as exc:
+            return None, "compiled", ("checked-failure", str(exc))
+        except SimError as exc:
+            # profiling executes the program; a trap here mirrors a trap
+            # at run time and is a *result* for the caller
+            return None, "compiled", ("trap", type(exc).__name__)
+        except Exception as exc:
+            return None, "compiled", (
+                "error", f"compile: {type(exc).__name__}: {exc}")
+        if hit:
+            self.stats.base_cache_hits += 1
+        else:
+            self.stats.base_compiles += 1
+        memo[group] = base
+        while len(memo) > self.config.base_memo_size:
+            memo.popitem(last=False)
+        return base, "cache" if hit else "compiled", None
+
+    def _compile_base(self, request: Request):
+        """Compiled capacity-independent base; ``(compiled, cache_hit)``."""
+        engine = engine_choice(request.engine)
+        if request.benchmark is not None:
+            compiled, _seconds, hit, _trace = _compile_base_timed(
+                request.benchmark, request.pipeline, self.cache,
+                request.checked, engine=engine)
+            return compiled, hit
+        from repro.frontend import compile_source
+
+        flags = dict(_base_flags_inline(request), engine=engine)
+        key = cache_key(request.source or "", request.pipeline, flags)
+        if self.cache is not None:
+            cached = self.cache.load(key, "base")
+            if cached is not None:
+                return cached, True
+        module = compile_source(request.source or "")
+        kwargs = {"buffer_capacity": None, "checked": request.checked,
+                  "engine": engine}
+        if request.max_steps is not None:
+            kwargs["max_steps"] = request.max_steps
+        compiled = _COMPILERS[request.pipeline](module, **kwargs)
+        if self.cache is not None:
+            self.cache.store(key, "base", compiled)
+        return compiled, False
+
+    def _run_one(self, request: Request, base) -> Response:
+        """Retarget + simulate one request against a shared base."""
+        key, kind = self._run_key(request)
+        try:
+            retargeted = with_buffer(base, request.capacity,
+                                     checked=request.checked,
+                                     retarget=request.retarget)
+            kwargs = {"engine": engine_choice(request.engine)}
+            if request.max_steps is not None:
+                kwargs["max_steps"] = request.max_steps
+            outcome = run_compiled(retargeted, **kwargs)
+        except CheckedModeError as exc:
+            return self._store_verdict(key, kind, Response(
+                status="checked-failure", error=str(exc)))
+        except SimError as exc:
+            return self._store_verdict(key, kind, Response(
+                status="trap", error=type(exc).__name__))
+        except Exception as exc:
+            return Response(status="error",
+                            error=f"simulate: {type(exc).__name__}: {exc}")
+        summary = RunSummary(
+            name=request.benchmark or request.program_id,
+            pipeline=request.pipeline,
+            capacity=request.capacity,
+            cycles=outcome.counters.cycles,
+            bundles=outcome.counters.bundles,
+            ops_issued=outcome.counters.ops_issued,
+            ops_from_buffer=outcome.counters.ops_from_buffer,
+            ops_from_memory=outcome.counters.ops_from_memory,
+            static_ops=retargeted.static_ops,
+            branch_bubbles=outcome.counters.branch_bubbles,
+        )
+        if request.benchmark is not None:
+            from repro.bench import benchmark
+
+            expected = benchmark(request.benchmark).expected()
+            if outcome.result.value != expected:
+                return Response(status="error", error=(
+                    f"checksum-mismatch: {outcome.result.value} != "
+                    f"expected {expected}"))
+        payload = {"summary": summary_to_dict(summary),
+                   "value": outcome.result.value}
+        response = Response(status="ok", payload=payload)
+        if self.cache is not None:
+            if kind == "run":
+                # the runner's own key/kind: the batch runner and the
+                # service stay byte-compatible and warm each other
+                self.cache.store(key, "run", summary)
+            else:
+                self._store_verdict(key, kind, response)
+        return response
+
+    def _store_verdict(self, key: str, kind: str,
+                       response: Response) -> Response:
+        """Cache a trap/checked verdict (inline sources only): those are
+        deterministic results, as cacheable as a summary."""
+        if self.cache is not None and kind == "serve":
+            self.cache.store(key, kind, {
+                "status": response.status,
+                "payload": response.payload,
+                "error": response.error,
+            })
+        return response
+
+    # -- introspection -----------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """The ``stats`` response payload."""
+        data = {
+            "stats": self.stats.as_dict(),
+            "workers": [s.as_dict() for s in self.pool.stats],
+            "queue_depths": self.pool.queue_depths(),
+            "pending": len(self._pending),
+            "hit_rate": self.hit_rate(),
+        }
+        if self.cache is not None:
+            data["cache"] = self.cache.stats.as_dict()
+            data["cache_shards"] = self.cache.shard_report()
+        return data
+
+    def hit_rate(self) -> float:
+        """Fraction of requests served straight from the run cache."""
+        if not self.stats.requests:
+            return 0.0
+        return self.stats.run_cache_hits / self.stats.requests
+
+
+def _base_flags_inline(request: Request) -> dict:
+    """Mirror of the runner's ``_base_flags`` for inline sources."""
+    from repro.sched.machine import DEFAULT_MACHINE
+
+    from repro.runner.parallel import _machine_fingerprint
+
+    return {
+        "entry": "main",
+        "args": [],
+        "machine": _machine_fingerprint(DEFAULT_MACHINE),
+        "buffer_capacity": None,
+        "checked": request.checked,
+        "max_steps": request.max_steps,
+        "serve": "base",
+    }
+
+
+# ---------------------------------------------------------------------------
+# asyncio front end
+
+
+async def _handle_connection(service: Service, reader, writer) -> None:
+    from repro.serve.protocol import ProtocolError, decode_request, encode
+
+    try:
+        while True:
+            line = await reader.readline()
+            if not line:
+                return
+            if not line.strip():
+                continue
+            try:
+                request = decode_request(line)
+            except ProtocolError as exc:
+                writer.write(encode(Response(status="error",
+                                             error=f"protocol: {exc}")))
+                await writer.drain()
+                continue
+            response = await asyncio.wrap_future(service.submit(request))
+            writer.write(encode(response))
+            await writer.drain()
+    except (ConnectionResetError, BrokenPipeError):
+        pass
+    finally:
+        try:
+            writer.close()
+        except Exception:
+            pass
+
+
+async def serve_forever(service: Service, unix_path: str | None = None,
+                        host: str | None = None, port: int | None = None,
+                        ready=None) -> None:
+    """Run the JSON-lines server until cancelled.
+
+    Exactly one of ``unix_path`` or ``host``/``port`` selects the
+    transport; ``ready`` (an optional callable) fires with the bound
+    server once listening — tests and the CLI use it to signal
+    readiness.
+    """
+
+    async def handler(reader, writer):
+        await _handle_connection(service, reader, writer)
+
+    if unix_path is not None:
+        Path(unix_path).parent.mkdir(parents=True, exist_ok=True)
+        server = await asyncio.start_unix_server(handler, path=unix_path)
+    elif host is not None and port is not None:
+        server = await asyncio.start_server(handler, host=host, port=port)
+    else:
+        raise ValueError("need unix_path or host+port")
+    async with server:
+        if ready is not None:
+            ready(server)
+        await server.serve_forever()

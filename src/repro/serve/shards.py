@@ -1,0 +1,155 @@
+"""Sharded, size-bounded front end over the artifact-cache layout.
+
+:class:`~repro.runner.cache.ArtifactCache` is a single-directory pickle
+store; safe for concurrent writers (atomic same-directory renames) but
+with one stats ledger and no size bound.  A service fielding thousands
+of concurrent requests wants neither a single hot lock nor an unbounded
+directory, so :class:`ShardedArtifactCache` partitions the *key space* —
+shard = ``int(key[:2], 16) % shards`` — giving each shard its own lock,
+its own hit/miss ledger and its own slice of a total LRU byte budget.
+
+Crucially the on-disk layout is exactly the plain cache's
+(``root/<key[:2]>/<key>.<kind>.pkl``): the batch runner and the service
+can point at the same directory and warm each other, and every
+maintenance helper in :mod:`repro.runner.cache` (``iter_entries``,
+``gc_lru`` — also behind ``python -m repro.runner cache``) works on it
+unchanged.  Each shard owns whole two-hex-digit prefix directories, so
+per-shard gc never scans another shard's files.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+
+from repro.runner.cache import ArtifactCache, CacheStats, gc_lru
+
+#: default shard count; 16 divides the 256 prefix dirs evenly
+DEFAULT_SHARDS = 16
+
+#: check a shard's size bound every N stores (a scan per store would
+#: turn every write O(entries))
+GC_EVERY_STORES = 32
+
+_PREFIXES = [f"{i:02x}" for i in range(256)]
+
+
+def shard_index(key: str, shards: int) -> int:
+    """Which shard owns ``key`` (keys are lowercase-hex SHA-256)."""
+    return int(key[:2], 16) % shards
+
+
+class _Shard:
+    """One lock + ledger + byte-budget domain of the key space."""
+
+    def __init__(self, root: Path, enabled: bool, index: int,
+                 shards: int) -> None:
+        self.lock = threading.Lock()
+        # an ArtifactCache per shard, all on the same root: the envelope
+        # format/atomic-write logic lives in one place, the stats ledger
+        # becomes per-shard
+        self.cache = ArtifactCache(root, enabled=enabled)
+        self.prefixes = tuple(p for p in _PREFIXES
+                              if int(p, 16) % shards == index)
+        self.stores_since_gc = 0
+        self.gc_evictions = 0
+        self.gc_runs = 0
+
+
+class ShardedArtifactCache:
+    """N-way sharded cache, drop-in for ``ArtifactCache``'s load/store.
+
+    ``max_bytes`` bounds the whole cache; each shard enforces
+    ``max_bytes / shards`` over its own prefix directories with an LRU
+    sweep (mtime-ordered — ``load`` touches entries on every hit) every
+    :data:`GC_EVERY_STORES` stores.  ``None`` disables the bound.
+    """
+
+    def __init__(self, root: str | Path, shards: int = DEFAULT_SHARDS,
+                 max_bytes: int | None = None, enabled: bool = True) -> None:
+        if not 1 <= shards <= 256:
+            raise ValueError(f"shards must be in [1, 256], got {shards}")
+        self.root = Path(root)
+        self.shards = shards
+        self.max_bytes = max_bytes
+        self.enabled = enabled
+        self._shards = [_Shard(self.root, enabled, i, shards)
+                        for i in range(shards)]
+
+    def _shard(self, key: str) -> _Shard:
+        return self._shards[shard_index(key, self.shards)]
+
+    # -- the ArtifactCache surface ----------------------------------------
+
+    def load(self, key: str, kind: str):
+        shard = self._shard(key)
+        with shard.lock:
+            return shard.cache.load(key, kind)
+
+    def store(self, key: str, kind: str, value):
+        shard = self._shard(key)
+        with shard.lock:
+            path = shard.cache.store(key, kind, value)
+            if path is not None and self.max_bytes is not None:
+                shard.stores_since_gc += 1
+                if shard.stores_since_gc >= GC_EVERY_STORES:
+                    self._gc_shard(shard)
+        return path
+
+    def evict(self, key: str, kind: str) -> None:
+        shard = self._shard(key)
+        with shard.lock:
+            shard.cache.evict(key, kind)
+
+    # -- size bounding -----------------------------------------------------
+
+    def _gc_shard(self, shard: _Shard) -> None:
+        """LRU-sweep one shard down to its budget slice (lock held)."""
+        shard.stores_since_gc = 0
+        shard.gc_runs += 1
+        budget = max(1, self.max_bytes // self.shards)
+        evicted, _kept = gc_lru(self.root, budget, prefixes=shard.prefixes)
+        shard.gc_evictions += len(evicted)
+        shard.cache.stats.evictions += len(evicted)
+
+    def gc(self) -> int:
+        """Force the LRU sweep on every shard now; returns evictions."""
+        if self.max_bytes is None:
+            return 0
+        before = sum(s.gc_evictions for s in self._shards)
+        for shard in self._shards:
+            with shard.lock:
+                self._gc_shard(shard)
+        return sum(s.gc_evictions for s in self._shards) - before
+
+    # -- accounting --------------------------------------------------------
+
+    @property
+    def stats(self) -> CacheStats:
+        """Aggregated hit/miss/store/eviction counts across shards."""
+        total = CacheStats()
+        for shard in self._shards:
+            stats = shard.cache.stats
+            total.hits += stats.hits
+            total.misses += stats.misses
+            total.stores += stats.stores
+            total.evictions += stats.evictions
+        return total
+
+    def reset_stats(self) -> None:
+        for shard in self._shards:
+            shard.cache.stats = CacheStats()
+
+    def shard_report(self) -> list[dict]:
+        """Per-shard ledger, for the service's ``stats`` response."""
+        report = []
+        for index, shard in enumerate(self._shards):
+            stats = shard.cache.stats
+            report.append({
+                "shard": index,
+                "prefixes": len(shard.prefixes),
+                **stats.as_dict(),
+                "gc_runs": shard.gc_runs,
+                "gc_evictions": shard.gc_evictions,
+            })
+        return report

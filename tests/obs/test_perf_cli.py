@@ -22,6 +22,10 @@ def registry(monkeypatch):
     register(BenchSpec(name="toy.time", fn=fn,
                        config_fn=lambda mode: {"toy": True},
                        budgets={"full": 0.05}, help="toy timing bench"))
+    register(BenchSpec(name="toy.loose", fn=fn,
+                       config_fn=lambda mode: {"toy": True},
+                       gate_budget=2.0,
+                       help="toy bench with a per-spec gate budget"))
     yield harness._REGISTRY
     harness._REGISTRY.clear()
     harness._REGISTRY.update(saved)
@@ -39,6 +43,10 @@ class TestList:
                  json.loads(capsys.readouterr().out)}
         assert specs["sched.speedup"]["kind"] == "ratio"
         assert specs["sched.speedup"]["direction"] == "higher"
+        # most specs gate at the per-unit default; serve.speedup carries
+        # its own wider budget (cold/warm noise doesn't divide out)
+        assert specs["sched.speedup"]["gate_budget"] is None
+        assert specs["serve.speedup"]["gate_budget"] == 0.5
 
 
 class TestRecord:
@@ -120,6 +128,20 @@ class TestCompare:
                                                monkeypatch):
         monkeypatch.setenv(harness.ENV_INJECT, "garbage")
         assert main(self._args(tmp_path)) == 2
+
+    def test_spec_gate_budget_loosens_the_gate(self, registry, tmp_path,
+                                               monkeypatch):
+        # a 2x slowdown busts the 50% seconds default but sits inside
+        # toy.loose's own 200% gate budget; an explicit --budget still
+        # overrides the spec either way
+        loose = ["perf", "compare", "--bench", "toy.loose",
+                 "--history", str(tmp_path / "h.jsonl"), "--samples", "2"]
+        assert main(["perf", "record", "--bench", "toy.loose",
+                     "--history", str(tmp_path / "h.jsonl"),
+                     "--samples", "3"]) == 0
+        monkeypatch.setenv(harness.ENV_INJECT, "toy.loose:work:3.0")
+        assert main(loose) == 0
+        assert main([*loose, "--budget", "0.5"]) == 1
 
 
 class TestTrend:

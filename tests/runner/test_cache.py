@@ -195,3 +195,151 @@ class TestDefaultCache:
         cache = default_cache(tmp_path / "arg", enabled=False)
         assert cache.root == tmp_path / "arg"
         assert not cache.enabled
+
+
+class TestMaintenance:
+    """The scan/usage/LRU-gc helpers behind ``runner cache`` and the
+    service's sharded gc."""
+
+    def _fill(self, cache, n=6, kind="base"):
+        keys = []
+        for i in range(n):
+            key = cache_key(SOURCE, "aggressive", {"i": i})
+            cache.store(key, kind, Payload(i))
+            keys.append(key)
+        return keys
+
+    def test_iter_entries_sees_stores(self, cache):
+        from repro.runner.cache import iter_entries
+
+        keys = self._fill(cache, 4)
+        entries = iter_entries(cache.root)
+        assert {e.key for e in entries} == set(keys)
+        assert all(e.kind == "base" and e.bytes > 0 for e in entries)
+
+    def test_iter_entries_skips_temp_and_foreign_files(self, cache):
+        from repro.runner.cache import iter_entries
+
+        [key] = self._fill(cache, 1)
+        sub = cache.root / key[:2]
+        (sub / f"{key}.base.pkl.tmp1234").write_bytes(b"partial write")
+        (sub / "README").write_text("not a cache entry")
+        (cache.root / "not-a-prefix").mkdir()
+        entries = iter_entries(cache.root)
+        assert [e.key for e in entries] == [key]
+
+    def test_iter_entries_prefix_filter(self, cache):
+        from repro.runner.cache import iter_entries
+
+        keys = self._fill(cache, 8)
+        some = {k[:2] for k in keys if int(k[:2], 16) % 2 == 0}
+        got = iter_entries(cache.root, prefixes=some)
+        assert {e.key for e in got} == {k for k in keys if k[:2] in some}
+
+    def test_usage_by_kind(self, cache):
+        from repro.runner.cache import iter_entries, usage_by_kind
+
+        key = cache_key(SOURCE, "aggressive", {})
+        cache.store(key, "base", Payload(1))
+        cache.store(key, "run", Payload(2))
+        other = cache_key(SOURCE, "traditional", {})
+        cache.store(other, "run", Payload(3))
+        usage = usage_by_kind(iter_entries(cache.root))
+        assert usage["base"]["entries"] == 1
+        assert usage["run"]["entries"] == 2
+        assert usage["run"]["bytes"] > 0
+
+    def test_gc_lru_evicts_oldest_first(self, cache):
+        import os
+
+        from repro.runner.cache import gc_lru, iter_entries
+
+        keys = self._fill(cache, 5)
+        # pin explicit mtimes: keys[0] oldest ... keys[4] newest
+        for i, key in enumerate(keys):
+            os.utime(cache.path_for(key, "base"), (1000 + i, 1000 + i))
+        entries = iter_entries(cache.root)
+        per_entry = entries[0].bytes
+        keep = 2 * per_entry
+        evicted, kept = gc_lru(cache.root, keep)
+        assert [e.key for e in evicted] == keys[:3]
+        assert kept <= keep
+        left = {e.key for e in iter_entries(cache.root)}
+        assert left == set(keys[3:])
+
+    def test_gc_lru_dry_run_deletes_nothing(self, cache):
+        from repro.runner.cache import gc_lru, iter_entries
+
+        self._fill(cache, 4)
+        before = {e.key for e in iter_entries(cache.root)}
+        evicted, _ = gc_lru(cache.root, 0, dry_run=True)
+        assert len(evicted) == 4
+        assert {e.key for e in iter_entries(cache.root)} == before
+
+    def test_load_touches_mtime_for_recency(self, cache):
+        import os
+
+        from repro.runner.cache import gc_lru
+
+        a, b = self._fill(cache, 2)
+        os.utime(cache.path_for(a, "base"), (1000, 1000))
+        os.utime(cache.path_for(b, "base"), (2000, 2000))
+        assert cache.load(a, "base") is not None  # refreshes a's mtime
+        evicted, _ = gc_lru(cache.root, 0)
+        # b is now the least recently used despite the later store
+        assert [e.key for e in evicted][0] == b
+
+
+class TestCacheCli:
+    """``python -m repro.runner cache stats|gc``."""
+
+    def _seed(self, root, n=3):
+        cache = ArtifactCache(root)
+        for i in range(n):
+            cache.store(cache_key(SOURCE, "aggressive", {"i": i}),
+                        "base", Payload(i))
+        return cache
+
+    def test_stats_reports_usage(self, tmp_path, capsys):
+        import json
+
+        from repro.runner.cli import main
+
+        self._seed(tmp_path / "c", 3)
+        out = tmp_path / "usage.json"
+        assert main(["cache", "--cache-dir", str(tmp_path / "c"),
+                     "stats", "--json", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "artifact cache usage" in text
+        payload = json.loads(out.read_text())
+        assert payload["kinds"]["base"]["entries"] == 3
+        assert payload["entries"] == 3
+        assert payload["bytes"] > 0
+
+    def test_gc_enforces_bound(self, tmp_path, capsys):
+        from repro.runner.cache import iter_entries
+        from repro.runner.cli import main
+
+        self._seed(tmp_path / "c", 4)
+        assert main(["cache", "--cache-dir", str(tmp_path / "c"),
+                     "gc", "--max-bytes", "1"]) == 0
+        assert "evicted 4" in capsys.readouterr().out
+        assert iter_entries(tmp_path / "c") == []
+
+    def test_gc_dry_run_and_size_suffix(self, tmp_path, capsys):
+        from repro.runner.cache import iter_entries
+        from repro.runner.cli import main
+
+        self._seed(tmp_path / "c", 2)
+        assert main(["cache", "--cache-dir", str(tmp_path / "c"),
+                     "gc", "--max-bytes", "1k", "--dry-run"]) == 0
+        assert "would evict" in capsys.readouterr().out
+        assert len(iter_entries(tmp_path / "c")) == 2
+
+    def test_size_suffixes(self):
+        from repro.runner.cli import _size
+
+        assert _size("1024") == 1024
+        assert _size("4k") == 4096
+        assert _size("2m") == 2 * 1024 * 1024
+        assert _size("1.5g") == int(1.5 * (1 << 30))

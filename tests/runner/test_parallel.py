@@ -147,6 +147,7 @@ class TestRetry:
         assert len(results) == 1
         assert calls["n"] == 2
         assert metrics.cells[0].attempts == 2
+        assert metrics.cells[0].retries == 1
 
     def test_second_failure_propagates(self):
         execute, calls = self._flaky(2)

@@ -1,0 +1,146 @@
+"""Wire-form and identity-key tests for the service protocol."""
+
+import pytest
+
+from repro.runner.summary import RunSummary
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    Request,
+    Response,
+    decode_request,
+    decode_response,
+    encode,
+    summary_from_dict,
+    summary_to_dict,
+)
+
+
+def _summary(**overrides):
+    fields = dict(name="adpcm_enc", pipeline="aggressive", capacity=64,
+                  cycles=100, bundles=50, ops_issued=200,
+                  ops_from_buffer=150, ops_from_memory=50, static_ops=40,
+                  branch_bubbles=3)
+    fields.update(overrides)
+    return RunSummary(**fields)
+
+
+class TestRequestRoundTrip:
+    def test_encode_decode(self):
+        request = Request(kind="run", benchmark="adpcm_enc",
+                          pipeline="traditional", capacity=64,
+                          checked=True, id="r1")
+        line = encode(request)
+        assert line.endswith(b"\n")
+        assert decode_request(line) == request
+
+    def test_defaults_survive(self):
+        request = Request(kind="run", benchmark="x")
+        again = decode_request(encode(request))
+        assert again.pipeline == "aggressive"
+        assert again.capacity is None
+        assert not again.checked
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown request fields"):
+            decode_request(b'{"kind": "ping", "surprise": 1, "v": 1}\n')
+
+    def test_version_mismatch_rejected(self):
+        bad = f'{{"kind": "ping", "v": {PROTOCOL_VERSION + 1}}}\n'
+        with pytest.raises(ProtocolError, match="protocol version"):
+            decode_request(bad)
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(ProtocolError, match="bad JSON"):
+            decode_request(b"not json\n")
+        with pytest.raises(ProtocolError, match="JSON object"):
+            decode_request(b"[1, 2]\n")
+
+
+class TestValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(ProtocolError, match="unknown request kind"):
+            Request(kind="explode").validate()
+
+    def test_run_needs_exactly_one_program(self):
+        with pytest.raises(ProtocolError, match="exactly one"):
+            Request(kind="run").validate()
+        with pytest.raises(ProtocolError, match="exactly one"):
+            Request(kind="run", benchmark="a",
+                    source="int main() {}").validate()
+        Request(kind="run", benchmark="a").validate()
+        Request(kind="compile", source="int main() {}").validate()
+
+    def test_ping_needs_nothing(self):
+        Request(kind="ping").validate()
+
+
+class TestIdentityKeys:
+    def test_group_covers_base_identity(self):
+        base = Request(kind="run", benchmark="a", capacity=64)
+        assert base.group == Request(kind="run", benchmark="a",
+                                     capacity=256).group
+        assert base.group != Request(kind="run", benchmark="b",
+                                     capacity=64).group
+        assert base.group != Request(kind="run", benchmark="a",
+                                     pipeline="traditional").group
+        assert base.group != Request(kind="run", benchmark="a",
+                                     checked=True).group
+        assert base.group != Request(kind="run", benchmark="a",
+                                     engine="ref").group
+        assert base.group != Request(kind="run", benchmark="a",
+                                     max_steps=10).group
+
+    def test_coalesce_key_is_full_identity(self):
+        a = Request(kind="run", benchmark="a", capacity=64)
+        assert a.coalesce_key() == Request(kind="run", benchmark="a",
+                                           capacity=64).coalesce_key()
+        assert a.coalesce_key() != Request(kind="run", benchmark="a",
+                                           capacity=128).coalesce_key()
+        assert a.coalesce_key() != Request(
+            kind="run", benchmark="a", capacity=64,
+            retarget="legacy").coalesce_key()
+        assert a.coalesce_key() != Request(kind="compile",
+                                           benchmark="a",
+                                           capacity=64).coalesce_key()
+
+    def test_ids_never_affect_identity(self):
+        a = Request(kind="run", benchmark="a", capacity=64, id="x")
+        b = Request(kind="run", benchmark="a", capacity=64, id="y")
+        assert a.coalesce_key() == b.coalesce_key()
+
+    def test_inline_source_hashes_to_program_id(self):
+        a = Request(kind="run", source="int main() { return 1; }")
+        b = Request(kind="run", source="int main() { return 1; }")
+        c = Request(kind="run", source="int main() { return 2; }")
+        assert a.program_id == b.program_id
+        assert a.program_id != c.program_id
+        assert a.program_id.startswith("src:")
+
+
+class TestResponse:
+    def test_round_trip_with_summary(self):
+        summary = _summary()
+        response = Response(status="ok", id="r1",
+                            payload={"summary": summary_to_dict(summary),
+                                     "value": 42},
+                            meta={"worker": 1, "latency_s": 0.5})
+        again = decode_response(encode(response))
+        assert again.ok
+        assert again.id == "r1"
+        assert again.summary() == summary
+        assert again.meta["worker"] == 1
+
+    def test_summary_raises_on_failure(self):
+        response = Response(status="trap", error="StepLimitExceeded")
+        assert not response.ok
+        with pytest.raises(ProtocolError, match="no summary"):
+            response.summary()
+
+    def test_summary_dict_round_trip(self):
+        summary = _summary(capacity=None)
+        assert summary_from_dict(summary_to_dict(summary)) == summary
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown response fields"):
+            decode_response(b'{"status": "ok", "shrug": true, "v": 1}\n')
